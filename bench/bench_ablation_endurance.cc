@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Ablation (paper Section VI, quantified): RRAM endurance under the
+ * two dataflows. IS rewrites its activation cells at every layer of
+ * every iteration -- the endurance price of the energy/latency wins
+ * the paper reports -- while WS mostly rewrites weight cells at
+ * updates. This bench turns the paper's qualitative future-work
+ * concern into numbers: writes per cell per training iteration and
+ * the iterations-to-wear-out at three device ratings.
+ */
+
+#include "bench_common.hh"
+
+#include "arch/endurance.hh"
+#include "common/table.hh"
+#include "nn/model_zoo.hh"
+
+namespace {
+
+using namespace inca;
+
+std::string
+sci(double v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.2e", v);
+    return buf;
+}
+
+void
+report()
+{
+    bench::banner("Section VI quantified: RRAM endurance under IS "
+                  "vs. WS training (batch 64)");
+    TextTable t({"network", "IS writes/cell/iter",
+                 "WS writes/cell/iter", "IS iters @1e9",
+                 "WS iters @1e9"});
+    for (const auto &net : nn::evaluationSuite()) {
+        const auto is =
+            arch::incaEndurance(net, arch::paperInca(), 64);
+        const auto ws =
+            arch::baselineEndurance(net, arch::paperBaseline(), 64);
+        t.addRow({net.name,
+                  TextTable::num(is.writesPerCellPerIteration, 2),
+                  TextTable::num(ws.writesPerCellPerIteration, 2),
+                  sci(is.iterationsToWearOut),
+                  sci(ws.iterationsToWearOut)});
+    }
+    t.print();
+
+    bench::banner("Device-rating sensitivity (ResNet18)");
+    TextTable tr({"endurance rating", "IS iterations to wear-out",
+                  "epochs of ImageNet (20k iters/epoch)"});
+    for (double rating :
+         {arch::kEnduranceConservative, arch::kEnduranceTypical,
+          arch::kEnduranceOptimistic}) {
+        const auto is = arch::incaEndurance(
+            nn::resnet18(), arch::paperInca(), 64, rating);
+        tr.addRow({sci(rating), sci(is.iterationsToWearOut),
+                   sci(is.iterationsToWearOut / 2.0e4)});
+    }
+    tr.print();
+    std::printf("the paper's reading holds: at today's ~1e9 ratings "
+                "IS training is viable for many runs, at early-device "
+                "1e6 it is not -- hence Section VI's reliance on "
+                "endurance progress [25], [43].\n");
+}
+
+void
+BM_EnduranceSweep(benchmark::State &state)
+{
+    const auto suite = nn::evaluationSuite();
+    for (auto _ : state) {
+        double total = 0.0;
+        for (const auto &net : suite) {
+            total += arch::incaEndurance(net, arch::paperInca(), 64)
+                         .writesPerIteration;
+        }
+        benchmark::DoNotOptimize(total);
+    }
+}
+BENCHMARK(BM_EnduranceSweep);
+
+} // namespace
+
+INCA_BENCH_MAIN(report)

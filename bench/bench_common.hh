@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Shared scaffolding for the reproduction benchmarks.
+ *
+ * Every bench binary (a) prints the rows/series of the paper table or
+ * figure it regenerates -- paper values side by side with measured
+ * ones where the paper prints numbers -- and (b) registers
+ * google-benchmark timers over the underlying computation so the cost
+ * of regenerating each artifact is tracked.
+ */
+
+#ifndef INCA_BENCH_BENCH_COMMON_HH
+#define INCA_BENCH_BENCH_COMMON_HH
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+
+namespace inca {
+namespace bench {
+
+/** Print a titled section banner. */
+inline void
+banner(const std::string &title)
+{
+    std::printf("\n=== %s ===\n", title.c_str());
+}
+
+/** Standard main: print the report once, then run the benchmarks. */
+#define INCA_BENCH_MAIN(reportFn)                                        \
+    int main(int argc, char **argv)                                      \
+    {                                                                    \
+        reportFn();                                                      \
+        ::benchmark::Initialize(&argc, argv);                            \
+        if (::benchmark::ReportUnrecognizedArguments(argc, argv))        \
+            return 1;                                                    \
+        ::benchmark::RunSpecifiedBenchmarks();                           \
+        ::benchmark::Shutdown();                                         \
+        return 0;                                                        \
+    }
+
+} // namespace bench
+} // namespace inca
+
+#endif // INCA_BENCH_BENCH_COMMON_HH

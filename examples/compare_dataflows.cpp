@@ -1,0 +1,60 @@
+/**
+ * @file
+ * The paper's headline experiment as an application: run every
+ * evaluation network through the INCA engine, the WS baseline, and
+ * the GPU roofline, for inference and training, and print the
+ * Fig. 11 / Fig. 14 / Fig. 15 comparison in one table.
+ *
+ *   $ ./build/examples/compare_dataflows [batch]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/table.hh"
+#include "common/units.hh"
+#include "gpu/gpu_model.hh"
+#include "nn/model_zoo.hh"
+#include "sim/report.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace inca;
+
+    const int batch = argc > 1 ? std::atoi(argv[1]) : 64;
+    core::IncaEngine inca(arch::paperInca());
+    baseline::BaselineEngine base(arch::paperBaseline());
+    gpu::GpuModel titan;
+
+    std::printf("INCA vs. WS baseline vs. GPU, batch %d\n\n", batch);
+
+    for (const auto phase :
+         {arch::Phase::Inference, arch::Phase::Training}) {
+        const bool training = phase == arch::Phase::Training;
+        std::printf("%s:\n", training ? "training" : "inference");
+        TextTable t({"network", "INCA E/img", "WS gain", "GPU gain",
+                     "INCA t/img", "WS speedup", "GPU speedup"});
+        for (const auto &net : nn::evaluationSuite()) {
+            const auto cmp =
+                sim::compare(inca, base, net, batch, phase);
+            const auto g = training ? titan.training(net, batch)
+                                    : titan.inference(net, batch);
+            t.addRow({net.name,
+                      formatSi(cmp.inca.energyPerImage(), "J"),
+                      TextTable::ratio(cmp.energyEfficiencyGain()),
+                      TextTable::ratio((g.energy / batch) /
+                                       cmp.inca.energyPerImage()),
+                      formatSi(cmp.inca.latencyPerImage(), "s"),
+                      TextTable::ratio(cmp.speedup()),
+                      TextTable::ratio(g.latency / cmp.inca.latency)});
+        }
+        t.print();
+        std::printf("\n");
+    }
+
+    std::printf("gains are baseline/INCA (>1 means INCA wins). The "
+                "paper's Fig. 11/14/15 shapes: INCA ahead everywhere, "
+                "training >> inference, light models >> heavy.\n");
+    return 0;
+}

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# One-command reproduction: build, run the full test suite, and
+# regenerate every table/figure of the paper (plus the ablations).
+# Outputs land in test_output.txt and bench_output.txt next to this
+# repository's root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+{
+    for b in build/bench/bench_*; do
+        echo "################ $b"
+        "$b"
+        echo
+    done
+} 2>&1 | tee bench_output.txt
+
+echo
+echo "done: see test_output.txt, bench_output.txt, EXPERIMENTS.md"

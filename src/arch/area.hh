@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Chip area roll-up (paper Table V).
+ *
+ * INCA's area is defined by its projected 2D footprint (Section
+ * V-B-6): plane width is twice the transistor thickness and 16 cells
+ * stack vertically over each footprint, so one 16 x 16 x 64 stack
+ * projects to 49.152 um^2 while one 128 x 128 baseline crossbar needs
+ * 491.52 um^2. Buffer, ADC, DAC, and post-processing components are
+ * counted per instance; the residual "others" (interconnect, control,
+ * adders, registers) uses the per-tile constants the paper measured
+ * with NeuroSim+.
+ */
+
+#ifndef INCA_ARCH_AREA_HH
+#define INCA_ARCH_AREA_HH
+
+#include "arch/config.hh"
+#include "common/units.hh"
+
+namespace inca {
+namespace arch {
+
+/** Component-wise chip area (Table V rows). */
+struct AreaBreakdown
+{
+    SquareMeters buffer = 0.0;
+    SquareMeters array = 0.0;
+    SquareMeters adc = 0.0;
+    SquareMeters dac = 0.0;
+    SquareMeters postProcessing = 0.0;
+    SquareMeters others = 0.0;
+
+    SquareMeters total() const
+    {
+        return buffer + array + adc + dac + postProcessing + others;
+    }
+};
+
+/** Area of one INCA 3D stack's projected footprint. */
+SquareMeters incaStackArea(const IncaConfig &cfg);
+
+/** Area of one baseline crossbar. */
+SquareMeters baselineSubarrayArea(const BaselineConfig &cfg);
+
+/** Full-chip INCA breakdown. */
+AreaBreakdown incaArea(const IncaConfig &cfg);
+
+/** Full-chip baseline breakdown. */
+AreaBreakdown baselineArea(const BaselineConfig &cfg);
+
+} // namespace arch
+} // namespace inca
+
+#endif // INCA_ARCH_AREA_HH

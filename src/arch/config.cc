@@ -1,0 +1,97 @@
+#include "arch/config.hh"
+
+#include "common/config.hh"
+#include "common/logging.hh"
+
+namespace inca {
+namespace arch {
+
+IncaConfig
+paperInca()
+{
+    return IncaConfig{};
+}
+
+BaselineConfig
+paperBaseline()
+{
+    return BaselineConfig{};
+}
+
+namespace {
+
+void
+applyOrganization(ChipOrganization &org, const Config &cfg,
+                  const std::string &section)
+{
+    org.numTiles = int(cfg.getInt(section + ".num_tiles",
+                                  org.numTiles));
+    org.tileSize = int(cfg.getInt(section + ".tile_size",
+                                  org.tileSize));
+    org.macroSize = int(cfg.getInt(section + ".macro_size",
+                                   org.macroSize));
+    inca_assert(org.numTiles > 0 && org.tileSize > 0 &&
+                    org.macroSize > 0,
+                "chip organization must be positive");
+}
+
+void
+applyMemories(memory::SramBuffer &buffer, const Config &cfg,
+              const std::string &section)
+{
+    buffer.capacity = double(cfg.getInt(
+                          section + ".buffer_kib",
+                          std::int64_t(buffer.capacity / 1024.0))) *
+                      1024.0;
+    buffer.port.widthBits = int(cfg.getInt(section + ".bus_bits",
+                                           buffer.port.widthBits));
+    inca_assert(buffer.capacity > 0 && buffer.port.widthBits > 0,
+                "buffer geometry must be positive");
+}
+
+} // namespace
+
+IncaConfig
+incaFromConfig(const Config &cfg)
+{
+    IncaConfig c = paperInca();
+    applyOrganization(c.org, cfg, "inca");
+    applyMemories(c.buffer, cfg, "inca");
+    c.subarraySize = int(cfg.getInt("inca.subarray_size",
+                                    c.subarraySize));
+    c.stackedPlanes = int(cfg.getInt("inca.stacked_planes",
+                                     c.stackedPlanes));
+    c.adcBits = int(cfg.getInt("inca.adc_bits", c.adcBits));
+    c.subarraysPerAdc = int(cfg.getInt("inca.subarrays_per_adc",
+                                       c.subarraysPerAdc));
+    c.weightBits = int(cfg.getInt("inca.weight_bits", c.weightBits));
+    c.activationBits = int(cfg.getInt("inca.activation_bits",
+                                      c.activationBits));
+    c.batchSize = int(cfg.getInt("inca.batch_size", c.batchSize));
+    inca_assert(c.subarraySize > 0 && c.stackedPlanes > 0 &&
+                    c.adcBits > 0,
+                "INCA geometry must be positive");
+    return c;
+}
+
+BaselineConfig
+baselineFromConfig(const Config &cfg)
+{
+    BaselineConfig c = paperBaseline();
+    applyOrganization(c.org, cfg, "baseline");
+    applyMemories(c.buffer, cfg, "baseline");
+    c.subarraySize = int(cfg.getInt("baseline.subarray_size",
+                                    c.subarraySize));
+    c.adcBits = int(cfg.getInt("baseline.adc_bits", c.adcBits));
+    c.weightBits = int(cfg.getInt("baseline.weight_bits",
+                                  c.weightBits));
+    c.activationBits = int(cfg.getInt("baseline.activation_bits",
+                                      c.activationBits));
+    c.batchSize = int(cfg.getInt("baseline.batch_size", c.batchSize));
+    inca_assert(c.subarraySize > 0 && c.adcBits > 0,
+                "baseline geometry must be positive");
+    return c;
+}
+
+} // namespace arch
+} // namespace inca

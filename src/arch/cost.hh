@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Cost accounting shared by the INCA and baseline engines.
+ *
+ * An engine walks a network layer by layer and fills a LayerCost per
+ * layer: energy components under "energy.<component>", event counts
+ * under "count.<component>", and a latency. RunCost rolls layers up
+ * and derives the figures the paper reports (energy per batch, energy
+ * efficiency, makespan).
+ */
+
+#ifndef INCA_ARCH_COST_HH
+#define INCA_ARCH_COST_HH
+
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/units.hh"
+#include "nn/layer.hh"
+
+namespace inca {
+namespace arch {
+
+/** Simulated execution phase. */
+enum class Phase
+{
+    Inference,
+    Training,
+};
+
+/** Per-layer simulation result. */
+struct LayerCost
+{
+    std::string name;
+    nn::LayerKind kind = nn::LayerKind::Conv;
+    StatSet stats;          ///< energy.* [J] and count.* entries
+    Seconds latency = 0.0;  ///< layer busy time
+
+    /** Total dynamic energy of the layer. */
+    Joules energy() const { return stats.sumPrefix("energy"); }
+
+    /** Memory-system (DRAM + buffer) energy of the layer. */
+    Joules memoryEnergy() const
+    {
+        return stats.sumPrefix("energy.dram") +
+               stats.sumPrefix("energy.buffer");
+    }
+};
+
+/** Whole-run simulation result (one network, one phase, one batch). */
+struct RunCost
+{
+    std::string network;
+    Phase phase = Phase::Inference;
+    int batchSize = 1;
+    std::vector<LayerCost> layers;
+    Seconds latency = 0.0;     ///< batch makespan
+    Joules staticEnergy = 0.0; ///< leakage/idle over the makespan
+
+    /** Sum of a stat across layers. */
+    double
+    sum(const std::string &prefix) const
+    {
+        double total = 0.0;
+        for (const auto &l : layers)
+            total += l.stats.sumPrefix(prefix);
+        return total;
+    }
+
+    /** Total (dynamic + static) energy of the batch. */
+    Joules
+    energy() const
+    {
+        return sum("energy") + staticEnergy;
+    }
+
+    /** Energy per image. */
+    Joules
+    energyPerImage() const
+    {
+        return energy() / double(batchSize);
+    }
+
+    /** Latency per image (batch makespan / batch). */
+    Seconds
+    latencyPerImage() const
+    {
+        return latency / double(batchSize);
+    }
+
+    /** Images per joule -- the paper's energy-efficiency metric. */
+    double
+    energyEfficiency() const
+    {
+        return energy() == 0.0 ? 0.0 : double(batchSize) / energy();
+    }
+
+    /** Images per second. */
+    double
+    throughput() const
+    {
+        return latency == 0.0 ? 0.0 : double(batchSize) / latency;
+    }
+};
+
+} // namespace arch
+} // namespace inca
+
+#endif // INCA_ARCH_COST_HH

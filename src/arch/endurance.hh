@@ -1,0 +1,69 @@
+/**
+ * @file
+ * RRAM endurance analysis (paper Section VI, "Future work for
+ * endurance").
+ *
+ * The paper flags device endurance as INCA's open risk: IS dataflow
+ * rewrites its activation cells at every layer of every batch, while
+ * WS only rewrites weight cells at updates (training) or reloads
+ * (capacity misses). This module quantifies the concern the paper
+ * raises: writes per cell per iteration for both dataflows, and the
+ * device lifetime each implies for a given endurance rating.
+ */
+
+#ifndef INCA_ARCH_ENDURANCE_HH
+#define INCA_ARCH_ENDURANCE_HH
+
+#include "arch/config.hh"
+#include "nn/network.hh"
+
+namespace inca {
+namespace arch {
+
+/** Endurance accounting for one network on one design. */
+struct EnduranceReport
+{
+    /** Cell-write events per training iteration (whole chip). */
+    double writesPerIteration = 0.0;
+    /** Cells that ever get written. */
+    double cellsWritten = 0.0;
+    /** Mean writes per written cell per iteration. */
+    double writesPerCellPerIteration = 0.0;
+    /**
+     * Training iterations until the most-stressed cells hit the
+     * endurance rating.
+     */
+    double iterationsToWearOut = 0.0;
+};
+
+/** Typical endurance ratings (program/erase cycles per cell). */
+inline constexpr double kEnduranceConservative = 1e6;  ///< early RRAM
+inline constexpr double kEnduranceTypical = 1e9;       ///< current art
+inline constexpr double kEnduranceOptimistic = 1e12;   ///< [25]-style
+
+/**
+ * INCA endurance per training iteration: activations written at every
+ * layer (outputs into the next layer's planes), errors overwriting
+ * activations in backprop, per image in the batch; each value is
+ * aBits one-bit cell writes.
+ */
+EnduranceReport incaEndurance(const nn::NetworkDesc &net,
+                              const IncaConfig &cfg, int batchSize,
+                              double enduranceRating =
+                                  kEnduranceTypical);
+
+/**
+ * WS baseline endurance per training iteration: weight cells
+ * (original + transposed copies) reprogrammed once per update, plus
+ * the activation/error storage PipeLayer keeps in RRAM per image.
+ */
+EnduranceReport baselineEndurance(const nn::NetworkDesc &net,
+                                  const BaselineConfig &cfg,
+                                  int batchSize,
+                                  double enduranceRating =
+                                      kEnduranceTypical);
+
+} // namespace arch
+} // namespace inca
+
+#endif // INCA_ARCH_ENDURANCE_HH

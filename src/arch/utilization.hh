@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Array-utilization models (paper Fig. 16).
+ *
+ * IS utilization: the fraction of allocated RRAM cells that hold valid
+ * input (activation) pixels. A layer's C x H x W input is partitioned
+ * into s x s tiles; ragged edges waste cells, so utilization falls as
+ * the array size s grows past the feature-map size -- which is why the
+ * paper settles on 16 x 16 (Fig. 16a).
+ *
+ * WS utilization: the fraction of allocated crossbar cells holding
+ * real (unrolled) kernel weights. A kernel column needs K_H * K_W * C
+ * rows and weight_bits columns per output channel; depthwise kernels
+ * use only K_H * K_W of the 128 rows, which collapses utilization for
+ * light models (Fig. 16b).
+ */
+
+#ifndef INCA_ARCH_UTILIZATION_HH
+#define INCA_ARCH_UTILIZATION_HH
+
+#include "nn/network.hh"
+
+namespace inca {
+namespace arch {
+
+/** IS (INCA) utilization of one layer on s x s planes. */
+double incaLayerUtilization(const nn::LayerDesc &layer, int arraySize);
+
+/** WS (baseline) utilization of one layer on s x s crossbars. */
+double wsLayerUtilization(const nn::LayerDesc &layer, int arraySize,
+                          int weightBits = 8);
+
+/**
+ * Capacity-weighted network utilization (cells actually used over
+ * cells allocated across all conv-like layers).
+ */
+double incaNetworkUtilization(const nn::NetworkDesc &net, int arraySize);
+
+/** Capacity-weighted WS network utilization. */
+double wsNetworkUtilization(const nn::NetworkDesc &net, int arraySize,
+                            int weightBits = 8);
+
+} // namespace arch
+} // namespace inca
+
+#endif // INCA_ARCH_UTILIZATION_HH

@@ -1,0 +1,241 @@
+#include "baseline/crossbar.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace inca {
+namespace baseline {
+
+using tensor::ConvSpec;
+using tensor::Tensor;
+
+WsCrossbar::WsCrossbar(int rows, int cols)
+    : rows_(rows), cols_(cols), cells_(size_t(rows) * cols, 0)
+{
+    inca_assert(rows > 0 && cols > 0, "bad crossbar geometry");
+}
+
+void
+WsCrossbar::program(int row, int col, bool bit)
+{
+    inca_assert(row >= 0 && row < rows_ && col >= 0 && col < cols_,
+                "cell (%d, %d) outside %dx%d crossbar", row, col, rows_,
+                cols_);
+    cells_[size_t(row) * cols_ + col] = bit ? 1 : 0;
+}
+
+bool
+WsCrossbar::cell(int row, int col) const
+{
+    inca_assert(row >= 0 && row < rows_ && col >= 0 && col < cols_,
+                "cell (%d, %d) outside %dx%d crossbar", row, col, rows_,
+                cols_);
+    return cells_[size_t(row) * cols_ + col] != 0;
+}
+
+std::vector<int>
+WsCrossbar::matvecBits(const std::vector<std::uint8_t> &rowBits,
+                       int adcBits) const
+{
+    inca_assert(int(rowBits.size()) == rows_,
+                "input arity %zu != rows %d", rowBits.size(), rows_);
+    const int maxCode = (1 << adcBits) - 1;
+    std::vector<int> out(size_t(cols_), 0);
+    for (int r = 0; r < rows_; ++r) {
+        if (!rowBits[size_t(r)])
+            continue;
+        const std::uint8_t *row = &cells_[size_t(r) * cols_];
+        for (int c = 0; c < cols_; ++c)
+            out[size_t(c)] += row[c];
+    }
+    for (auto &v : out)
+        v = std::min(v, maxCode);
+    return out;
+}
+
+WsFunctional::WsFunctional(WsFunctionalOptions opts) : opts_(opts)
+{
+    inca_assert(opts_.arraySize > 0, "bad array size");
+}
+
+namespace {
+
+/**
+ * Program the unrolled kernel matrix [R rows x F kernels] into row
+ * tiles of crossbars, weightBits bit columns per kernel.
+ */
+std::vector<WsCrossbar>
+programKernels(const Tensor &wm, const WsFunctionalOptions &o)
+{
+    const int rows = int(wm.dim(0));
+    const int kernels = int(wm.dim(1));
+    const int cols = kernels * o.weightBits;
+    const int s = o.arraySize;
+    const int rowTiles = (rows + s - 1) / s;
+    const int colTiles = (cols + s - 1) / s;
+    const int lo = -(1 << (o.weightBits - 1));
+    const int hi = (1 << (o.weightBits - 1)) - 1;
+    const std::uint32_t mask = (1u << o.weightBits) - 1u;
+
+    std::vector<WsCrossbar> arrays(size_t(rowTiles) * colTiles,
+                                   WsCrossbar(s, s));
+    for (int r = 0; r < rows; ++r) {
+        for (int f = 0; f < kernels; ++f) {
+            const float v = wm.at(r, f);
+            inca_assert(v >= float(lo) && v <= float(hi) &&
+                            v == std::floor(v),
+                        "weight %f not an integer in [%d, %d]",
+                        double(v), lo, hi);
+            const auto enc = std::uint32_t(std::int32_t(v)) & mask;
+            for (int k = 0; k < o.weightBits; ++k) {
+                const int col = f * o.weightBits + k;
+                const int tile =
+                    (r / s) * colTiles + (col / s);
+                arrays[size_t(tile)].program(r % s, col % s,
+                                             (enc >> k) & 1u);
+            }
+        }
+    }
+    return arrays;
+}
+
+/**
+ * Stream one unrolled input window (unsigned ints) through the
+ * programmed arrays and return the F dot products.
+ */
+std::vector<std::int64_t>
+streamWindow(const std::vector<WsCrossbar> &arrays,
+             const std::vector<std::uint32_t> &window, int kernels,
+             const WsFunctionalOptions &o)
+{
+    const int rows = int(window.size());
+    const int cols = kernels * o.weightBits;
+    const int s = o.arraySize;
+    const int rowTiles = (rows + s - 1) / s;
+    const int colTiles = (cols + s - 1) / s;
+
+    std::vector<std::int64_t> acc(size_t(kernels), 0);
+    for (int a = 0; a < o.activationBits; ++a) {
+        for (int rt = 0; rt < rowTiles; ++rt) {
+            std::vector<std::uint8_t> bits(size_t(s), 0);
+            const int base = rt * s;
+            for (int r = 0; r < s && base + r < rows; ++r)
+                bits[size_t(r)] =
+                    (window[size_t(base + r)] >> a) & 1u;
+            for (int ct = 0; ct < colTiles; ++ct) {
+                const auto codes =
+                    arrays[size_t(rt) * colTiles + ct].matvecBits(
+                        bits, o.adcBits);
+                for (int c = 0; c < s; ++c) {
+                    const int col = ct * s + c;
+                    if (col >= cols)
+                        break;
+                    const int f = col / o.weightBits;
+                    const int k = col % o.weightBits;
+                    const std::int64_t wScale =
+                        (k == o.weightBits - 1)
+                            ? -(std::int64_t(1) << k)
+                            : (std::int64_t(1) << k);
+                    acc[size_t(f)] += wScale *
+                                      (std::int64_t(1) << a) *
+                                      codes[size_t(c)];
+                }
+            }
+        }
+    }
+    return acc;
+}
+
+std::uint32_t
+encodeUnsigned(float v, int bits)
+{
+    const float hi = float((1u << bits) - 1u);
+    inca_assert(v >= 0.0f && v <= hi && v == std::floor(v),
+                "activation %f not an integer in [0, %f]", double(v),
+                double(hi));
+    return std::uint32_t(v);
+}
+
+} // namespace
+
+Tensor
+WsFunctional::conv2d(const Tensor &x, const Tensor &w,
+                     const ConvSpec &spec) const
+{
+    inca_assert(x.rank() == 4 && w.rank() == 4,
+                "conv2d expects 4-D x and w");
+    const int b = int(x.dim(0)), c = int(x.dim(1)), h = int(x.dim(2)),
+              wd = int(x.dim(3));
+    const int f = int(w.dim(0)), kh = int(w.dim(2)), kw = int(w.dim(3));
+    inca_assert(int(w.dim(1)) == c, "channel mismatch");
+    const auto oh = tensor::convOutDim(h, kh, spec);
+    const auto ow = tensor::convOutDim(wd, kw, spec);
+
+    // Unroll kernels into the [C*KH*KW, F] matrix WS crossbars hold.
+    Tensor wm({std::int64_t(c) * kh * kw, f});
+    for (int of = 0; of < f; ++of) {
+        int r = 0;
+        for (int ic = 0; ic < c; ++ic)
+            for (int kr = 0; kr < kh; ++kr)
+                for (int kc = 0; kc < kw; ++kc, ++r)
+                    wm.at(r, of) = w.at(of, ic, kr, kc);
+    }
+    const auto arrays = programKernels(wm, opts_);
+
+    Tensor y({b, f, oh, ow});
+    std::vector<std::uint32_t> window(size_t(c) * kh * kw);
+    for (int img = 0; img < b; ++img) {
+        for (std::int64_t orow = 0; orow < oh; ++orow) {
+            for (std::int64_t ocol = 0; ocol < ow; ++ocol) {
+                int r = 0;
+                for (int ic = 0; ic < c; ++ic) {
+                    for (int kr = 0; kr < kh; ++kr) {
+                        for (int kc = 0; kc < kw; ++kc, ++r) {
+                            const std::int64_t ir =
+                                orow * spec.stride + kr - spec.pad;
+                            const std::int64_t icl =
+                                ocol * spec.stride + kc - spec.pad;
+                            window[size_t(r)] =
+                                (ir < 0 || ir >= h || icl < 0 ||
+                                 icl >= wd)
+                                    ? 0u
+                                    : encodeUnsigned(
+                                          x.at(img, ic, ir, icl),
+                                          opts_.activationBits);
+                        }
+                    }
+                }
+                const auto acc =
+                    streamWindow(arrays, window, f, opts_);
+                for (int of = 0; of < f; ++of)
+                    y.at(img, of, orow, ocol) = float(acc[size_t(of)]);
+            }
+        }
+    }
+    return y;
+}
+
+Tensor
+WsFunctional::fc(const Tensor &x, const Tensor &w) const
+{
+    inca_assert(x.rank() == 2 && w.rank() == 2, "fc expects rank 2");
+    const int b = int(x.dim(0)), d = int(x.dim(1)), f = int(w.dim(1));
+    inca_assert(int(w.dim(0)) == d, "fc inner dims differ");
+
+    const auto arrays = programKernels(w, opts_);
+    Tensor y({b, f});
+    std::vector<std::uint32_t> window(static_cast<size_t>(d));
+    for (int img = 0; img < b; ++img) {
+        for (int r = 0; r < d; ++r)
+            window[size_t(r)] =
+                encodeUnsigned(x.at(img, r), opts_.activationBits);
+        const auto acc = streamWindow(arrays, window, f, opts_);
+        for (int of = 0; of < f; ++of)
+            y.at(img, of) = float(acc[size_t(of)]);
+    }
+    return y;
+}
+
+} // namespace baseline
+} // namespace inca

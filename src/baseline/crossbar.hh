@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Functional model of the WS baseline's 1T1R crossbars.
+ *
+ * Kernels are unrolled ISAAC-style: one kernel occupies
+ * K_H * K_W * C rows and weight_bits 1-bit columns (two's complement,
+ * MSB column negative). Input windows stream bit-serially over the
+ * rows; each column's current is the popcount of (input bit AND cell
+ * bit), quantized by the 8-bit ADC, and the shift-accumulators
+ * reassemble the multi-bit dot products. Row tiles of 128 add
+ * digitally. The result must match the im2col + GEMM reference
+ * exactly, which the integration tests enforce.
+ */
+
+#ifndef INCA_BASELINE_CROSSBAR_HH
+#define INCA_BASELINE_CROSSBAR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/ops.hh"
+#include "tensor/tensor.hh"
+
+namespace inca {
+namespace baseline {
+
+/** One rows x cols binary crossbar. */
+class WsCrossbar
+{
+  public:
+    WsCrossbar(int rows, int cols);
+
+    int rows() const { return rows_; }
+    int cols() const { return cols_; }
+
+    /** Program one cell. */
+    void program(int row, int col, bool bit);
+
+    /** Read one cell back (verification). */
+    bool cell(int row, int col) const;
+
+    /**
+     * Drive the rows with 1-bit inputs and return each column's
+     * accumulated current (popcount), quantized by an @p adcBits ADC.
+     */
+    std::vector<int>
+    matvecBits(const std::vector<std::uint8_t> &rowBits,
+               int adcBits) const;
+
+  private:
+    int rows_, cols_;
+    std::vector<std::uint8_t> cells_;
+};
+
+/** Functional-model configuration for the WS path. */
+struct WsFunctionalOptions
+{
+    int arraySize = 128;    ///< crossbar side
+    int activationBits = 8; ///< input resolution (bit-serial streams)
+    int weightBits = 8;     ///< weight resolution (bit-sliced columns)
+    int adcBits = 8;        ///< column conversion resolution
+};
+
+/** Bit-accurate WS (unrolled / GEMM) layer executor. */
+class WsFunctional
+{
+  public:
+    explicit WsFunctional(WsFunctionalOptions opts = {});
+
+    const WsFunctionalOptions &options() const { return opts_; }
+
+    /**
+     * Convolution through programmed crossbars.
+     *
+     * @param x integer activations [B, C, H, W], 0 <= v < 2^aBits
+     * @param w integer kernels [F, C, KH, KW], signed weightBits
+     */
+    tensor::Tensor conv2d(const tensor::Tensor &x,
+                          const tensor::Tensor &w,
+                          const tensor::ConvSpec &spec = {}) const;
+
+    /** Fully connected layer: x [B, D] by w [D, F]. */
+    tensor::Tensor fc(const tensor::Tensor &x,
+                      const tensor::Tensor &w) const;
+
+  private:
+    WsFunctionalOptions opts_;
+};
+
+} // namespace baseline
+} // namespace inca
+
+#endif // INCA_BASELINE_CROSSBAR_HH

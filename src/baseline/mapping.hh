@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Weight-stationary (unrolled / GEMM) crossbar mapping.
+ *
+ * The baseline follows ISAAC [42]: kernels are unrolled into crossbar
+ * columns -- K_H * K_W * C rows per kernel, weight_bits 1-bit columns
+ * per output channel -- and tiled over 128 x 128 arrays. Depthwise
+ * kernels occupy only K_H * K_W rows of their columns and cannot share
+ * accumulation columns across channels, which is the coarse-grained
+ * utilization collapse of Limitation 3.
+ */
+
+#ifndef INCA_BASELINE_MAPPING_HH
+#define INCA_BASELINE_MAPPING_HH
+
+#include <cstdint>
+
+#include "arch/config.hh"
+#include "nn/network.hh"
+
+namespace inca {
+namespace baseline {
+
+/** Geometry of one layer unrolled onto WS crossbars. */
+struct WsMapping
+{
+    /** Rows one unrolled kernel occupies (accumulation depth). */
+    std::int64_t usedRows = 0;
+    /** Bit-sliced columns the layer's kernels occupy. */
+    std::int64_t usedCols = 0;
+    /** Vertical array tiles (partial sums joined by adders). */
+    std::int64_t rowTiles = 0;
+    /** Horizontal array tiles. */
+    std::int64_t colTiles = 0;
+    /** Independent per-channel array groups (depthwise only). */
+    std::int64_t channelGroups = 1;
+    /** Kernel window positions per output channel. */
+    std::int64_t windows = 0;
+
+    /** Crossbars the layer occupies. */
+    std::int64_t
+    arrays() const
+    {
+        return rowTiles * colTiles * channelGroups;
+    }
+};
+
+/** Map @p layer onto @p cfg. Only valid for conv-like layers. */
+WsMapping mapLayer(const nn::LayerDesc &layer,
+                   const arch::BaselineConfig &cfg);
+
+/** Total crossbars a network's weights occupy (with replication 1). */
+std::int64_t arraysForNetwork(const nn::NetworkDesc &net,
+                              const arch::BaselineConfig &cfg);
+
+} // namespace baseline
+} // namespace inca
+
+#endif // INCA_BASELINE_MAPPING_HH

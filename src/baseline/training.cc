@@ -1,0 +1,86 @@
+#include "baseline/training.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/units.hh"
+
+namespace inca {
+namespace baseline {
+
+using tensor::ConvSpec;
+using tensor::Tensor;
+
+WsTrainingContext::WsTrainingContext(Tensor w, int fwdPad,
+                                     WsFunctionalOptions opts)
+    : w_(std::move(w)), fwdPad_(fwdPad), opts_(opts), engine_(opts)
+{
+    inca_assert(w_.rank() == 4, "conv weights must be 4-D");
+    const std::int64_t f = w_.dim(0), c = w_.dim(1), kh = w_.dim(2),
+                       kw = w_.dim(3);
+    // The transposed copy: in/out channels swapped, kernels rotated
+    // 180 degrees -- a different element disposition that must be
+    // programmed into its own crossbars (Limitation 2).
+    wt_ = Tensor({c, f, kh, kw});
+    for (std::int64_t of = 0; of < f; ++of)
+        for (std::int64_t ic = 0; ic < c; ++ic)
+            for (std::int64_t kr = 0; kr < kh; ++kr)
+                for (std::int64_t kc = 0; kc < kw; ++kc)
+                    wt_.at(ic, of, kr, kc) =
+                        w_.at(of, ic, kh - 1 - kr, kw - 1 - kc);
+}
+
+Tensor
+WsTrainingContext::forward(const Tensor &x) const
+{
+    return engine_.conv2d(x, w_, ConvSpec{1, fwdPad_});
+}
+
+Tensor
+WsTrainingContext::errorBackprop(const Tensor &dy) const
+{
+    const int kh = int(w_.dim(2));
+    // Full padding turns the W^T convolution into conv2dInputGrad for
+    // the stride-1 forward.
+    return engine_.conv2d(dy, wt_, ConvSpec{1, kh - 1 - fwdPad_});
+}
+
+std::int64_t
+WsTrainingContext::arraysFor(std::int64_t rows,
+                             std::int64_t kernels) const
+{
+    const auto s = std::uint64_t(opts_.arraySize);
+    const auto cols =
+        std::uint64_t(kernels) * std::uint64_t(opts_.weightBits);
+    return std::int64_t(ceilDiv(std::uint64_t(rows), s) *
+                        ceilDiv(cols, s));
+}
+
+std::int64_t
+WsTrainingContext::forwardArrays() const
+{
+    return arraysFor(w_.dim(1) * w_.dim(2) * w_.dim(3), w_.dim(0));
+}
+
+std::int64_t
+WsTrainingContext::transposedArrays() const
+{
+    return arraysFor(wt_.dim(1) * wt_.dim(2) * wt_.dim(3),
+                     wt_.dim(0));
+}
+
+std::pair<Tensor, Tensor>
+splitSigned(const Tensor &t)
+{
+    Tensor pos(t.shape()), neg(t.shape());
+    for (std::int64_t i = 0; i < t.size(); ++i) {
+        if (t[i] >= 0.0f)
+            pos[i] = t[i];
+        else
+            neg[i] = -t[i];
+    }
+    return {std::move(pos), std::move(neg)};
+}
+
+} // namespace baseline
+} // namespace inca

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Functional WS training context (paper Limitation 2, demonstrated).
+ *
+ * PipeLayer-style in-situ training needs the error backpropagation
+ * delta * W^T as a crossbar operation -- but a WS crossbar's columns
+ * accumulate along the unrolled-kernel rows, so the transposed
+ * operation needs the kernels laid out in a DIFFERENT disposition:
+ * a second, separately programmed set of crossbars holding W^T. This
+ * class stages both copies, executes forward and backward on the
+ * bit-accurate crossbar model, and exposes the array count -- the
+ * "tremendous extra RRAMs" the paper charges WS with, which INCA
+ * avoids by re-reading the same weight buffer bytes in a different
+ * order.
+ */
+
+#ifndef INCA_BASELINE_TRAINING_HH
+#define INCA_BASELINE_TRAINING_HH
+
+#include <cstdint>
+
+#include "baseline/crossbar.hh"
+#include "tensor/ops.hh"
+#include "tensor/tensor.hh"
+
+namespace inca {
+namespace baseline {
+
+/** One conv layer's WS training resources (W and W^T crossbars). */
+class WsTrainingContext
+{
+  public:
+    /**
+     * Stage the layer: program @p w [F, C, K, K] (integer-valued,
+     * signed weight-bits) into the forward crossbars and its
+     * rotated/transposed counterpart into the backward crossbars.
+     *
+     * @param fwdPad the forward convolution's padding (stride 1)
+     */
+    WsTrainingContext(tensor::Tensor w, int fwdPad,
+                      WsFunctionalOptions opts = {});
+
+    /** Forward convolution through the W crossbars. */
+    tensor::Tensor forward(const tensor::Tensor &x) const;
+
+    /**
+     * Error backpropagation through the W^T crossbars; must equal
+     * tensor::conv2dInputGrad of the forward convolution.
+     *
+     * @param dy errors [B, F, OH, OW] (non-negative integer encoding:
+     *        callers split signed errors into positive/negative
+     *        passes, as PipeLayer's two-phase scheme does)
+     */
+    tensor::Tensor errorBackprop(const tensor::Tensor &dy) const;
+
+    /** Crossbars programmed for the forward weights. */
+    std::int64_t forwardArrays() const;
+
+    /** EXTRA crossbars programmed for the transposed copy. */
+    std::int64_t transposedArrays() const;
+
+    /** Total crossbars this one layer pins for training. */
+    std::int64_t
+    totalArrays() const
+    {
+        return forwardArrays() + transposedArrays();
+    }
+
+  private:
+    std::int64_t arraysFor(std::int64_t rows, std::int64_t kernels)
+        const;
+
+    tensor::Tensor w_;  ///< forward kernels
+    tensor::Tensor wt_; ///< rotated, channel-transposed kernels
+    int fwdPad_;
+    WsFunctionalOptions opts_;
+    WsFunctional engine_;
+};
+
+/**
+ * Split a signed integer tensor into (positive, negative-magnitude)
+ * halves: t == pos - neg with both halves non-negative. WS hardware
+ * streams signed errors as two unsigned passes.
+ */
+std::pair<tensor::Tensor, tensor::Tensor> splitSigned(
+    const tensor::Tensor &t);
+
+} // namespace baseline
+} // namespace inca
+
+#endif // INCA_BASELINE_TRAINING_HH

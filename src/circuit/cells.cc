@@ -1,0 +1,9 @@
+#include "circuit/cells.hh"
+
+// Geometry models are header-only computations; this translation unit
+// exists so the library has a home for future cell variants.
+
+namespace inca {
+namespace circuit {
+} // namespace circuit
+} // namespace inca

@@ -1,0 +1,103 @@
+#include "circuit/devices.hh"
+
+#include "common/logging.hh"
+
+namespace inca {
+namespace circuit {
+
+DevicePreset
+rramPreset()
+{
+    DevicePreset p;
+    p.technology = DeviceTechnology::Rram;
+    p.name = "RRAM (Table II)";
+    p.device = paperDevice();
+    p.endurance = 1e9;
+    p.nonVolatile = true;
+    p.cellAreaFactor = 1.0;
+    return p;
+}
+
+DevicePreset
+pcmPreset()
+{
+    DevicePreset p;
+    p.technology = DeviceTechnology::Pcm;
+    p.name = "PCM";
+    p.device = paperDevice();
+    // PCM: similar read path; SET/RESET needs melt-quench current --
+    // roughly an order of magnitude more write energy and time.
+    p.device.tWrite = 150e-9;
+    p.device.vWrite = 1.8;
+    p.endurance = 1e8;
+    p.nonVolatile = true;
+    p.cellAreaFactor = 1.2;
+    return p;
+}
+
+DevicePreset
+fefetPreset()
+{
+    DevicePreset p;
+    p.technology = DeviceTechnology::Fefet;
+    p.name = "FeFET";
+    p.device = paperDevice();
+    // Field-driven polarization switching: negligible write current,
+    // short pulses; reads through the FET channel.
+    p.device.tWrite = 20e-9;
+    p.device.vWrite = 3.0;
+    p.device.rOn = 1e6;   // channel-resistance read path
+    p.device.rOff = 1e9;
+    p.device.pOnCell = 0.25e-6;
+    p.device.pOffCell = 0.25e-9;
+    p.endurance = 1e10;
+    p.nonVolatile = true;
+    p.cellAreaFactor = 0.8;
+    return p;
+}
+
+DevicePreset
+sramCimPreset()
+{
+    DevicePreset p;
+    p.technology = DeviceTechnology::SramCim;
+    p.name = "SRAM-CIM";
+    p.device = paperDevice();
+    // 6T cell: ~1 ns writes at logic voltage, no resistive states --
+    // model the bit-line discharge as a low-resistance read.
+    p.device.tWrite = 1e-9;
+    p.device.tRead = 1e-9;
+    p.device.vWrite = 0.8;
+    p.device.vRead = 0.8;
+    p.device.rOn = 10e3;
+    p.device.rOff = 1e9;
+    p.device.pOnCell = 0.8 * 0.8 / 10e3;
+    p.device.pOffCell = 0.64e-9;
+    p.endurance = 1e16; // effectively unlimited
+    p.nonVolatile = false;
+    p.cellAreaFactor = 6.0; // 6T+compute vs. a stacked 2T1R column
+    p.standbyPowerPerCell = 5e-12; // retention leakage
+    return p;
+}
+
+std::vector<DevicePreset>
+allDevicePresets()
+{
+    return {rramPreset(), pcmPreset(), fefetPreset(),
+            sramCimPreset()};
+}
+
+DevicePreset
+presetFor(DeviceTechnology technology)
+{
+    switch (technology) {
+      case DeviceTechnology::Rram: return rramPreset();
+      case DeviceTechnology::Pcm: return pcmPreset();
+      case DeviceTechnology::Fefet: return fefetPreset();
+      case DeviceTechnology::SramCim: return sramCimPreset();
+    }
+    panic("unknown device technology %d", int(technology));
+}
+
+} // namespace circuit
+} // namespace inca

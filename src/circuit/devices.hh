@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Alternative PIM device technologies (paper Section VI).
+ *
+ * The paper's future work: "IS dataflow is widely applicable to PIM
+ * designs beyond RRAM, therefore, we leave IS implementation into
+ * other designs as our future work to exploit more stable properties
+ * of other hardware candidates." This module implements that study:
+ * device presets for the main nonvolatile/volatile PIM candidates,
+ * each expressed in the same RramDevice parameterization the engines
+ * consume, plus the endurance rating that drives the Section-VI
+ * trade. Values are representative literature numbers (order-of-
+ * magnitude fidelity; the comparison's purpose is the trend, exactly
+ * like the paper's framing).
+ */
+
+#ifndef INCA_CIRCUIT_DEVICES_HH
+#define INCA_CIRCUIT_DEVICES_HH
+
+#include <string>
+#include <vector>
+
+#include "circuit/rram.hh"
+
+namespace inca {
+namespace circuit {
+
+/** Candidate PIM storage technologies. */
+enum class DeviceTechnology
+{
+    Rram,    ///< the paper's TaOx/HfOx-class device (Table II)
+    Pcm,     ///< phase-change memory: slower, hotter writes
+    Fefet,   ///< ferroelectric FET: field-driven, very cheap writes
+    SramCim, ///< 6T SRAM compute-in-memory: fast, volatile, large
+};
+
+/** A device preset: electrical model + reliability + density. */
+struct DevicePreset
+{
+    DeviceTechnology technology = DeviceTechnology::Rram;
+    std::string name;
+    RramDevice device;       ///< electrical parameters
+    double endurance = 1e9;  ///< program/erase cycles per cell
+    bool nonVolatile = true; ///< volatile cells leak standby power
+    /** Relative cell footprint vs. the paper's 2T1R (area factor). */
+    double cellAreaFactor = 1.0;
+    /** Standby power per cell for volatile technologies. */
+    Watts standbyPowerPerCell = 0.0;
+};
+
+/** The paper's Table II RRAM. */
+DevicePreset rramPreset();
+
+/** Phase-change memory preset. */
+DevicePreset pcmPreset();
+
+/** Ferroelectric-FET preset. */
+DevicePreset fefetPreset();
+
+/** 6T SRAM compute-in-memory preset. */
+DevicePreset sramCimPreset();
+
+/** All presets, RRAM first. */
+std::vector<DevicePreset> allDevicePresets();
+
+/** Look a preset up by technology. */
+DevicePreset presetFor(DeviceTechnology technology);
+
+} // namespace circuit
+} // namespace inca
+
+#endif // INCA_CIRCUIT_DEVICES_HH

@@ -1,0 +1,22 @@
+#include "circuit/digital.hh"
+
+#include <algorithm>
+
+namespace inca {
+namespace circuit {
+
+DigitalModel
+makeDigital()
+{
+    return DigitalModel{};
+}
+
+Joules
+adderTreeEnergy(const DigitalModel &m, double leaves, bool wide)
+{
+    const double adds = std::max(0.0, leaves - 1.0);
+    return adds * (wide ? m.adder16bit : m.adder8bit);
+}
+
+} // namespace circuit
+} // namespace inca

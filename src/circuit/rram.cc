@@ -1,0 +1,33 @@
+#include "circuit/rram.hh"
+
+#include "common/logging.hh"
+
+namespace inca {
+namespace circuit {
+
+Joules
+RramDevice::avgReadEnergy(double onFraction) const
+{
+    inca_assert(onFraction >= 0.0 && onFraction <= 1.0,
+                "on-fraction %f out of [0,1]", onFraction);
+    return onFraction * readEnergyOn() +
+           (1.0 - onFraction) * readEnergyOff();
+}
+
+Joules
+RramDevice::avgWriteEnergy(double onFraction) const
+{
+    inca_assert(onFraction >= 0.0 && onFraction <= 1.0,
+                "on-fraction %f out of [0,1]", onFraction);
+    return onFraction * writeEnergyOn() +
+           (1.0 - onFraction) * writeEnergyOff();
+}
+
+RramDevice
+paperDevice()
+{
+    return RramDevice{};
+}
+
+} // namespace circuit
+} // namespace inca

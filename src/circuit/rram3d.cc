@@ -1,0 +1,68 @@
+#include "circuit/rram3d.hh"
+
+#include "common/logging.hh"
+
+namespace inca {
+namespace circuit {
+
+const char *
+stack3DStyleName(Stack3DStyle style)
+{
+    switch (style) {
+      case Stack3DStyle::Vrram: return "VRRAM";
+      case Stack3DStyle::Hrram: return "HRRAM";
+    }
+    panic("unknown 3D style %d", int(style));
+}
+
+Structure3DReport
+evaluate3D(Stack3DStyle style, int planeSide, int planes,
+           const Cell2T1R &cell, const FabricationLimits &limits)
+{
+    inca_assert(planeSide > 0 && planes > 0, "bad 3D geometry");
+    Structure3DReport r;
+    r.style = style;
+    r.cells = std::int64_t(planeSide) * planeSide * planes;
+
+    if (style == Stack3DStyle::Vrram) {
+        if (planes > limits.maxVerticalLayers) {
+            r.feasible = false;
+            r.reason = "plane count exceeds the vertical layer limit";
+            return r;
+        }
+        r.feasible = true;
+        // Horizontal word planes: the footprint is one plane.
+        r.footprint = double(planeSide) * planeSide *
+                      cell.scaling.scaleArea(cell.rawArea());
+        return r;
+    }
+
+    // HRRAM.
+    if (planeSide > limits.maxPlaneSide) {
+        r.feasible = false;
+        r.reason = "plane side exceeds the vertical plane size limit";
+        return r;
+    }
+    if (planes > limits.maxHorizontalPlanes) {
+        r.feasible = false;
+        r.reason = "plane count exceeds the horizontal stacking limit";
+        return r;
+    }
+    r.feasible = true;
+    // Vertical planes laid side by side: cells within a plane stack
+    // vertically (the verticalStack factor), so the projected
+    // footprint charges one cell area per stacked column.
+    const double columns =
+        double(r.cells) / double(cell.verticalStack);
+    r.footprint = columns * cell.scaledArea();
+    return r;
+}
+
+Structure3DReport
+incaChoice(Stack3DStyle style)
+{
+    return evaluate3D(style, 16, 64, Cell2T1R{});
+}
+
+} // namespace circuit
+} // namespace inca

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * 3D RRAM structure comparison: VRRAM vs. HRRAM (paper Section II-A).
+ *
+ * Two vertically-integrated structures compete: VRRAM stacks
+ * horizontal word planes and is limited by the number of layers the
+ * fab can stack; HRRAM stacks vertical planes horizontally and is
+ * limited by the plane size. INCA "demands a design with highly
+ * stacked 3D RRAM but not a large size plane. Therefore, we chose
+ * HRRAM" -- this module makes that trade quantitative: given a
+ * fabrication envelope, which structure can realize a requested
+ * (plane size, stack count) and at what projected footprint.
+ */
+
+#ifndef INCA_CIRCUIT_RRAM3D_HH
+#define INCA_CIRCUIT_RRAM3D_HH
+
+#include <cstdint>
+#include <string>
+
+#include "circuit/cells.hh"
+#include "common/units.hh"
+
+namespace inca {
+namespace circuit {
+
+/** The two 3D integration styles of Fig. 2. */
+enum class Stack3DStyle
+{
+    Vrram, ///< vertically stacked horizontal word planes
+    Hrram, ///< horizontally stacked vertical planes (INCA's choice)
+};
+
+/** @return a short name for @p style. */
+const char *stack3DStyleName(Stack3DStyle style);
+
+/** Fabrication envelope for 3D integration. */
+struct FabricationLimits
+{
+    /** Max vertically stacked layers (BiCS-class processes). */
+    int maxVerticalLayers = 16;
+    /** Max plane side (cells) before wordline RC degrades reads. */
+    int maxPlaneSide = 64;
+    /** Max horizontally stacked vertical planes (encapsulation
+     * technique of [64] + transistor stacking [45], [56]). */
+    int maxHorizontalPlanes = 128;
+};
+
+/** Feasibility + footprint of one requested 3D geometry. */
+struct Structure3DReport
+{
+    Stack3DStyle style = Stack3DStyle::Hrram;
+    bool feasible = false;
+    std::string reason;           ///< why infeasible, when so
+    std::int64_t cells = 0;       ///< total cells in the stack
+    SquareMeters footprint = 0.0; ///< projected 2D area
+};
+
+/**
+ * Evaluate whether @p style can realize a stack of @p planes planes
+ * of @p planeSide x @p planeSide cells under @p limits, and its
+ * projected footprint with the given cell.
+ *
+ * VRRAM: the planes stack vertically -> plane count is limited by
+ * maxVerticalLayers and the footprint is one plane's area.
+ * HRRAM: the planes stack horizontally -> plane count is limited by
+ * maxHorizontalPlanes, the plane side by maxPlaneSide, and the
+ * footprint is planes x (plane side x cell width) deep by the
+ * vertical-stacking-amortized cell length.
+ */
+Structure3DReport evaluate3D(Stack3DStyle style, int planeSide,
+                             int planes, const Cell2T1R &cell,
+                             const FabricationLimits &limits = {});
+
+/**
+ * INCA's Table II geometry (16 x 16 x 64) under the default
+ * envelope: HRRAM feasible, VRRAM not -- the paper's Section II-A
+ * argument.
+ */
+Structure3DReport incaChoice(Stack3DStyle style);
+
+} // namespace circuit
+} // namespace inca
+
+#endif // INCA_CIRCUIT_RRAM3D_HH

@@ -1,0 +1,63 @@
+#include "circuit/sneak.hh"
+
+#include "common/logging.hh"
+
+namespace inca {
+namespace circuit {
+
+SneakAnalysis
+sneak1R(const RramDevice &device, int arraySize, bool selectedOn)
+{
+    inca_assert(arraySize >= 2, "sneak analysis needs n >= 2");
+    SneakAnalysis a;
+    const double rSel = selectedOn ? device.rOn : device.rOff;
+    a.selectedCurrent = device.vRead / rSel;
+
+    // Worst case: all unselected cells on. The lumped sneak network
+    // is (n-1)^2 three-cell series chains arranged as (n-1) parallel
+    // row branches -> (n-1)^2 parallel middle cells -> (n-1) parallel
+    // column branches:
+    //   R_sneak = R/(n-1) + R/(n-1)^2 + R/(n-1)
+    const double n1 = double(arraySize - 1);
+    const double rSneak = device.rOn / n1 + device.rOn / (n1 * n1) +
+                          device.rOn / n1;
+    a.sneakCurrent = device.vRead / rSneak;
+    a.readMargin =
+        a.selectedCurrent / (a.selectedCurrent + a.sneakCurrent);
+    return a;
+}
+
+SneakAnalysis
+sneakGated(const RramDevice &device, int arraySize, bool selectedOn,
+           double offLeakagePerCell)
+{
+    inca_assert(arraySize >= 2, "sneak analysis needs n >= 2");
+    SneakAnalysis a;
+    const double rSel = selectedOn ? device.rOn : device.rOff;
+    a.selectedCurrent = device.vRead / rSel;
+    // Every chain is cut; only the gated cells' subthreshold leakage
+    // remains.
+    const double cells = double(arraySize) * arraySize - 1.0;
+    a.sneakCurrent = cells * offLeakagePerCell;
+    a.readMargin =
+        a.selectedCurrent / (a.selectedCurrent + a.sneakCurrent);
+    return a;
+}
+
+int
+maxArraySize1R(const RramDevice &device, double minMargin)
+{
+    inca_assert(minMargin > 0.0 && minMargin < 1.0,
+                "margin must be in (0, 1)");
+    int best = 0;
+    for (int n = 2; n <= 4096; n *= 2) {
+        if (sneak1R(device, n).readMargin >= minMargin)
+            best = n;
+        else
+            break;
+    }
+    return best;
+}
+
+} // namespace circuit
+} // namespace inca

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Sneak-path current analysis (paper Sections II-A and IV-A).
+ *
+ * In a 1R crossbar, reading one selected cell also forward-biases
+ * chains of unselected cells (row -> unselected cell -> column ->
+ * unselected cell -> ...), producing a parasitic current that grows
+ * with the array size and collapses the read margin -- "the sneak
+ * path current is inevitable in 1R-based arrays because RRAM is like
+ * a variable resistor". Access transistors (1T1R, and INCA's 2T1R
+ * with row- AND column-direction gating) cut every such chain.
+ *
+ * We use the standard worst-case lumped model: with one cell selected
+ * in an n x n array and all cells in the low-resistance state, the
+ * dominant sneak network is (n-1) parallel chains of three cells in
+ * series through (n-1)^2 intermediate cells, giving an equivalent
+ * sneak resistance of roughly 3R / (n-1) in the large-n limit.
+ */
+
+#ifndef INCA_CIRCUIT_SNEAK_HH
+#define INCA_CIRCUIT_SNEAK_HH
+
+#include "circuit/rram.hh"
+#include "common/units.hh"
+
+namespace inca {
+namespace circuit {
+
+/** Worst-case sneak analysis of one read in an n x n crossbar. */
+struct SneakAnalysis
+{
+    double selectedCurrent = 0.0; ///< current through the target cell
+    double sneakCurrent = 0.0;    ///< parasitic current, 1R worst case
+    double readMargin = 0.0;      ///< selected / (selected + sneak)
+};
+
+/**
+ * Analyze a 1R (selector-free) n x n crossbar read of a cell in state
+ * @p selectedOn with the unselected cells in the on state (worst
+ * case).
+ */
+SneakAnalysis sneak1R(const RramDevice &device, int arraySize,
+                      bool selectedOn = true);
+
+/**
+ * Analyze a transistor-gated read (1T1R or 2T1R): every sneak chain
+ * is cut by an off transistor, leaving only subthreshold leakage
+ * through the unselected access devices.
+ *
+ * @param offLeakagePerCell subthreshold leakage per gated cell
+ */
+SneakAnalysis sneakGated(const RramDevice &device, int arraySize,
+                         bool selectedOn = true,
+                         double offLeakagePerCell = 1e-12);
+
+/**
+ * The largest 1R array whose worst-case read margin stays above
+ * @p minMargin -- why selector-free crossbars cannot scale and why
+ * INCA pays two transistors per cell.
+ */
+int maxArraySize1R(const RramDevice &device, double minMargin);
+
+} // namespace circuit
+} // namespace inca
+
+#endif // INCA_CIRCUIT_SNEAK_HH

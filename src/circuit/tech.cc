@@ -1,0 +1,13 @@
+#include "circuit/tech.hh"
+
+namespace inca {
+namespace circuit {
+
+TechScaling
+paperScaling()
+{
+    return TechScaling{65.0, 22.0, 0.34};
+}
+
+} // namespace circuit
+} // namespace inca

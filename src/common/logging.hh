@@ -1,0 +1,52 @@
+/**
+ * @file
+ * gem5-style status and error reporting.
+ *
+ * panic()  - an internal invariant was violated (simulator bug); aborts.
+ * fatal()  - the user supplied an impossible configuration; exits(1).
+ * warn()   - something is modelled approximately; execution continues.
+ * inform() - neutral status message.
+ */
+
+#ifndef INCA_COMMON_LOGGING_HH
+#define INCA_COMMON_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace inca {
+
+/** Report a simulator bug and abort(). */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Report an unusable user configuration and exit(1). */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Report a modelling approximation or suspicious condition. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Report neutral status. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/**
+ * Quiet mode suppresses warn()/inform() output (used by tests to keep
+ * logs clean); panic()/fatal() always print.
+ */
+void setQuiet(bool quiet);
+
+/** @return true when warn()/inform() output is suppressed. */
+bool quiet();
+
+/** Assert an invariant with a formatted message; panics when violated. */
+#define inca_assert(cond, fmt, ...)                                          \
+    do {                                                                     \
+        if (!(cond))                                                         \
+            ::inca::panic("assertion '%s' failed: " fmt, #cond,             \
+                          ##__VA_ARGS__);                                    \
+    } while (0)
+
+} // namespace inca
+
+#endif // INCA_COMMON_LOGGING_HH

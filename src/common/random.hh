@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Deterministic random number generation.
+ *
+ * The simulator must be reproducible run-to-run, so all stochastic
+ * components (dataset synthesis, weight init, noise injection) draw from
+ * an explicitly seeded xoshiro256** generator rather than global state.
+ */
+
+#ifndef INCA_COMMON_RANDOM_HH
+#define INCA_COMMON_RANDOM_HH
+
+#include <cstdint>
+
+namespace inca {
+
+/** Default seed used when none is supplied. */
+inline constexpr std::uint64_t kDefaultSeed = 0x1234abcd5678ef01ULL;
+
+/** xoshiro256** with splitmix64 seeding; fast and deterministic. */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed (expanded via splitmix64). */
+    explicit Rng(std::uint64_t seed = kDefaultSeed);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform double in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /** Uniform integer in [0, n). @p n must be > 0. */
+    std::uint64_t below(std::uint64_t n);
+
+    /** Standard normal via Box-Muller (cached second value). */
+    double gaussian();
+
+    /** Normal with the given mean and standard deviation. */
+    double gaussian(double mean, double sigma);
+
+  private:
+    std::uint64_t s_[4];
+    bool hasSpare_ = false;
+    double spare_ = 0.0;
+};
+
+} // namespace inca
+
+#endif // INCA_COMMON_RANDOM_HH

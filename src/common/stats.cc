@@ -1,0 +1,78 @@
+#include "common/stats.hh"
+
+#include <cstdio>
+#include <sstream>
+
+namespace inca {
+
+void
+StatSet::add(const std::string &name, double delta)
+{
+    stats_[name] += delta;
+}
+
+void
+StatSet::set(const std::string &name, double value)
+{
+    stats_[name] = value;
+}
+
+double
+StatSet::get(const std::string &name) const
+{
+    auto it = stats_.find(name);
+    return it == stats_.end() ? 0.0 : it->second;
+}
+
+bool
+StatSet::has(const std::string &name) const
+{
+    return stats_.find(name) != stats_.end();
+}
+
+StatSet &
+StatSet::operator+=(const StatSet &other)
+{
+    for (const auto &[name, value] : other.stats_)
+        stats_[name] += value;
+    return *this;
+}
+
+StatSet &
+StatSet::operator*=(double factor)
+{
+    for (auto &[name, value] : stats_)
+        value *= factor;
+    return *this;
+}
+
+double
+StatSet::sumPrefix(const std::string &prefix) const
+{
+    double sum = 0.0;
+    for (auto it = stats_.lower_bound(prefix); it != stats_.end(); ++it) {
+        const std::string &name = it->first;
+        if (name.compare(0, prefix.size(), prefix) != 0)
+            break;
+        if (name.size() == prefix.size() || name[prefix.size()] == '.')
+            sum += it->second;
+    }
+    return sum;
+}
+
+std::string
+StatSet::format(const std::string &title) const
+{
+    std::ostringstream os;
+    if (!title.empty())
+        os << title << "\n";
+    for (const auto &[name, value] : stats_) {
+        char buf[128];
+        std::snprintf(buf, sizeof(buf), "  %-40s %.6g\n", name.c_str(),
+                      value);
+        os << buf;
+    }
+    return os.str();
+}
+
+} // namespace inca

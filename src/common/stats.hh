@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Lightweight named-statistics registry.
+ *
+ * A StatSet is a flat, ordered map from hierarchical stat names (e.g.
+ * "energy.adc", "accesses.buffer.read") to double accumulators. Engines
+ * accumulate into a StatSet while simulating; reports group and format
+ * them. StatSets compose with operator+= so per-layer stats roll up into
+ * per-network stats.
+ */
+
+#ifndef INCA_COMMON_STATS_HH
+#define INCA_COMMON_STATS_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace inca {
+
+/** An ordered collection of named double accumulators. */
+class StatSet
+{
+  public:
+    /** Add @p delta to the stat named @p name (creating it at 0). */
+    void add(const std::string &name, double delta);
+
+    /** Overwrite the stat named @p name. */
+    void set(const std::string &name, double value);
+
+    /** @return the value of @p name, or 0 when absent. */
+    double get(const std::string &name) const;
+
+    /** @return true when a stat named @p name exists. */
+    bool has(const std::string &name) const;
+
+    /** Accumulate every stat of @p other into this set. */
+    StatSet &operator+=(const StatSet &other);
+
+    /** Multiply every stat by @p factor (e.g. replicate per image). */
+    StatSet &operator*=(double factor);
+
+    /**
+     * Sum of all stats whose name starts with @p prefix followed by
+     * either end-of-name or a '.' separator.
+     */
+    double sumPrefix(const std::string &prefix) const;
+
+    /** All (name, value) pairs in name order. */
+    const std::map<std::string, double> &entries() const { return stats_; }
+
+    /** Remove all stats. */
+    void clear() { stats_.clear(); }
+
+    /** Render as "name = value" lines (SI-formatted when unit given). */
+    std::string format(const std::string &title = "") const;
+
+  private:
+    std::map<std::string, double> stats_;
+};
+
+} // namespace inca
+
+#endif // INCA_COMMON_STATS_HH

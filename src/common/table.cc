@@ -1,0 +1,116 @@
+#include "common/table.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace inca {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    inca_assert(cells.size() == headers_.size(),
+                "row arity %zu != header arity %zu", cells.size(),
+                headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+void
+TextTable::addRule()
+{
+    rows_.emplace_back();
+}
+
+std::string
+TextTable::num(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+TextTable::ratio(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*fx", precision, v);
+    return buf;
+}
+
+std::string
+TextTable::count(double v)
+{
+    char raw[64];
+    std::snprintf(raw, sizeof(raw), "%.0f", v);
+    std::string s(raw);
+    bool negative = !s.empty() && s[0] == '-';
+    std::string digits = negative ? s.substr(1) : s;
+    std::string out;
+    int since = 0;
+    for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+        if (since == 3) {
+            out.push_back(',');
+            since = 0;
+        }
+        out.push_back(*it);
+        ++since;
+    }
+    std::reverse(out.begin(), out.end());
+    return negative ? "-" + out : out;
+}
+
+std::string
+TextTable::str() const
+{
+    std::vector<size_t> widths(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_) {
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    auto emitRow = [&](std::ostringstream &os,
+                       const std::vector<std::string> &row) {
+        os << "|";
+        for (size_t c = 0; c < row.size(); ++c) {
+            os << " " << row[c]
+               << std::string(widths[c] - row[c].size(), ' ') << " |";
+        }
+        os << "\n";
+    };
+    auto emitRule = [&](std::ostringstream &os) {
+        os << "+";
+        for (size_t c = 0; c < widths.size(); ++c)
+            os << std::string(widths[c] + 2, '-') << "+";
+        os << "\n";
+    };
+
+    std::ostringstream os;
+    emitRule(os);
+    emitRow(os, headers_);
+    emitRule(os);
+    for (const auto &row : rows_) {
+        if (row.empty())
+            emitRule(os);
+        else
+            emitRow(os, row);
+    }
+    emitRule(os);
+    return os.str();
+}
+
+void
+TextTable::print() const
+{
+    std::fputs(str().c_str(), stdout);
+}
+
+} // namespace inca

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * ASCII table rendering for paper-style report output.
+ *
+ * Bench binaries print the same rows/series the paper's tables and
+ * figures report; TextTable keeps that output aligned and readable.
+ */
+
+#ifndef INCA_COMMON_TABLE_HH
+#define INCA_COMMON_TABLE_HH
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace inca {
+
+/** A simple column-aligned ASCII table. */
+class TextTable
+{
+  public:
+    /** Construct with column headers. */
+    explicit TextTable(std::vector<std::string> headers);
+
+    /** Append a row; must have the same arity as the header. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Append a horizontal rule row. */
+    void addRule();
+
+    /** Format a double with @p precision decimals. */
+    static std::string num(double v, int precision = 2);
+
+    /** Format a double as "12.3x" style ratio. */
+    static std::string ratio(double v, int precision = 1);
+
+    /** Format an integer with thousands separators. */
+    static std::string count(double v);
+
+    /** Render the whole table. */
+    std::string str() const;
+
+    /** Render and write to stdout. */
+    void print() const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_; // empty row == rule
+};
+
+} // namespace inca
+
+#endif // INCA_COMMON_TABLE_HH

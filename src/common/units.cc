@@ -1,0 +1,51 @@
+#include "common/units.hh"
+
+#include <array>
+#include <cmath>
+#include <cstdio>
+
+namespace inca {
+
+std::string
+formatSi(double value, const std::string &unit, int precision)
+{
+    struct Prefix { double scale; const char *symbol; };
+    static constexpr std::array<Prefix, 11> prefixes = {{
+        {1e15, "P"}, {1e12, "T"}, {1e9, "G"}, {1e6, "M"}, {1e3, "k"},
+        {1.0, ""}, {1e-3, "m"}, {1e-6, "u"}, {1e-9, "n"}, {1e-12, "p"},
+        {1e-15, "f"},
+    }};
+
+    const double mag = std::fabs(value);
+    double scale = 1.0;
+    const char *symbol = "";
+    if (mag > 0.0) {
+        for (const auto &p : prefixes) {
+            if (mag >= p.scale) {
+                scale = p.scale;
+                symbol = p.symbol;
+                break;
+            }
+        }
+        // Smaller than the smallest prefix: use the smallest.
+        if (mag < prefixes.back().scale) {
+            scale = prefixes.back().scale;
+            symbol = prefixes.back().symbol;
+        }
+    }
+
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f %s%s", precision, value / scale,
+                  symbol, unit.c_str());
+    return buf;
+}
+
+std::string
+formatAreaMm2(SquareMeters area, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f mm^2", precision, area * 1e6);
+    return buf;
+}
+
+} // namespace inca

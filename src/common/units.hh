@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Physical units and SI helpers used across the simulator.
+ *
+ * All physical quantities in the simulator are plain doubles in base SI
+ * units: seconds, joules, watts, ohms, volts, meters and square meters.
+ * The constants and literal-style helpers below make call sites explicit
+ * about the unit of a numeric constant (e.g. `10_ns`, `32_pJ`) and
+ * formatting helpers render quantities with an auto-selected SI prefix.
+ */
+
+#ifndef INCA_COMMON_UNITS_HH
+#define INCA_COMMON_UNITS_HH
+
+#include <cstdint>
+#include <string>
+
+namespace inca {
+
+/** Time in seconds. */
+using Seconds = double;
+/** Energy in joules. */
+using Joules = double;
+/** Power in watts. */
+using Watts = double;
+/** Resistance in ohms. */
+using Ohms = double;
+/** Electric potential in volts. */
+using Volts = double;
+/** Length in meters. */
+using Meters = double;
+/** Area in square meters. */
+using SquareMeters = double;
+/** Capacity in bytes. */
+using Bytes = double;
+
+namespace units {
+
+inline constexpr double kPico = 1e-12;
+inline constexpr double kNano = 1e-9;
+inline constexpr double kMicro = 1e-6;
+inline constexpr double kMilli = 1e-3;
+inline constexpr double kKilo = 1e3;
+inline constexpr double kMega = 1e6;
+inline constexpr double kGiga = 1e9;
+inline constexpr double kTera = 1e12;
+
+/** Binary capacity multipliers. */
+inline constexpr double kKiB = 1024.0;
+inline constexpr double kMiB = 1024.0 * 1024.0;
+inline constexpr double kGiB = 1024.0 * 1024.0 * 1024.0;
+
+} // namespace units
+
+namespace literals {
+
+// Time
+constexpr Seconds operator""_s(long double v) { return double(v); }
+constexpr Seconds operator""_ms(long double v) { return double(v) * 1e-3; }
+constexpr Seconds operator""_us(long double v) { return double(v) * 1e-6; }
+constexpr Seconds operator""_ns(long double v) { return double(v) * 1e-9; }
+constexpr Seconds operator""_ps(long double v) { return double(v) * 1e-12; }
+constexpr Seconds operator""_ns(unsigned long long v)
+{
+    return double(v) * 1e-9;
+}
+
+// Energy
+constexpr Joules operator""_J(long double v) { return double(v); }
+constexpr Joules operator""_mJ(long double v) { return double(v) * 1e-3; }
+constexpr Joules operator""_uJ(long double v) { return double(v) * 1e-6; }
+constexpr Joules operator""_nJ(long double v) { return double(v) * 1e-9; }
+constexpr Joules operator""_pJ(long double v) { return double(v) * 1e-12; }
+constexpr Joules operator""_pJ(unsigned long long v)
+{
+    return double(v) * 1e-12;
+}
+
+// Power
+constexpr Watts operator""_W(long double v) { return double(v); }
+constexpr Watts operator""_mW(long double v) { return double(v) * 1e-3; }
+constexpr Watts operator""_uW(long double v) { return double(v) * 1e-6; }
+constexpr Watts operator""_nW(long double v) { return double(v) * 1e-9; }
+
+// Resistance
+constexpr Ohms operator""_Ohm(long double v) { return double(v); }
+constexpr Ohms operator""_kOhm(long double v) { return double(v) * 1e3; }
+constexpr Ohms operator""_MOhm(long double v) { return double(v) * 1e6; }
+
+// Potential
+constexpr Volts operator""_V(long double v) { return double(v); }
+constexpr Volts operator""_mV(long double v) { return double(v) * 1e-3; }
+
+// Length / area
+constexpr Meters operator""_nm(long double v) { return double(v) * 1e-9; }
+constexpr Meters operator""_um(long double v) { return double(v) * 1e-6; }
+constexpr Meters operator""_mm(long double v) { return double(v) * 1e-3; }
+constexpr SquareMeters operator""_um2(long double v)
+{
+    return double(v) * 1e-12;
+}
+constexpr SquareMeters operator""_mm2(long double v)
+{
+    return double(v) * 1e-6;
+}
+
+// Capacity
+constexpr Bytes operator""_B(unsigned long long v) { return double(v); }
+constexpr Bytes operator""_KiB(unsigned long long v)
+{
+    return double(v) * units::kKiB;
+}
+constexpr Bytes operator""_MiB(unsigned long long v)
+{
+    return double(v) * units::kMiB;
+}
+constexpr Bytes operator""_GiB(unsigned long long v)
+{
+    return double(v) * units::kGiB;
+}
+
+} // namespace literals
+
+/**
+ * Render a quantity with an auto-selected SI prefix, e.g.
+ * formatSi(3.2e-12, "J") -> "3.20 pJ".
+ *
+ * @param value quantity in base SI units
+ * @param unit  base unit symbol appended after the prefix
+ * @param precision number of digits after the decimal point
+ */
+std::string formatSi(double value, const std::string &unit,
+                     int precision = 2);
+
+/** Render a square-meter area in mm^2 with fixed precision. */
+std::string formatAreaMm2(SquareMeters area, int precision = 3);
+
+/** Integer ceiling division for non-negative operands. */
+constexpr std::uint64_t
+ceilDiv(std::uint64_t numer, std::uint64_t denom)
+{
+    return (numer + denom - 1) / denom;
+}
+
+} // namespace inca
+
+#endif // INCA_COMMON_UNITS_HH

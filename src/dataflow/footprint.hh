@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Memory-footprint model (paper Table IV).
+ *
+ * Minimum capacity to support both inference and training:
+ *  - WS baseline: RRAM must hold the weights, a transposed copy of the
+ *    weights for backprop, and the activations/errors (Limitation 2);
+ *    buffers must stage the activations in flight.
+ *  - INCA: RRAM holds only the activations (errors later overwrite
+ *    them in place, Section IV-C); buffers hold the weights, and the
+ *    transposed weights are just a different read order of the same
+ *    buffer bytes.
+ * All capacities are per image at the configured precision.
+ */
+
+#ifndef INCA_DATAFLOW_FOOTPRINT_HH
+#define INCA_DATAFLOW_FOOTPRINT_HH
+
+#include "common/units.hh"
+#include "nn/network.hh"
+
+namespace inca {
+namespace dataflow {
+
+/** RRAM + buffer requirement of one design point. */
+struct Footprint
+{
+    Bytes rram = 0.0;
+    Bytes buffers = 0.0;
+};
+
+/** Footprints of both designs for one network (one Table IV row). */
+struct FootprintRow
+{
+    Footprint baseline;
+    Footprint inca;
+};
+
+/** Compute the Table IV row for @p net at @p bitPrecision. */
+FootprintRow footprint(const nn::NetworkDesc &net, int bitPrecision = 8);
+
+/** Convert to the paper's MiB. */
+double toMiB(Bytes b);
+
+} // namespace dataflow
+} // namespace inca
+
+#endif // INCA_DATAFLOW_FOOTPRINT_HH

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Unrolled (GEMM) vs. direct-convolution RRAM counting (paper Fig. 7b).
+ *
+ * An IS design that unrolled its inputs im2col-style would store every
+ * kernel window separately: K_H * K_W * C * O_H * O_W values per layer
+ * (overlapping windows duplicate elements). Direct convolution keeps
+ * each input element once: C * H * W. The ratio is the Fig. 7b "steep
+ * increase" that motivates INCA's 2T1R direct-convolution array.
+ */
+
+#ifndef INCA_DATAFLOW_UNROLL_HH
+#define INCA_DATAFLOW_UNROLL_HH
+
+#include <cstdint>
+
+#include "nn/network.hh"
+
+namespace inca {
+namespace dataflow {
+
+/** Input elements an unrolled (im2col) IS layout would store. */
+std::int64_t unrolledInputCount(const nn::LayerDesc &layer);
+
+/** Input elements the direct-convolution layout stores. */
+std::int64_t directInputCount(const nn::LayerDesc &layer);
+
+/** Network-total unrolled vs. direct counts and their ratio. */
+struct UnrollSummary
+{
+    std::int64_t unrolled = 0;
+    std::int64_t direct = 0;
+
+    double ratio() const
+    {
+        return direct == 0 ? 0.0 : double(unrolled) / double(direct);
+    }
+};
+
+/** Fig. 7b data point for @p net. */
+UnrollSummary unrollComparison(const nn::NetworkDesc &net);
+
+} // namespace dataflow
+} // namespace inca
+
+#endif // INCA_DATAFLOW_UNROLL_HH

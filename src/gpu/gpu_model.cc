@@ -1,0 +1,60 @@
+#include "gpu/gpu_model.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace inca {
+namespace gpu {
+
+GpuModel::GpuModel(GpuSpec spec) : spec_(spec) {}
+
+GpuRun
+GpuModel::run(const nn::NetworkDesc &net, int batchSize,
+              double passes) const
+{
+    GpuRun r;
+    const double images = batchSize;
+    // FP32 frameworks: 2 FLOPs per MAC.
+    r.flops = 2.0 * double(net.totalMacs()) * images * passes;
+    // Bytes: weights once per batch (cached in GDDR working set),
+    // activations in and out per layer per image per pass.
+    double actBytes = 0.0;
+    std::int64_t layers = 0;
+    for (const auto &l : net.layers) {
+        if (!l.isConvLike())
+            continue;
+        actBytes += 4.0 * double(l.inputCount() + l.outputCount());
+        ++layers;
+    }
+    r.bytes = 4.0 * double(net.totalWeights()) * passes +
+              actBytes * images * passes;
+
+    const Seconds computeTime =
+        r.flops / (spec_.peakFlops * spec_.computeEfficiency);
+    const Seconds memoryTime =
+        r.bytes / (spec_.memBandwidth * spec_.bandwidthEfficiency);
+    const Seconds overhead =
+        double(layers) * passes * spec_.perLayerOverhead;
+    r.latency = std::max(computeTime, memoryTime) + overhead;
+    r.energy = spec_.boardPower * r.latency;
+    return r;
+}
+
+GpuRun
+GpuModel::inference(const nn::NetworkDesc &net, int batchSize) const
+{
+    inca_assert(batchSize > 0, "batch size must be positive");
+    return run(net, batchSize, 1.0);
+}
+
+GpuRun
+GpuModel::training(const nn::NetworkDesc &net, int batchSize) const
+{
+    inca_assert(batchSize > 0, "batch size must be positive");
+    // Forward + input-gradient + weight-gradient passes.
+    return run(net, batchSize, 3.0);
+}
+
+} // namespace gpu
+} // namespace inca

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * GPU comparator (paper Fig. 15, Table II bottom block).
+ *
+ * A roofline model of the paper's Titan RTX: execution time is the
+ * maximum of the compute time at a realistic fraction of peak FLOPS
+ * and the memory time at peak bandwidth; energy is board power times
+ * time. The paper's comparison is normalized (energy efficiency and
+ * iso-area throughput), which a roofline captures: VGGs are compute
+ * bound, light models bandwidth/launch bound, exactly the regimes the
+ * figure contrasts.
+ */
+
+#ifndef INCA_GPU_GPU_MODEL_HH
+#define INCA_GPU_GPU_MODEL_HH
+
+#include "common/units.hh"
+#include "nn/network.hh"
+
+namespace inca {
+namespace gpu {
+
+/** Titan RTX specification (Table II). */
+struct GpuSpec
+{
+    double peakFlops = 16.3e12;     ///< FP32 peak
+    double memBandwidth = 672e9;    ///< bytes/s GDDR6
+    Watts boardPower = 280.0;
+    SquareMeters dieArea = 754e-6;  ///< mm^2 -> m^2
+    Bytes memory = 24.0 * 1024.0 * 1024.0 * 1024.0;
+    int cudaCores = 4608;
+
+    /** Achievable fraction of peak FLOPS on dense CNN kernels. */
+    double computeEfficiency = 0.45;
+    /** Achievable fraction of peak bandwidth. */
+    double bandwidthEfficiency = 0.70;
+    /** Kernel-launch/framework overhead per layer. */
+    Seconds perLayerOverhead = 8e-6;
+};
+
+/** One simulated GPU run. */
+struct GpuRun
+{
+    Seconds latency = 0.0;
+    Joules energy = 0.0;
+    double flops = 0.0;
+    double bytes = 0.0;
+
+    double throughput(int batch) const
+    {
+        return latency == 0.0 ? 0.0 : double(batch) / latency;
+    }
+};
+
+/** Roofline simulator for the comparison GPU. */
+class GpuModel
+{
+  public:
+    explicit GpuModel(GpuSpec spec = {});
+
+    const GpuSpec &spec() const { return spec_; }
+
+    /** One inference batch. */
+    GpuRun inference(const nn::NetworkDesc &net, int batchSize) const;
+
+    /** One training iteration (forward + backward + update). */
+    GpuRun training(const nn::NetworkDesc &net, int batchSize) const;
+
+  private:
+    GpuRun run(const nn::NetworkDesc &net, int batchSize,
+               double passes) const;
+
+    GpuSpec spec_;
+};
+
+} // namespace gpu
+} // namespace inca
+
+#endif // INCA_GPU_GPU_MODEL_HH

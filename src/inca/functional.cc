@@ -1,0 +1,324 @@
+#include "inca/functional.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/logging.hh"
+#include "inca/stack3d.hh"
+
+namespace inca {
+namespace core {
+
+using tensor::ConvSpec;
+using tensor::Tensor;
+
+IncaFunctional::IncaFunctional(FunctionalOptions opts) : opts_(opts)
+{
+    inca_assert(opts_.planeSize > 0 && opts_.planes > 0,
+                "bad functional geometry");
+}
+
+namespace {
+
+/** Macros of one channel's partitioned input map. */
+struct ChannelMacros
+{
+    int tilesH = 0, tilesW = 0;
+    std::vector<IncaMacro> macros;
+
+    IncaMacro &
+    at(int th, int tw)
+    {
+        return macros[size_t(th) * tilesW + tw];
+    }
+    const IncaMacro &
+    at(int th, int tw) const
+    {
+        return macros[size_t(th) * tilesW + tw];
+    }
+};
+
+/** Partition and write one channel of all images into macros. */
+ChannelMacros
+loadChannel(const Tensor &x, int channel, const FunctionalOptions &o,
+            bool signedActivations)
+{
+    const int b = int(x.dim(0)), h = int(x.dim(2)), w = int(x.dim(3));
+    inca_assert(b <= o.planes,
+                "batch %d exceeds %d planes (functional model runs one "
+                "wave)", b, o.planes);
+    const int ps = o.planeSize;
+    ChannelMacros cm;
+    cm.tilesH = (h + ps - 1) / ps;
+    cm.tilesW = (w + ps - 1) / ps;
+    cm.macros.reserve(size_t(cm.tilesH) * cm.tilesW);
+    for (int t = 0; t < cm.tilesH * cm.tilesW; ++t)
+        cm.macros.emplace_back(ps, o.planes, o.activationBits);
+
+    const std::uint32_t mask = (1u << o.activationBits) - 1u;
+    const float lo = signedActivations
+                         ? -float(1 << (o.activationBits - 1))
+                         : 0.0f;
+    const float hi = signedActivations
+                         ? float((1 << (o.activationBits - 1)) - 1)
+                         : float(mask);
+    for (int img = 0; img < b; ++img) {
+        for (int r = 0; r < h; ++r) {
+            for (int c = 0; c < w; ++c) {
+                const float v = x.at(img, channel, r, c);
+                inca_assert(v >= lo && v <= hi &&
+                                v == std::floor(v),
+                            "activation %f not an integer in [%f, %f]",
+                            double(v), double(lo), double(hi));
+                const auto encoded =
+                    std::uint32_t(std::int32_t(v)) & mask;
+                cm.at(r / ps, c / ps)
+                    .writeValue(img, r % ps, c % ps, encoded);
+            }
+        }
+    }
+    return cm;
+}
+
+/** Extract one kernel as row-major signed ints, checking range. */
+std::vector<int>
+kernelInts(const Tensor &w, int f, int c, int kh, int kw, int weightBits,
+           bool depthwise)
+{
+    std::vector<int> k(size_t(kh) * kw);
+    const int lo = -(1 << (weightBits - 1));
+    const int hi = (1 << (weightBits - 1)) - 1;
+    for (int kr = 0; kr < kh; ++kr) {
+        for (int kc = 0; kc < kw; ++kc) {
+            const float v = depthwise ? w.at(c, kr, kc)
+                                      : w.at(f, c, kr, kc);
+            inca_assert(v >= float(lo) && v <= float(hi) &&
+                            v == std::floor(v),
+                        "weight %f not an integer in [%d, %d]", double(v),
+                        lo, hi);
+            k[size_t(kr) * kw + kc] = int(v);
+        }
+    }
+    return k;
+}
+
+/**
+ * Windowed read at global input position (ih, iw), joining the partial
+ * sums of every partition the window overlaps (the adder tree).
+ */
+void
+windowAccumulate(const ChannelMacros &cm, int ih, int iw, int kh, int kw,
+                 const std::vector<int> &kernel,
+                 const FunctionalOptions &o, bool signedActivations,
+                 int inH, int inW, std::vector<std::int64_t> &acc)
+{
+    const int ps = o.planeSize;
+    const int thLo = std::max(0, ih) / ps;
+    const int thHi = std::min(ih + kh - 1, inH - 1) / ps;
+    const int twLo = std::max(0, iw) / ps;
+    const int twHi = std::min(iw + kw - 1, inW - 1) / ps;
+    for (int th = thLo; th <= thHi; ++th) {
+        for (int tw = twLo; tw <= twHi; ++tw) {
+            const auto partial = cm.at(th, tw).convolveWindow(
+                ih - th * ps, iw - tw * ps, kh, kw, kernel,
+                o.weightBits, o.adcBits, signedActivations);
+            for (size_t p = 0; p < acc.size(); ++p)
+                acc[p] += partial[p];
+        }
+    }
+}
+
+} // namespace
+
+Tensor
+IncaFunctional::conv2d(const Tensor &x, const Tensor &w,
+                       const ConvSpec &spec, bool signedActivations) const
+{
+    inca_assert(x.rank() == 4 && w.rank() == 4,
+                "conv2d expects 4-D x and w");
+    const int b = int(x.dim(0)), c = int(x.dim(1)), h = int(x.dim(2)),
+              wd = int(x.dim(3));
+    const int f = int(w.dim(0)), kh = int(w.dim(2)), kw = int(w.dim(3));
+    inca_assert(int(w.dim(1)) == c, "channel mismatch");
+    const auto oh = tensor::convOutDim(h, kh, spec);
+    const auto ow = tensor::convOutDim(wd, kw, spec);
+
+    // Load every channel's partitions once (intra-layer mapping).
+    std::vector<ChannelMacros> channels;
+    channels.reserve(size_t(c));
+    for (int ic = 0; ic < c; ++ic)
+        channels.push_back(loadChannel(x, ic, opts_, signedActivations));
+
+    Tensor y({b, f, oh, ow});
+    std::vector<std::int64_t> acc(static_cast<size_t>(b));
+    for (int of = 0; of < f; ++of) {
+        for (std::int64_t orow = 0; orow < oh; ++orow) {
+            for (std::int64_t ocol = 0; ocol < ow; ++ocol) {
+                std::fill(acc.begin(), acc.end(), 0);
+                const int ih = int(orow) * spec.stride - spec.pad;
+                const int iw = int(ocol) * spec.stride - spec.pad;
+                for (int ic = 0; ic < c; ++ic) {
+                    const auto kernel = kernelInts(
+                        w, of, ic, kh, kw, opts_.weightBits, false);
+                    windowAccumulate(channels[size_t(ic)], ih, iw, kh,
+                                     kw, kernel, opts_,
+                                     signedActivations, h, wd, acc);
+                }
+                for (int img = 0; img < b; ++img)
+                    y.at(img, of, orow, ocol) = float(acc[size_t(img)]);
+            }
+        }
+    }
+    return y;
+}
+
+Tensor
+IncaFunctional::depthwiseConv2d(const Tensor &x, const Tensor &w,
+                                const ConvSpec &spec,
+                                bool signedActivations) const
+{
+    inca_assert(x.rank() == 4 && w.rank() == 3,
+                "depthwise expects x rank 4, w rank 3");
+    const int b = int(x.dim(0)), c = int(x.dim(1)), h = int(x.dim(2)),
+              wd = int(x.dim(3));
+    const int kh = int(w.dim(1)), kw = int(w.dim(2));
+    inca_assert(int(w.dim(0)) == c, "depthwise channel mismatch");
+    const auto oh = tensor::convOutDim(h, kh, spec);
+    const auto ow = tensor::convOutDim(wd, kw, spec);
+
+    Tensor y({b, c, oh, ow});
+    std::vector<std::int64_t> acc(static_cast<size_t>(b));
+    for (int ic = 0; ic < c; ++ic) {
+        const ChannelMacros cm =
+            loadChannel(x, ic, opts_, signedActivations);
+        const auto kernel =
+            kernelInts(w, 0, ic, kh, kw, opts_.weightBits, true);
+        for (std::int64_t orow = 0; orow < oh; ++orow) {
+            for (std::int64_t ocol = 0; ocol < ow; ++ocol) {
+                std::fill(acc.begin(), acc.end(), 0);
+                const int ih = int(orow) * spec.stride - spec.pad;
+                const int iw = int(ocol) * spec.stride - spec.pad;
+                windowAccumulate(cm, ih, iw, kh, kw, kernel, opts_,
+                                 signedActivations, h, wd, acc);
+                for (int img = 0; img < b; ++img)
+                    y.at(img, ic, orow, ocol) = float(acc[size_t(img)]);
+            }
+        }
+    }
+    return y;
+}
+
+Tensor
+IncaFunctional::errorBackprop(const Tensor &dy, const Tensor &w,
+                              int fwdPad) const
+{
+    inca_assert(dy.rank() == 4 && w.rank() == 4,
+                "errorBackprop expects 4-D dy and w");
+    const int f = int(w.dim(0)), c = int(w.dim(1)), kh = int(w.dim(2)),
+              kw = int(w.dim(3));
+    inca_assert(dy.dim(1) == f, "error channel mismatch");
+
+    // Transposed / rotated kernel fetched in a different order from
+    // the same weight buffer (Table IV discussion): swap in/out
+    // channels and rotate spatially by 180 degrees.
+    Tensor wt({c, f, kh, kw});
+    for (int of = 0; of < f; ++of)
+        for (int ic = 0; ic < c; ++ic)
+            for (int kr = 0; kr < kh; ++kr)
+                for (int kc = 0; kc < kw; ++kc)
+                    wt.at(ic, of, kr, kc) =
+                        w.at(of, ic, kh - 1 - kr, kw - 1 - kc);
+
+    ConvSpec spec;
+    spec.stride = 1;
+    spec.pad = kh - 1 - fwdPad;
+    return conv2d(dy, wt, spec, /*signedActivations=*/true);
+}
+
+Tensor
+IncaFunctional::weightGradient(const Tensor &x, const Tensor &dy,
+                               int fwdPad) const
+{
+    inca_assert(x.rank() == 4 && dy.rank() == 4,
+                "weightGradient expects 4-D x and dy");
+    const int b = int(x.dim(0)), c = int(x.dim(1)), h = int(x.dim(2)),
+              wd = int(x.dim(3));
+    const int f = int(dy.dim(1)), oh = int(dy.dim(2)),
+              ow = int(dy.dim(3));
+    inca_assert(dy.dim(0) == b, "batch mismatch");
+    const int kh = h + 2 * fwdPad - oh + 1;
+    const int kw = wd + 2 * fwdPad - ow + 1;
+
+    // Errors act as the sliding kernel over the stored activations
+    // (Fig. 4's red-box convolution); batch contributions reduce in
+    // the digital adders.
+    Tensor dw({f, c, kh, kw});
+    std::vector<std::int64_t> acc(static_cast<size_t>(b));
+    for (int ic = 0; ic < c; ++ic) {
+        const ChannelMacros cm =
+            loadChannel(x, ic, opts_, /*signedActivations=*/false);
+        for (int of = 0; of < f; ++of) {
+            // The per-image error map, row-major, as the kernel.
+            for (int kr = 0; kr < kh; ++kr) {
+                for (int kc = 0; kc < kw; ++kc) {
+                    std::fill(acc.begin(), acc.end(), 0);
+                    for (int img = 0; img < b; ++img) {
+                        std::vector<int> kernel(size_t(oh) * ow);
+                        const int lo = -(1 << (opts_.weightBits - 1));
+                        const int hi = (1 << (opts_.weightBits - 1)) - 1;
+                        for (int r = 0; r < oh; ++r) {
+                            for (int cl = 0; cl < ow; ++cl) {
+                                const float v = dy.at(img, of, r, cl);
+                                inca_assert(
+                                    v >= float(lo) && v <= float(hi) &&
+                                        v == std::floor(v),
+                                    "error %f not an integer in "
+                                    "[%d, %d]", double(v), lo, hi);
+                                kernel[size_t(r) * ow + cl] = int(v);
+                            }
+                        }
+                        // Single-image accumulate at this kernel
+                        // offset; images cannot share one windowed
+                        // read here because each plane has its own
+                        // error kernel.
+                        std::vector<std::int64_t> one(size_t(b), 0);
+                        windowAccumulate(cm, kr - fwdPad, kc - fwdPad,
+                                         oh, ow, kernel, opts_, false,
+                                         h, wd, one);
+                        acc[size_t(img)] += one[size_t(img)];
+                    }
+                    double sum = 0.0;
+                    for (int img = 0; img < b; ++img)
+                        sum += double(acc[size_t(img)]);
+                    dw.at(of, ic, kr, kc) = float(sum);
+                }
+            }
+        }
+    }
+    return dw;
+}
+
+Tensor
+quantizeUnsigned(const Tensor &t, int bits, float scale)
+{
+    const float hi = float((1 << bits) - 1);
+    Tensor q(t.shape());
+    for (std::int64_t i = 0; i < t.size(); ++i)
+        q[i] = std::clamp(std::round(t[i] * scale), 0.0f, hi);
+    return q;
+}
+
+Tensor
+quantizeSigned(const Tensor &t, int bits, float scale)
+{
+    const float lo = -float(1 << (bits - 1));
+    const float hi = float((1 << (bits - 1)) - 1);
+    Tensor q(t.shape());
+    for (std::int64_t i = 0; i < t.size(); ++i)
+        q[i] = std::clamp(std::round(t[i] * scale), lo, hi);
+    return q;
+}
+
+} // namespace core
+} // namespace inca

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Full functional layer engine on the INCA array model.
+ *
+ * Executes integer-quantized convolutions end-to-end on the bit-level
+ * 3D 2T1R array model: input maps are partitioned onto plane-size
+ * tiles (one macro per channel partition), kernel windows slide with
+ * the 2T1R gating, halo windows produce partial sums joined by the
+ * adder tree, weight bits stream serially, per-plane ADC samples are
+ * shift-accumulated, and channel partials reduce digitally -- exactly
+ * the hardware dataflow of Sections IV-A..C.
+ *
+ * Training-path primitives are also provided on the same array
+ * machinery: the error backpropagation (convolution with the
+ * transposed / rotated kernels read from the weight buffer in a
+ * different order) and the in-array weight-gradient convolution
+ * between stored activations and errors, with errors stored in two's
+ * complement overwriting the dead activations.
+ *
+ * All tensors carry integer values in floats (exact below 2^24).
+ */
+
+#ifndef INCA_INCA_FUNCTIONAL_HH
+#define INCA_INCA_FUNCTIONAL_HH
+
+#include "tensor/ops.hh"
+#include "tensor/tensor.hh"
+
+namespace inca {
+namespace core {
+
+/** Functional-model configuration. */
+struct FunctionalOptions
+{
+    int planeSize = 16;      ///< vertical-plane side (Table II: 16)
+    int planes = 8;          ///< batch slots per stack
+    int activationBits = 8;  ///< stored value resolution
+    int weightBits = 8;      ///< serial weight resolution
+    int adcBits = 4;         ///< per-read conversion resolution
+};
+
+/** Bit-accurate INCA layer executor. */
+class IncaFunctional
+{
+  public:
+    explicit IncaFunctional(FunctionalOptions opts = {});
+
+    const FunctionalOptions &options() const { return opts_; }
+
+    /**
+     * Direct convolution on the array model.
+     *
+     * @param x integer activations [B, C, H, W], 0 <= v < 2^aBits
+     *          (two's complement in [-2^(a-1), 2^(a-1)) when
+     *          @p signedActivations)
+     * @param w integer kernels [F, C, KH, KW] in signed weightBits
+     * @param spec stride / padding
+     */
+    tensor::Tensor conv2d(const tensor::Tensor &x, const tensor::Tensor &w,
+                          const tensor::ConvSpec &spec = {},
+                          bool signedActivations = false) const;
+
+    /** Depthwise direct convolution; @p w is [C, KH, KW]. */
+    tensor::Tensor depthwiseConv2d(const tensor::Tensor &x,
+                                   const tensor::Tensor &w,
+                                   const tensor::ConvSpec &spec = {},
+                                   bool signedActivations = false) const;
+
+    /**
+     * Error backpropagation executed as an array convolution of the
+     * (signed) errors with the rotated, channel-transposed kernels
+     * (stride-1 layers only, full padding).
+     */
+    tensor::Tensor errorBackprop(const tensor::Tensor &dy,
+                                 const tensor::Tensor &w,
+                                 int fwdPad = 0) const;
+
+    /**
+     * In-array weight gradient: stored activations convolved with the
+     * (signed) errors acting as the kernel (Eq. 4's delta * x term).
+     */
+    tensor::Tensor weightGradient(const tensor::Tensor &x,
+                                  const tensor::Tensor &dy,
+                                  int fwdPad = 0) const;
+
+  private:
+    FunctionalOptions opts_;
+};
+
+/** Clamp-quantize a float tensor to unsigned @p bits integers. */
+tensor::Tensor quantizeUnsigned(const tensor::Tensor &t, int bits,
+                                float scale);
+
+/** Clamp-quantize a float tensor to signed @p bits integers. */
+tensor::Tensor quantizeSigned(const tensor::Tensor &t, int bits,
+                              float scale);
+
+} // namespace core
+} // namespace inca
+
+#endif // INCA_INCA_FUNCTIONAL_HH

@@ -1,0 +1,219 @@
+#include "inca/inference.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "tensor/ops.hh"
+
+namespace inca {
+namespace core {
+
+using tensor::ConvSpec;
+using tensor::Tensor;
+
+OnChipNet::OnChipNet(FunctionalOptions opts)
+    : opts_(opts), array_(opts)
+{
+}
+
+OnChipNet &
+OnChipNet::addConv(Tensor w, int stride, int pad)
+{
+    inca_assert(w.rank() == 4, "conv weights must be 4-D");
+    Layer l;
+    l.kind = Kind::Conv;
+    l.w = std::move(w);
+    l.stride = stride;
+    l.pad = pad;
+    layers_.push_back(std::move(l));
+    return *this;
+}
+
+OnChipNet &
+OnChipNet::addReLU()
+{
+    layers_.push_back(Layer{Kind::ReLU, {}, {}, 1, 0, 0});
+    return *this;
+}
+
+OnChipNet &
+OnChipNet::addMaxPool(int k)
+{
+    Layer l;
+    l.kind = Kind::MaxPool;
+    l.poolK = k;
+    layers_.push_back(std::move(l));
+    return *this;
+}
+
+OnChipNet &
+OnChipNet::addFlatten()
+{
+    layers_.push_back(Layer{Kind::Flatten, {}, {}, 1, 0, 0});
+    return *this;
+}
+
+OnChipNet &
+OnChipNet::addFc(Tensor w, Tensor bias)
+{
+    inca_assert(w.rank() == 2, "fc weights must be 2-D");
+    Layer l;
+    l.kind = Kind::Fc;
+    l.w = std::move(w);
+    l.bias = std::move(bias);
+    layers_.push_back(std::move(l));
+    return *this;
+}
+
+OnChipNet &
+OnChipNet::beginResidual()
+{
+    layers_.push_back(Layer{Kind::ResidualBegin, {}, {}, 1, 0, 0});
+    return *this;
+}
+
+OnChipNet &
+OnChipNet::endResidual()
+{
+    layers_.push_back(Layer{Kind::ResidualEnd, {}, {}, 1, 0, 0});
+    return *this;
+}
+
+int
+OnChipNet::arrayLayerCount() const
+{
+    int n = 0;
+    for (const auto &l : layers_) {
+        if (l.kind == Kind::Conv || l.kind == Kind::Fc)
+            ++n;
+    }
+    return n;
+}
+
+namespace {
+
+/** Per-tensor symmetric quantization scale for @p bits levels. */
+float
+quantScale(const Tensor &t, int bits)
+{
+    const float range = t.absMax();
+    const float levels = float((1 << (bits - 1)) - 1);
+    return range > 0.0f ? range / levels : 1.0f;
+}
+
+/** Unsigned activation quantization scale (post-ReLU inputs >= 0). */
+float
+actScale(const Tensor &t, int bits)
+{
+    const float range = t.absMax();
+    const float levels = float((1 << bits) - 1);
+    return range > 0.0f ? range / levels : 1.0f;
+}
+
+} // namespace
+
+Tensor
+OnChipNet::runConv(const Layer &layer, const Tensor &x) const
+{
+    // Activations are non-negative here (input images are shifted by
+    // the caller; hidden activations are post-ReLU); clamp anyway.
+    const float sx = actScale(x, opts_.activationBits);
+    Tensor xq(x.shape());
+    const float xHi = float((1 << opts_.activationBits) - 1);
+    for (std::int64_t i = 0; i < x.size(); ++i)
+        xq[i] = std::clamp(std::round(std::max(0.0f, x[i]) / sx),
+                           0.0f, xHi);
+
+    const float sw = quantScale(layer.w, opts_.weightBits);
+    Tensor wq(layer.w.shape());
+    const float wLo = -float(1 << (opts_.weightBits - 1));
+    const float wHi = float((1 << (opts_.weightBits - 1)) - 1);
+    for (std::int64_t i = 0; i < layer.w.size(); ++i)
+        wq[i] = std::clamp(std::round(layer.w[i] / sw), wLo, wHi);
+
+    Tensor yq = array_.conv2d(xq, wq,
+                              ConvSpec{layer.stride, layer.pad});
+    // Dequantize in the shift/scale stage after the accumulators.
+    Tensor y(yq.shape());
+    for (std::int64_t i = 0; i < yq.size(); ++i)
+        y[i] = yq[i] * sx * sw;
+    return y;
+}
+
+Tensor
+OnChipNet::runFc(const Layer &layer, const Tensor &x) const
+{
+    // Fold the FC onto the planes as a pointwise convolution over a
+    // 1 x 1 feature map with D channels (Section IV-C).
+    const std::int64_t b = x.dim(0), d = x.dim(1);
+    const std::int64_t f = layer.w.dim(1);
+    inca_assert(layer.w.dim(0) == d, "fc input width mismatch");
+
+    Tensor x4 = x.reshaped({b, d, 1, 1});
+    Tensor w4({f, d, 1, 1});
+    for (std::int64_t of = 0; of < f; ++of)
+        for (std::int64_t ic = 0; ic < d; ++ic)
+            w4.at(of, ic, 0, 0) = layer.w.at(ic, of);
+
+    Layer conv;
+    conv.kind = Kind::Conv;
+    conv.w = std::move(w4);
+    conv.stride = 1;
+    conv.pad = 0;
+    Tensor y4 = runConv(conv, x4);
+    Tensor y = y4.reshaped({b, f});
+    if (layer.bias.size() > 0) {
+        inca_assert(layer.bias.size() == f, "fc bias mismatch");
+        for (std::int64_t i = 0; i < b; ++i)
+            for (std::int64_t j = 0; j < f; ++j)
+                y.at(i, j) += layer.bias[j];
+    }
+    return y;
+}
+
+Tensor
+OnChipNet::forward(const Tensor &x) const
+{
+    Tensor cur = x;
+    std::vector<Tensor> skips;
+    for (const auto &layer : layers_) {
+        switch (layer.kind) {
+          case Kind::Conv:
+            cur = runConv(layer, cur);
+            break;
+          case Kind::ReLU:
+            cur = tensor::relu(cur);
+            break;
+          case Kind::MaxPool:
+            cur = tensor::maxPool2d(cur, layer.poolK,
+                                    ConvSpec{layer.poolK, 0})
+                      .output;
+            break;
+          case Kind::Flatten: {
+            const std::int64_t n = cur.dim(0);
+            cur = cur.reshaped({n, cur.size() / n});
+            break;
+          }
+          case Kind::Fc:
+            cur = runFc(layer, cur);
+            break;
+          case Kind::ResidualBegin:
+            skips.push_back(cur);
+            break;
+          case Kind::ResidualEnd: {
+            inca_assert(!skips.empty(),
+                        "endResidual without beginResidual");
+            cur += skips.back();
+            skips.pop_back();
+            cur = tensor::relu(cur);
+            break;
+          }
+        }
+    }
+    inca_assert(skips.empty(), "unclosed residual block");
+    return cur;
+}
+
+} // namespace core
+} // namespace inca

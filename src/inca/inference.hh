@@ -1,0 +1,105 @@
+/**
+ * @file
+ * On-chip inference: run a trained float CNN end-to-end on the
+ * bit-accurate INCA array model.
+ *
+ * Each conv/FC layer's weights are quantized to signed weight-bits
+ * and its input activations to unsigned activation-bits (per-tensor
+ * symmetric scales); the integer convolution then executes on the
+ * functional 3D 2T1R simulation -- partitioned planes, sliding 2T1R
+ * windows, bit-serial weights, per-plane ADC, adder trees -- and the
+ * digital post-processing units (ReLU, max-pool, the classifier's
+ * softmax) operate on the dequantized results, exactly as the INCA
+ * pipeline of Fig. 8a does.
+ *
+ * This is the strongest end-to-end statement the functional model can
+ * make: a network trained in float keeps its accuracy when every MAC
+ * goes through the simulated hardware, and degrades exactly where the
+ * hardware says it must (e.g. a 3-bit ADC clipping 3x3 windows).
+ */
+
+#ifndef INCA_INCA_INFERENCE_HH
+#define INCA_INCA_INFERENCE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "inca/functional.hh"
+#include "tensor/tensor.hh"
+
+namespace inca {
+namespace core {
+
+/** A float CNN staged for on-chip execution. */
+class OnChipNet
+{
+  public:
+    explicit OnChipNet(FunctionalOptions opts = {});
+
+    /** Append a convolution layer with float kernels [F, C, K, K]. */
+    OnChipNet &addConv(tensor::Tensor w, int stride, int pad);
+
+    /** Append a ReLU (digital post-processing unit). */
+    OnChipNet &addReLU();
+
+    /** Append a k x k max pool (digital post-processing unit). */
+    OnChipNet &addMaxPool(int k);
+
+    /** Append a flatten. */
+    OnChipNet &addFlatten();
+
+    /** Append a fully connected layer: w [D, F], bias [F]. */
+    OnChipNet &addFc(tensor::Tensor w, tensor::Tensor bias);
+
+    /** Open a residual block (identity skip; closed by endResidual). */
+    OnChipNet &beginResidual();
+
+    /** Close the residual block: y = relu(path + skip). */
+    OnChipNet &endResidual();
+
+    /**
+     * Run a float batch through the simulated hardware; batch must
+     * fit the configured planes. Returns float logits.
+     */
+    tensor::Tensor forward(const tensor::Tensor &x) const;
+
+    /** Number of layers staged. */
+    size_t size() const { return layers_.size(); }
+
+    /** Conv/FC layers executed on the array per forward. */
+    int arrayLayerCount() const;
+
+  private:
+    enum class Kind
+    {
+        Conv,
+        ReLU,
+        MaxPool,
+        Flatten,
+        Fc,
+        ResidualBegin,
+        ResidualEnd,
+    };
+
+    struct Layer
+    {
+        Kind kind;
+        tensor::Tensor w;    // conv kernels or fc weights
+        tensor::Tensor bias; // fc bias
+        int stride = 1, pad = 0, poolK = 0;
+    };
+
+    tensor::Tensor runConv(const Layer &layer,
+                           const tensor::Tensor &x) const;
+    tensor::Tensor runFc(const Layer &layer,
+                         const tensor::Tensor &x) const;
+
+    FunctionalOptions opts_;
+    IncaFunctional array_;
+    std::vector<Layer> layers_;
+};
+
+} // namespace core
+} // namespace inca
+
+#endif // INCA_INCA_INFERENCE_HH

@@ -1,0 +1,69 @@
+#include "inca/mapping.hh"
+
+#include "common/logging.hh"
+#include "common/units.hh"
+
+namespace inca {
+namespace core {
+
+IsMapping
+mapLayer(const nn::LayerDesc &layer, const arch::IncaConfig &cfg)
+{
+    inca_assert(layer.isConvLike(), "mapLayer on non-conv layer %s",
+                layer.name.c_str());
+    const auto s = std::uint64_t(cfg.subarraySize);
+    IsMapping m;
+
+    if (layer.kind == nn::LayerKind::FullyConnected ||
+        layer.kind == nn::LayerKind::Pointwise) {
+        // Fold the accumulation dimension (the input channels) onto
+        // the 2D plane (Section IV-C): each output pixel's C-deep
+        // channel vector occupies a window that slides with stride ==
+        // window size, and the window's products accumulate in analog
+        // inside the plane. Pixels land on different planes/macros and
+        // compute in parallel; pixels co-resident on one plane
+        // serialize.
+        const std::uint64_t pixels =
+            std::uint64_t(layer.outH) * std::uint64_t(layer.outW);
+        const auto foldGroups =
+            ceilDiv(std::uint64_t(layer.inC), s * s);
+        const std::uint64_t pixelsPerPlane =
+            std::max<std::uint64_t>(1, (s * s) /
+                                            std::uint64_t(layer.inC));
+        m.partitionsPerChannel = std::int64_t(foldGroups);
+        m.macrosNeeded =
+            std::int64_t(ceilDiv(pixels, pixelsPerPlane) * foldGroups);
+        m.positionsPerPartition = std::int64_t(pixelsPerPlane);
+        m.serialChannels = layer.outC;
+        m.adcGroupsPerOutput = std::int64_t(
+            ceilDiv(foldGroups, std::uint64_t(cfg.subarraysPerAdc)));
+        m.windowCells = std::int64_t(
+            std::min<std::uint64_t>(std::uint64_t(layer.inC), s * s));
+        return m;
+    }
+
+    const auto tilesH = ceilDiv(std::uint64_t(layer.inH), s);
+    const auto tilesW = ceilDiv(std::uint64_t(layer.inW), s);
+    m.partitionsPerChannel = std::int64_t(tilesH * tilesW);
+    m.macrosNeeded = layer.inC * m.partitionsPerChannel;
+    // Window positions are distributed across the partitions; halo
+    // positions are computed as partial sums inside each partition and
+    // joined by the adder tree, so the per-partition count is the even
+    // share of all output positions.
+    const std::uint64_t positions =
+        std::uint64_t(layer.outH) * std::uint64_t(layer.outW);
+    m.positionsPerPartition = std::int64_t(
+        ceilDiv(positions, std::uint64_t(m.partitionsPerChannel)));
+    m.serialChannels =
+        layer.kind == nn::LayerKind::Depthwise ? 1 : layer.outC;
+    const std::int64_t accumChannels =
+        layer.kind == nn::LayerKind::Depthwise ? 1 : layer.inC;
+    m.adcGroupsPerOutput = std::int64_t(
+        ceilDiv(std::uint64_t(accumChannels),
+                std::uint64_t(cfg.subarraysPerAdc)));
+    m.windowCells = std::int64_t(layer.kh) * layer.kw;
+    return m;
+}
+
+} // namespace core
+} // namespace inca

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * INCA intra-layer mapping geometry (paper Section IV-C).
+ *
+ * Input feature maps are partitioned into subarray-size tiles; each
+ * partition of every input channel maps to one PIM macro (whose 8
+ * subarrays hold the 8 activation bit planes), and the 64 images of a
+ * batch occupy the 64 planes of each 3D stack. Halo positions produce
+ * partial sums joined by the macro/tile adder tree. Pointwise and FC
+ * layers fold the accumulation dimension onto the 2D plane, where the
+ * window's products accumulate in analog (one conversion per fold
+ * group instead of one per channel).
+ *
+ * NOTE (modelling): for folded windows larger than 15 cells a 4-bit
+ * ADC would saturate; the paper does not discuss the resolution folded
+ * layers need, and this analytic mapping follows the paper's
+ * efficiency accounting. The functional model (inca/functional.hh)
+ * exposes the saturation honestly.
+ *
+ * Output channels are inherently serial in IS dataflow (one kernel's
+ * weights are fed at a time); depthwise layers need no cross-channel
+ * serialization because each channel partition computes its own output.
+ */
+
+#ifndef INCA_INCA_MAPPING_HH
+#define INCA_INCA_MAPPING_HH
+
+#include <cstdint>
+
+#include "arch/config.hh"
+#include "nn/layer.hh"
+
+namespace inca {
+namespace core {
+
+/** Geometry of one layer mapped onto INCA. */
+struct IsMapping
+{
+    /** Subarray tiles covering one channel's input map. */
+    std::int64_t partitionsPerChannel = 0;
+    /** Macros the layer occupies (channels x partitions). */
+    std::int64_t macrosNeeded = 0;
+    /** Kernel-window positions one partition computes. */
+    std::int64_t positionsPerPartition = 0;
+    /** Output channels that must be computed serially. */
+    std::int64_t serialChannels = 0;
+    /** ADC conversion groups per output element (channel grouping). */
+    std::int64_t adcGroupsPerOutput = 0;
+    /** Window cells active per read (accumulated products). */
+    std::int64_t windowCells = 0;
+
+    /** Sequential windowed reads per plane to finish the layer. */
+    std::int64_t
+    sequentialReads(int weightBits) const
+    {
+        return positionsPerPartition * weightBits * serialChannels;
+    }
+};
+
+/** Map @p layer onto @p cfg. Only valid for conv-like layers. */
+IsMapping mapLayer(const nn::LayerDesc &layer,
+                   const arch::IncaConfig &cfg);
+
+} // namespace core
+} // namespace inca
+
+#endif // INCA_INCA_MAPPING_HH

@@ -1,0 +1,112 @@
+#include "inca/plane.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace inca {
+namespace core {
+
+BitPlane::BitPlane(int size)
+    : size_(size), cells_(size_t(size) * size, 0),
+      faults_(size_t(size) * size, -1)
+{
+    inca_assert(size > 0, "plane size must be positive");
+}
+
+bool
+BitPlane::effectiveCell(int idx) const
+{
+    const std::int8_t fault = faults_[size_t(idx)];
+    if (fault >= 0)
+        return fault != 0;
+    return cells_[size_t(idx)] != 0;
+}
+
+void
+BitPlane::writeCell(int row, int col, bool bit)
+{
+    inca_assert(row >= 0 && row < size_ && col >= 0 && col < size_,
+                "cell (%d, %d) outside %dx%d plane", row, col, size_,
+                size_);
+    cells_[size_t(index(row, col))] = bit ? 1 : 0;
+}
+
+bool
+BitPlane::cell(int row, int col) const
+{
+    inca_assert(row >= 0 && row < size_ && col >= 0 && col < size_,
+                "cell (%d, %d) outside %dx%d plane", row, col, size_,
+                size_);
+    return effectiveCell(index(row, col));
+}
+
+int
+BitPlane::readWindow(int row, int col, int kh, int kw,
+                     const std::vector<std::uint8_t> &weightBits) const
+{
+    inca_assert(int(weightBits.size()) == kh * kw,
+                "weight pattern size %zu != window %dx%d",
+                weightBits.size(), kh, kw);
+    int current = 0;
+    for (int kr = 0; kr < kh; ++kr) {
+        const int r = row + kr;
+        if (r < 0 || r >= size_)
+            continue;
+        for (int kc = 0; kc < kw; ++kc) {
+            const int c = col + kc;
+            if (c < 0 || c >= size_)
+                continue;
+            if (weightBits[size_t(kr * kw + kc)] &&
+                effectiveCell(index(r, c))) {
+                ++current;
+            }
+        }
+    }
+    return current;
+}
+
+int
+BitPlane::popcount() const
+{
+    int n = 0;
+    for (size_t i = 0; i < cells_.size(); ++i)
+        n += effectiveCell(int(i)) ? 1 : 0;
+    return n;
+}
+
+void
+BitPlane::injectStuckAt(int row, int col, bool value)
+{
+    inca_assert(row >= 0 && row < size_ && col >= 0 && col < size_,
+                "cell (%d, %d) outside %dx%d plane", row, col, size_,
+                size_);
+    faults_[size_t(index(row, col))] = value ? 1 : 0;
+}
+
+void
+BitPlane::clearFaults()
+{
+    for (auto &f : faults_)
+        f = -1;
+}
+
+int
+BitPlane::faultCount() const
+{
+    int n = 0;
+    for (auto f : faults_)
+        n += f >= 0;
+    return n;
+}
+
+int
+adcQuantize(int count, int bits)
+{
+    inca_assert(bits >= 1 && bits <= 16, "bad ADC resolution %d", bits);
+    const int maxCode = (1 << bits) - 1;
+    return std::min(count, maxCode);
+}
+
+} // namespace core
+} // namespace inca

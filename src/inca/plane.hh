@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Functional model of one 2T1R vertical plane (paper Section IV-A).
+ *
+ * A plane is an s x s grid of 2T1R cells, each storing one bit of an
+ * activation value. The two transistors gate the cell in both the row
+ * and the column direction, so a kernel window can be activated
+ * anywhere in the plane ("kernel sliding") and all column currents
+ * accumulate one-shot at the tied bottom line. A windowed read applies
+ * a 1-bit weight pattern to the window's pillars and returns the
+ * popcount of (weight bit AND stored bit) -- the analog current sum --
+ * which the shared ADC then quantizes.
+ *
+ * This model is bit-accurate rather than analytic: it exists to prove
+ * the architecture computes *correct* direct convolutions (including
+ * 4-bit ADC saturation effects for windows larger than 15 cells) and
+ * to back the integration tests against the tensor reference.
+ */
+
+#ifndef INCA_INCA_PLANE_HH
+#define INCA_INCA_PLANE_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace inca {
+namespace core {
+
+/** One s x s bit plane of 2T1R cells. */
+class BitPlane
+{
+  public:
+    /** Construct an s x s plane with all cells cleared. */
+    explicit BitPlane(int size);
+
+    /** Plane side length. */
+    int size() const { return size_; }
+
+    /** Write one cell (write scheme, Fig. 8c). */
+    void writeCell(int row, int col, bool bit);
+
+    /** Read one cell directly (diagnostics / verification). */
+    bool cell(int row, int col) const;
+
+    /**
+     * Windowed read (read scheme, Fig. 8d): activate the kh x kw
+     * window whose top-left corner is (row, col) and apply the 1-bit
+     * weight pattern @p weightBits (row-major kh x kw). Cells outside
+     * the window are gated off by their transistors. Window positions
+     * that stick out of the plane contribute nothing (halo positions
+     * are completed by neighbouring partitions via the adder tree).
+     *
+     * @return the accumulated current as a count of conducting cells.
+     */
+    int readWindow(int row, int col, int kh, int kw,
+                   const std::vector<std::uint8_t> &weightBits) const;
+
+    /** Number of set cells (diagnostics). */
+    int popcount() const;
+
+    /**
+     * Inject a stuck-at fault: the cell permanently reads @p value
+     * regardless of writes (forming failures / endurance wear-out).
+     */
+    void injectStuckAt(int row, int col, bool value);
+
+    /** Remove all injected faults. */
+    void clearFaults();
+
+    /** Number of faulty cells. */
+    int faultCount() const;
+
+  private:
+    int index(int row, int col) const { return row * size_ + col; }
+
+    /** The value the sense path sees (fault-aware). */
+    bool effectiveCell(int idx) const;
+
+    int size_;
+    std::vector<std::uint8_t> cells_;
+    std::vector<std::int8_t> faults_; ///< -1 none, 0/1 stuck value
+};
+
+/**
+ * Quantize an analog count with an @p bits ADC: values clip at
+ * 2^bits - 1. The paper argues 4 bits suffice because a 3 x 3 window
+ * accumulates at most 9 binary products; this function is where that
+ * claim is enforced (and where 5 x 5 kernels start to clip).
+ */
+int adcQuantize(int count, int bits);
+
+} // namespace core
+} // namespace inca
+
+#endif // INCA_INCA_PLANE_HH

@@ -1,0 +1,124 @@
+#include "inca/stack3d.hh"
+
+#include "common/logging.hh"
+
+namespace inca {
+namespace core {
+
+Stack3D::Stack3D(int size, int planes) : size_(size)
+{
+    inca_assert(planes > 0, "stack needs at least one plane");
+    planes_.reserve(size_t(planes));
+    for (int p = 0; p < planes; ++p)
+        planes_.emplace_back(size);
+}
+
+BitPlane &
+Stack3D::plane(int p)
+{
+    inca_assert(p >= 0 && p < planeCount(), "plane %d out of range", p);
+    return planes_[size_t(p)];
+}
+
+const BitPlane &
+Stack3D::plane(int p) const
+{
+    inca_assert(p >= 0 && p < planeCount(), "plane %d out of range", p);
+    return planes_[size_t(p)];
+}
+
+std::vector<int>
+Stack3D::readWindow(int row, int col, int kh, int kw,
+                    const std::vector<std::uint8_t> &weightBits) const
+{
+    std::vector<int> currents;
+    currents.reserve(planes_.size());
+    for (const auto &plane : planes_)
+        currents.push_back(plane.readWindow(row, col, kh, kw, weightBits));
+    return currents;
+}
+
+IncaMacro::IncaMacro(int size, int planes, int activationBits)
+    : size_(size), planes_(planes), aBits_(activationBits)
+{
+    inca_assert(activationBits >= 1 && activationBits <= 16,
+                "bad activation resolution %d", activationBits);
+    bitStacks_.reserve(size_t(aBits_));
+    for (int b = 0; b < aBits_; ++b)
+        bitStacks_.emplace_back(size, planes);
+}
+
+void
+IncaMacro::writeValue(int image, int row, int col, std::uint32_t value)
+{
+    inca_assert(value < (1u << aBits_), "value %u exceeds %d bits", value,
+                aBits_);
+    for (int b = 0; b < aBits_; ++b) {
+        bitStacks_[size_t(b)].plane(image).writeCell(
+            row, col, (value >> b) & 1u);
+    }
+}
+
+std::uint32_t
+IncaMacro::readValue(int image, int row, int col) const
+{
+    std::uint32_t value = 0;
+    for (int b = 0; b < aBits_; ++b) {
+        if (bitStacks_[size_t(b)].plane(image).cell(row, col))
+            value |= 1u << b;
+    }
+    return value;
+}
+
+std::vector<std::int64_t>
+IncaMacro::convolveWindow(int row, int col, int kh, int kw,
+                          const std::vector<int> &kernel, int weightBits,
+                          int adcBits, bool signedActivations) const
+{
+    inca_assert(int(kernel.size()) == kh * kw,
+                "kernel size %zu != window %dx%d", kernel.size(), kh, kw);
+    inca_assert(weightBits >= 2 && weightBits <= 16,
+                "bad weight resolution %d", weightBits);
+
+    std::vector<std::int64_t> out(size_t(planes_), 0);
+
+    // Two's-complement bit-serial weight feed: bit k contributes
+    // 2^k, except the MSB which contributes -2^(wBits-1).
+    for (int k = 0; k < weightBits; ++k) {
+        std::vector<std::uint8_t> pattern(size_t(kh) * kw, 0);
+        bool any = false;
+        for (size_t i = 0; i < kernel.size(); ++i) {
+            const auto encoded =
+                std::uint32_t(kernel[i]) & ((1u << weightBits) - 1u);
+            if ((encoded >> k) & 1u) {
+                pattern[i] = 1;
+                any = true;
+            }
+        }
+        if (!any)
+            continue;
+        const std::int64_t weightScale =
+            (k == weightBits - 1) ? -(std::int64_t(1) << k)
+                                  : (std::int64_t(1) << k);
+
+        for (int a = 0; a < aBits_; ++a) {
+            const auto currents =
+                bitStacks_[size_t(a)].readWindow(row, col, kh, kw,
+                                                 pattern);
+            const bool negDigit = signedActivations && a == aBits_ - 1;
+            const std::int64_t digit =
+                negDigit ? -(std::int64_t(1) << a)
+                         : (std::int64_t(1) << a);
+            const std::int64_t scale = weightScale * digit;
+            for (int p = 0; p < planes_; ++p) {
+                const int code = adcQuantize(currents[size_t(p)],
+                                             adcBits);
+                out[size_t(p)] += scale * code;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace core
+} // namespace inca

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Functional 3D HRRAM stack and PIM macro (paper Sections IV-A/B).
+ *
+ * A Stack3D horizontally stacks up to 64 vertical planes; the pillars
+ * (input lines) are shared, so one weight-bit pattern drives all
+ * planes at once and each plane independently accumulates its own
+ * current -- this is how INCA processes a whole batch per read.
+ *
+ * An IncaMacro groups the activation-bit-plane stacks of one channel
+ * partition (Table II "Macro Size 8": one stack per activation bit)
+ * plus the shift-accumulator that reassembles multi-bit values from
+ * bit-serial weight feeds and per-bit-plane ADC samples.
+ */
+
+#ifndef INCA_INCA_STACK3D_HH
+#define INCA_INCA_STACK3D_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "inca/plane.hh"
+
+namespace inca {
+namespace core {
+
+/** Horizontally stacked vertical planes sharing input pillars. */
+class Stack3D
+{
+  public:
+    /** @param size plane side; @param planes number of stacked planes */
+    Stack3D(int size, int planes);
+
+    int size() const { return size_; }
+    int planeCount() const { return int(planes_.size()); }
+
+    /** Mutable access to one plane (write scheme targets one plane). */
+    BitPlane &plane(int p);
+    const BitPlane &plane(int p) const;
+
+    /**
+     * Windowed read on ALL planes at once (shared pillars carry the
+     * same weight-bit pattern); returns one raw current per plane.
+     */
+    std::vector<int>
+    readWindow(int row, int col, int kh, int kw,
+               const std::vector<std::uint8_t> &weightBits) const;
+
+  private:
+    int size_;
+    std::vector<BitPlane> planes_;
+};
+
+/**
+ * One PIM macro: aBits stacks holding the activation bit planes of one
+ * channel partition for every image in the batch.
+ */
+class IncaMacro
+{
+  public:
+    /**
+     * @param size plane side
+     * @param planes images per stack (batch slots)
+     * @param activationBits stored value resolution
+     */
+    IncaMacro(int size, int planes, int activationBits);
+
+    int size() const { return size_; }
+    int activationBits() const { return aBits_; }
+    int planeCount() const { return planes_; }
+
+    /**
+     * Write one activation value (non-negative, < 2^aBits) for image
+     * @p image at plane position (row, col): one bit per stack.
+     */
+    void writeValue(int image, int row, int col, std::uint32_t value);
+
+    /** Read a stored value back (verification). */
+    std::uint32_t readValue(int image, int row, int col) const;
+
+    /**
+     * Direct convolution of one window position against a signed
+     * integer kernel, bit-serial over the kernel bits (two's
+     * complement, MSB negative), with an @p adcBits conversion of each
+     * per-plane partial sum and shift-accumulation of the digits.
+     *
+     * @param signedActivations treat stored values as two's-complement
+     *        (used when errors overwrite activations in backprop; the
+     *        MSB bit plane then carries negative weight)
+     * @return one signed partial output per image plane.
+     */
+    std::vector<std::int64_t>
+    convolveWindow(int row, int col, int kh, int kw,
+                   const std::vector<int> &kernel, int weightBits,
+                   int adcBits, bool signedActivations = false) const;
+
+  private:
+    int size_;
+    int planes_;
+    int aBits_;
+    std::vector<Stack3D> bitStacks_; ///< one stack per activation bit
+};
+
+} // namespace core
+} // namespace inca
+
+#endif // INCA_INCA_STACK3D_HH

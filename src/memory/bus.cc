@@ -1,0 +1,9 @@
+#include "memory/bus.hh"
+
+// Bus arithmetic is header-only; translation unit reserved for future
+// interconnect models (NoC, H-tree).
+
+namespace inca {
+namespace memory {
+} // namespace memory
+} // namespace inca

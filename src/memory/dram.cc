@@ -1,0 +1,35 @@
+#include "memory/dram.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace inca {
+namespace memory {
+
+Seconds
+Dram::loadedLatency(double utilization) const
+{
+    inca_assert(utilization >= 0.0 && utilization < 1.0,
+                "utilization %f out of [0,1)", utilization);
+    // Base queueing term: mild M/M/1 growth across the whole range.
+    const double queueing = 1.0 / (1.0 - 0.5 * utilization);
+    // Past the knee the latency grows near-exponentially (Fig. 1b):
+    // each extra ~3 % of utilization roughly doubles the excess delay.
+    double saturation = 0.0;
+    if (utilization > kneeUtilization) {
+        const double over = utilization - kneeUtilization;
+        saturation = std::expm1(over / 0.045);
+    }
+    return unloadedLatency * (queueing + saturation);
+}
+
+Dram
+paperDram()
+{
+    return Dram{};
+}
+
+} // namespace memory
+} // namespace inca

@@ -1,0 +1,67 @@
+#include "memory/interconnect.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace inca {
+namespace memory {
+
+int
+HTree::levels() const
+{
+    inca_assert(leaves >= 1, "H-tree needs at least one leaf");
+    int lv = 0;
+    int n = 1;
+    while (n < leaves) {
+        n *= 2;
+        ++lv;
+    }
+    return lv;
+}
+
+Meters
+HTree::pathLength() const
+{
+    // Branch lengths: tileSide/2, tileSide/4, ... one per level.
+    Meters length = 0.0;
+    Meters branch = tileSide / 2.0;
+    for (int lv = 0; lv < levels(); ++lv) {
+        length += branch;
+        branch /= 2.0;
+    }
+    return length;
+}
+
+Joules
+HTree::transferEnergy(double bits) const
+{
+    return bits * energyPerBitPerMm * (pathLength() * 1e3);
+}
+
+Seconds
+HTree::transferDelay() const
+{
+    return delayPerMm * (pathLength() * 1e3);
+}
+
+Joules
+HTree::broadcastEnergy(double bits) const
+{
+    return bits * energyPerBitPerMm * (totalWireLength() * 1e3);
+}
+
+Meters
+HTree::totalWireLength() const
+{
+    // Level l has 2^l branches of length tileSide / 2^(l+1).
+    Meters total = 0.0;
+    for (int lv = 0; lv < levels(); ++lv) {
+        const double branches = std::pow(2.0, lv);
+        total += branches * tileSide / std::pow(2.0, lv + 1);
+    }
+    return total;
+}
+
+} // namespace memory
+} // namespace inca

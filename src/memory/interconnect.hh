@@ -1,0 +1,62 @@
+/**
+ * @file
+ * On-chip H-tree interconnect model.
+ *
+ * NeuroSim-style frameworks charge the wire energy of moving data
+ * between a tile's buffer and its macros together with the buffer
+ * access; this module makes that wire cost explicit so the buffer
+ * constants in memory/sram.hh are auditable. An H-tree over N leaves
+ * has log2(N) levels; a transfer from the root (buffer) to one leaf
+ * (macro) traverses one branch per level, with branch lengths halving
+ * downward from the tile edge.
+ */
+
+#ifndef INCA_MEMORY_INTERCONNECT_HH
+#define INCA_MEMORY_INTERCONNECT_HH
+
+#include <cstdint>
+
+#include "common/units.hh"
+
+namespace inca {
+namespace memory {
+
+/** An H-tree distributing a tile buffer's port to its macros. */
+struct HTree
+{
+    int leaves = 12;          ///< macros per tile (Table II)
+    Meters tileSide = 0.6e-3; ///< tile edge length
+    /** Wire energy per bit per millimeter at 22 nm (NeuroSim-range). */
+    Joules energyPerBitPerMm = 0.08e-12;
+    /** Wire delay per millimeter (repeated wire). */
+    Seconds delayPerMm = 60e-12;
+
+    /** Number of tree levels (ceil log2 of the leaf count). */
+    int levels() const;
+
+    /**
+     * Total wire length from the root to one leaf: branch lengths
+     * halve per level starting from half the tile side.
+     */
+    Meters pathLength() const;
+
+    /** Energy to move @p bits from the buffer to one macro. */
+    Joules transferEnergy(double bits) const;
+
+    /** Wire delay of one root-to-leaf transfer. */
+    Seconds transferDelay() const;
+
+    /**
+     * Energy to broadcast @p bits to ALL leaves (every branch of the
+     * tree toggles once).
+     */
+    Joules broadcastEnergy(double bits) const;
+
+    /** Total wire length of the whole tree. */
+    Meters totalWireLength() const;
+};
+
+} // namespace memory
+} // namespace inca
+
+#endif // INCA_MEMORY_INTERCONNECT_HH

@@ -1,0 +1,13 @@
+#include "memory/sram.hh"
+
+namespace inca {
+namespace memory {
+
+SramBuffer
+paperBuffer()
+{
+    return SramBuffer{};
+}
+
+} // namespace memory
+} // namespace inca

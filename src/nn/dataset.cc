@@ -1,0 +1,139 @@
+#include "nn/dataset.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+
+namespace inca {
+namespace nn {
+
+using tensor::Tensor;
+
+std::pair<Tensor, std::vector<int>>
+Dataset::batch(std::int64_t begin, std::int64_t n) const
+{
+    const std::int64_t total = count();
+    inca_assert(begin >= 0 && begin + n <= total,
+                "batch [%lld, %lld) out of range %lld", (long long)begin,
+                (long long)(begin + n), (long long)total);
+    const std::int64_t c = images.dim(1), h = images.dim(2),
+                       w = images.dim(3);
+    Tensor out({n, c, h, w});
+    const std::int64_t per = c * h * w;
+    for (std::int64_t i = 0; i < n * per; ++i)
+        out[i] = images[begin * per + i];
+    std::vector<int> lab(labels.begin() + begin,
+                         labels.begin() + begin + n);
+    return {std::move(out), std::move(lab)};
+}
+
+void
+Dataset::shuffle(Rng &rng)
+{
+    const std::int64_t n = count();
+    const std::int64_t per = images.size() / std::max<std::int64_t>(n, 1);
+    for (std::int64_t i = n - 1; i > 0; --i) {
+        const auto j = std::int64_t(rng.below(std::uint64_t(i + 1)));
+        if (i == j)
+            continue;
+        std::swap(labels[size_t(i)], labels[size_t(j)]);
+        for (std::int64_t e = 0; e < per; ++e)
+            std::swap(images[i * per + e], images[j * per + e]);
+    }
+}
+
+namespace {
+
+/** One Gaussian bump. */
+struct Bump
+{
+    double cx, cy, sigma, amp;
+};
+
+/** Class prototype: a handful of bumps. */
+using Prototype = std::vector<Bump>;
+
+Prototype
+makePrototype(Rng &rng, std::int64_t size)
+{
+    Prototype proto;
+    const int bumps = 2 + int(rng.below(3));
+    for (int i = 0; i < bumps; ++i) {
+        Bump b;
+        b.cx = rng.uniform(0.15, 0.85) * double(size);
+        b.cy = rng.uniform(0.15, 0.85) * double(size);
+        b.sigma = rng.uniform(0.08, 0.22) * double(size);
+        b.amp = rng.uniform(0.6, 1.0) * (rng.below(2) ? 1.0 : -1.0);
+        proto.push_back(b);
+    }
+    return proto;
+}
+
+void
+renderSample(Tensor &images, std::int64_t index, const Prototype &proto,
+             const SyntheticSpec &spec, Rng &rng)
+{
+    const std::int64_t c = spec.channels, hw = spec.size;
+    const double shiftX = double(std::int64_t(rng.below(3)) - 1);
+    const double shiftY = double(std::int64_t(rng.below(3)) - 1);
+    for (std::int64_t ic = 0; ic < c; ++ic) {
+        // Channels see the prototype at channel-dependent phase so
+        // multichannel tasks are not trivially redundant.
+        const double chScale = 1.0 - 0.2 * double(ic);
+        for (std::int64_t y = 0; y < hw; ++y) {
+            for (std::int64_t x = 0; x < hw; ++x) {
+                double v = 0.0;
+                for (const auto &b : proto) {
+                    const double dx = double(x) - (b.cx + shiftX);
+                    const double dy = double(y) - (b.cy + shiftY);
+                    v += b.amp * std::exp(-(dx * dx + dy * dy) /
+                                          (2.0 * b.sigma * b.sigma));
+                }
+                v = v * chScale + rng.gaussian(0.0, spec.pixelNoise);
+                images.at(index, ic, y, x) = float(v);
+            }
+        }
+    }
+}
+
+Dataset
+makeSplit(const std::vector<Prototype> &protos, int perClass,
+          const SyntheticSpec &spec, Rng &rng)
+{
+    const std::int64_t n = std::int64_t(protos.size()) * perClass;
+    Dataset ds;
+    ds.images = Tensor({n, spec.channels, spec.size, spec.size});
+    ds.labels.resize(size_t(n));
+    std::int64_t idx = 0;
+    for (size_t cls = 0; cls < protos.size(); ++cls) {
+        for (int i = 0; i < perClass; ++i, ++idx) {
+            renderSample(ds.images, idx, protos[cls], spec, rng);
+            ds.labels[size_t(idx)] = int(cls);
+        }
+    }
+    ds.shuffle(rng);
+    return ds;
+}
+
+} // namespace
+
+DatasetPair
+makeSynthetic(const SyntheticSpec &spec)
+{
+    inca_assert(spec.numClasses >= 2, "need at least two classes");
+    Rng rng(spec.seed);
+    std::vector<Prototype> protos;
+    protos.reserve(size_t(spec.numClasses));
+    for (int cls = 0; cls < spec.numClasses; ++cls)
+        protos.push_back(makePrototype(rng, spec.size));
+
+    DatasetPair pair;
+    pair.train = makeSplit(protos, spec.trainPerClass, spec, rng);
+    pair.test = makeSplit(protos, spec.testPerClass, spec, rng);
+    return pair;
+}
+
+} // namespace nn
+} // namespace inca

@@ -1,0 +1,281 @@
+#include "nn/model_zoo.hh"
+
+#include "common/logging.hh"
+
+namespace inca {
+namespace nn {
+
+InputSpec
+imagenetInput()
+{
+    return InputSpec{3, 224, 1000};
+}
+
+InputSpec
+cifarInput()
+{
+    return InputSpec{3, 32, 10};
+}
+
+namespace {
+
+/** Append a VGG conv-relu pair. */
+void
+vggConv(NetBuilder &b, std::int64_t c)
+{
+    b.conv(c, 3, 1, 1).relu();
+}
+
+/** Append the VGG classifier; CIFAR-sized inputs use the slim head. */
+void
+vggHead(NetBuilder &b, const InputSpec &in)
+{
+    if (in.size >= 64) {
+        b.fc(4096).relu().fc(4096).relu().fc(in.numClasses);
+    } else {
+        b.fc(512).relu().fc(in.numClasses);
+    }
+}
+
+/** ResNet basic block (two 3x3 convs). */
+void
+basicBlock(NetBuilder &b, std::int64_t c, int stride)
+{
+    const std::int64_t c0 = b.channels(), h0 = b.height(),
+                       w0 = b.width();
+    const bool downsample = stride != 1 || c0 != c;
+    b.conv(c, 3, stride, 1).relu();
+    b.conv(c, 3, 1, 1);
+    if (downsample)
+        b.sideConv(c0, h0, w0, c, 1, stride);
+    b.add().relu();
+}
+
+/** ResNet bottleneck block (1x1 -> 3x3 -> 1x1 with 4x expansion). */
+void
+bottleneckBlock(NetBuilder &b, std::int64_t c, int stride)
+{
+    const std::int64_t c0 = b.channels(), h0 = b.height(),
+                       w0 = b.width();
+    const std::int64_t cOut = c * 4;
+    const bool downsample = stride != 1 || c0 != cOut;
+    b.pwconv(c).relu();
+    b.conv(c, 3, stride, 1).relu();
+    b.pwconv(cOut);
+    if (downsample)
+        b.sideConv(c0, h0, w0, cOut, 1, stride);
+    b.add().relu();
+}
+
+/** MobileNetV2 / MNasNet inverted-residual block. */
+void
+invertedResidual(NetBuilder &b, std::int64_t c, int k, int expand,
+                 int stride)
+{
+    const std::int64_t c0 = b.channels();
+    if (expand != 1)
+        b.pwconv(c0 * expand).relu();
+    b.dwconv(k, stride).relu();
+    b.pwconv(c);
+    if (stride == 1 && c0 == c)
+        b.add();
+}
+
+} // namespace
+
+NetworkDesc
+vgg16(const InputSpec &in)
+{
+    NetBuilder b("vgg16", in.channels, in.size, in.size);
+    for (auto c : {64, 64})
+        vggConv(b, c);
+    b.maxpool(2);
+    for (auto c : {128, 128})
+        vggConv(b, c);
+    b.maxpool(2);
+    for (auto c : {256, 256, 256})
+        vggConv(b, c);
+    b.maxpool(2);
+    for (auto c : {512, 512, 512})
+        vggConv(b, c);
+    b.maxpool(2);
+    for (auto c : {512, 512, 512})
+        vggConv(b, c);
+    b.maxpool(2);
+    vggHead(b, in);
+    return b.build(in.numClasses);
+}
+
+NetworkDesc
+vgg19(const InputSpec &in)
+{
+    NetBuilder b("vgg19", in.channels, in.size, in.size);
+    for (auto c : {64, 64})
+        vggConv(b, c);
+    b.maxpool(2);
+    for (auto c : {128, 128})
+        vggConv(b, c);
+    b.maxpool(2);
+    for (auto c : {256, 256, 256, 256})
+        vggConv(b, c);
+    b.maxpool(2);
+    for (auto c : {512, 512, 512, 512})
+        vggConv(b, c);
+    b.maxpool(2);
+    for (auto c : {512, 512, 512, 512})
+        vggConv(b, c);
+    b.maxpool(2);
+    vggHead(b, in);
+    return b.build(in.numClasses);
+}
+
+NetworkDesc
+resnet18(const InputSpec &in)
+{
+    NetBuilder b("resnet18", in.channels, in.size, in.size);
+    if (in.size >= 64) {
+        b.conv(64, 7, 2, 3).relu().maxpool(3, 2, 1);
+    } else {
+        // CIFAR adaptation: 3x3 stem, no stem pooling.
+        b.conv(64, 3, 1, 1).relu();
+    }
+    const struct { std::int64_t c; int stride; } stages[] = {
+        {64, 1}, {128, 2}, {256, 2}, {512, 2},
+    };
+    for (const auto &st : stages) {
+        basicBlock(b, st.c, st.stride);
+        basicBlock(b, st.c, 1);
+    }
+    b.gavgpool().fc(in.numClasses);
+    return b.build(in.numClasses);
+}
+
+NetworkDesc
+resnet50(const InputSpec &in)
+{
+    NetBuilder b("resnet50", in.channels, in.size, in.size);
+    if (in.size >= 64) {
+        b.conv(64, 7, 2, 3).relu().maxpool(3, 2, 1);
+    } else {
+        b.conv(64, 3, 1, 1).relu();
+    }
+    const struct { std::int64_t c; int n; int stride; } stages[] = {
+        {64, 3, 1}, {128, 4, 2}, {256, 6, 2}, {512, 3, 2},
+    };
+    for (const auto &st : stages) {
+        bottleneckBlock(b, st.c, st.stride);
+        for (int i = 1; i < st.n; ++i)
+            bottleneckBlock(b, st.c, 1);
+    }
+    b.gavgpool().fc(in.numClasses);
+    return b.build(in.numClasses);
+}
+
+NetworkDesc
+mobilenetV2(const InputSpec &in)
+{
+    NetBuilder b("mobilenetv2", in.channels, in.size, in.size);
+    const int stemStride = in.size >= 64 ? 2 : 1;
+    b.conv(32, 3, stemStride, 1).relu();
+    const struct { int t; std::int64_t c; int n; int s; } blocks[] = {
+        {1, 16, 1, 1},  {6, 24, 2, 2},  {6, 32, 3, 2}, {6, 64, 4, 2},
+        {6, 96, 3, 1},  {6, 160, 3, 2}, {6, 320, 1, 1},
+    };
+    for (const auto &blk : blocks) {
+        invertedResidual(b, blk.c, 3, blk.t, blk.s);
+        for (int i = 1; i < blk.n; ++i)
+            invertedResidual(b, blk.c, 3, blk.t, 1);
+    }
+    b.pwconv(1280).relu().gavgpool().fc(in.numClasses);
+    return b.build(in.numClasses);
+}
+
+NetworkDesc
+mnasnet(const InputSpec &in)
+{
+    // MNasNet-B1 as searched in [Tan et al., CVPR'19].
+    NetBuilder b("mnasnet", in.channels, in.size, in.size);
+    const int stemStride = in.size >= 64 ? 2 : 1;
+    b.conv(32, 3, stemStride, 1).relu();
+    // SepConv stem block: depthwise 3x3 + pointwise to 16 channels.
+    b.dwconv(3, 1).relu().pwconv(16);
+    const struct { int k; int t; std::int64_t c; int n; int s; }
+    blocks[] = {
+        {3, 3, 24, 3, 2},  {5, 3, 40, 3, 2},  {5, 6, 80, 3, 2},
+        {3, 6, 96, 2, 1},  {5, 6, 192, 4, 2}, {3, 6, 320, 1, 1},
+    };
+    for (const auto &blk : blocks) {
+        invertedResidual(b, blk.c, blk.k, blk.t, blk.s);
+        for (int i = 1; i < blk.n; ++i)
+            invertedResidual(b, blk.c, blk.k, blk.t, 1);
+    }
+    b.pwconv(1280).relu().gavgpool().fc(in.numClasses);
+    return b.build(in.numClasses);
+}
+
+NetworkDesc
+lenet5()
+{
+    NetBuilder b("lenet5", 1, 32, 32);
+    b.conv(6, 5, 1, 0).relu().maxpool(2);
+    b.conv(16, 5, 1, 0).relu().maxpool(2);
+    b.fc(120).relu().fc(84).relu().fc(10);
+    return b.build(10);
+}
+
+NetworkDesc
+vgg8(const InputSpec &in)
+{
+    // Six 3x3 conv layers in three width-doubling pairs + classifier,
+    // the common VGG8 used in CIM accuracy studies [66].
+    NetBuilder b("vgg8", in.channels, in.size, in.size);
+    for (auto c : {128, 128})
+        vggConv(b, c);
+    b.maxpool(2);
+    for (auto c : {256, 256})
+        vggConv(b, c);
+    b.maxpool(2);
+    for (auto c : {512, 512})
+        vggConv(b, c);
+    b.maxpool(2);
+    b.fc(1024).relu().fc(in.numClasses);
+    return b.build(in.numClasses);
+}
+
+std::vector<NetworkDesc>
+evaluationSuite(const InputSpec &in)
+{
+    return {vgg16(in),    vgg19(in),       resnet18(in),
+            resnet50(in), mobilenetV2(in), mnasnet(in)};
+}
+
+std::vector<NetworkDesc>
+heavySuite(const InputSpec &in)
+{
+    return {vgg16(in), vgg19(in), resnet18(in), resnet50(in)};
+}
+
+NetworkDesc
+byName(const std::string &name, const InputSpec &in)
+{
+    if (name == "vgg16")
+        return vgg16(in);
+    if (name == "vgg19")
+        return vgg19(in);
+    if (name == "resnet18")
+        return resnet18(in);
+    if (name == "resnet50")
+        return resnet50(in);
+    if (name == "mobilenetv2")
+        return mobilenetV2(in);
+    if (name == "mnasnet")
+        return mnasnet(in);
+    if (name == "lenet5")
+        return lenet5();
+    if (name == "vgg8")
+        return vgg8();
+    fatal("unknown network '%s'", name.c_str());
+}
+
+} // namespace nn
+} // namespace inca

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Architecture descriptions of the paper's evaluation networks.
+ *
+ * The paper evaluates six ImageNet CNNs (VGG16, VGG19, ResNet18,
+ * ResNet50, MobileNetV2, MNasNet) plus CIFAR-shaped variants for the
+ * Fig. 6 motivation study and LeNet5 for the Limitation-2 discussion.
+ * The analytic simulator only needs the layer shapes; these builders
+ * reproduce them from the original papers' definitions.
+ */
+
+#ifndef INCA_NN_MODEL_ZOO_HH
+#define INCA_NN_MODEL_ZOO_HH
+
+#include <string>
+#include <vector>
+
+#include "nn/network.hh"
+
+namespace inca {
+namespace nn {
+
+/** Spatial input resolution presets. */
+struct InputSpec
+{
+    std::int64_t channels = 3;
+    std::int64_t size = 224; ///< square H == W
+    int numClasses = 1000;
+};
+
+/** ImageNet defaults (224 x 224 x 3, 1000 classes). */
+InputSpec imagenetInput();
+
+/** CIFAR10 defaults (32 x 32 x 3, 10 classes). */
+InputSpec cifarInput();
+
+/** VGG16 [Simonyan & Zisserman]. */
+NetworkDesc vgg16(const InputSpec &in = imagenetInput());
+
+/** VGG19. */
+NetworkDesc vgg19(const InputSpec &in = imagenetInput());
+
+/** ResNet18 [He et al.], basic blocks. */
+NetworkDesc resnet18(const InputSpec &in = imagenetInput());
+
+/** ResNet50, bottleneck blocks. */
+NetworkDesc resnet50(const InputSpec &in = imagenetInput());
+
+/** MobileNetV2 [Sandler et al.], inverted residuals. */
+NetworkDesc mobilenetV2(const InputSpec &in = imagenetInput());
+
+/** MNasNet-B1 [Tan et al.]. */
+NetworkDesc mnasnet(const InputSpec &in = imagenetInput());
+
+/** LeNet5 [LeCun et al.] on 32 x 32 grayscale. */
+NetworkDesc lenet5();
+
+/**
+ * VGG8 on CIFAR-shaped inputs -- the network the paper's Limitation-4
+ * reference [66] uses for its 11 % accuracy-drop observation.
+ */
+NetworkDesc vgg8(const InputSpec &in = cifarInput());
+
+/** The paper's six evaluation networks, in Figure-11 order. */
+std::vector<NetworkDesc> evaluationSuite(
+    const InputSpec &in = imagenetInput());
+
+/** The four "heavy" networks (VGG16/19, ResNet18/50). */
+std::vector<NetworkDesc> heavySuite(
+    const InputSpec &in = imagenetInput());
+
+/** Look a network up by name ("vgg16", "resnet50", ...). */
+NetworkDesc byName(const std::string &name,
+                   const InputSpec &in = imagenetInput());
+
+} // namespace nn
+} // namespace inca
+
+#endif // INCA_NN_MODEL_ZOO_HH

@@ -1,0 +1,60 @@
+#include "nn/noise.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+
+namespace inca {
+namespace nn {
+
+using tensor::Tensor;
+
+void
+addRangeNoiseInPlace(Tensor &t, double sigma, Rng &rng)
+{
+    if (sigma <= 0.0)
+        return;
+    const double range = t.absMax();
+    if (range == 0.0)
+        return;
+    const double scale = sigma * range;
+    for (std::int64_t i = 0; i < t.size(); ++i)
+        t[i] += float(rng.gaussian(0.0, scale));
+}
+
+Tensor
+addRangeNoise(const Tensor &t, double sigma, Rng &rng)
+{
+    Tensor out = t;
+    addRangeNoiseInPlace(out, sigma, rng);
+    return out;
+}
+
+void
+quantizeInPlace(Tensor &t, int bits)
+{
+    if (bits <= 0)
+        return;
+    inca_assert(bits <= 24, "quantize: %d bits exceeds float mantissa",
+                bits);
+    const float range = t.absMax();
+    if (range == 0.0f)
+        return;
+    // Symmetric grid with 2^(bits-1) - 1 positive levels.
+    const float levels = float((1 << (bits - 1)) - 1);
+    const float step = range / levels;
+    for (std::int64_t i = 0; i < t.size(); ++i)
+        t[i] = std::round(t[i] / step) * step;
+}
+
+Tensor
+quantize(const Tensor &t, int bits)
+{
+    Tensor out = t;
+    quantizeInPlace(out, bits);
+    return out;
+}
+
+} // namespace nn
+} // namespace inca

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * RRAM nonideality and quantization models.
+ *
+ * The paper's accuracy study (Table VI) models RRAM nonideal properties
+ * (variation, nonlinearity, asymmetry) as zero-centered Gaussian noise
+ * following Yu [65], where the perturbation is referenced to the device
+ * conductance *range*: v' = v + N(0, sigma * max|tensor|). Storing
+ * weights in RRAM (WS) perturbs weights; storing activations in RRAM
+ * (IS / INCA) perturbs activations.
+ *
+ * The quantization model (Table I background) is symmetric per-tensor
+ * uniform quantization.
+ */
+
+#ifndef INCA_NN_NOISE_HH
+#define INCA_NN_NOISE_HH
+
+#include "tensor/tensor.hh"
+
+namespace inca {
+
+class Rng;
+
+namespace nn {
+
+/** Where RRAM noise strikes, i.e. which operand lives in RRAM. */
+enum class NoiseTarget
+{
+    None,        ///< ideal hardware
+    Weights,     ///< WS dataflow: weights stored in RRAM
+    Activations, ///< IS dataflow (INCA): activations stored in RRAM
+};
+
+/** Noise configuration for a training / evaluation run. */
+struct NoiseSpec
+{
+    NoiseTarget target = NoiseTarget::None;
+    double sigma = 0.0; ///< noise strength relative to tensor range
+
+    bool enabled() const
+    {
+        return target != NoiseTarget::None && sigma > 0.0;
+    }
+};
+
+/**
+ * Return a copy of @p t with zero-centered Gaussian noise of strength
+ * @p sigma referenced to the tensor's max-abs range.
+ */
+tensor::Tensor addRangeNoise(const tensor::Tensor &t, double sigma,
+                             Rng &rng);
+
+/** In-place variant of addRangeNoise(). */
+void addRangeNoiseInPlace(tensor::Tensor &t, double sigma, Rng &rng);
+
+/**
+ * Symmetric per-tensor uniform quantization to @p bits (simulated:
+ * values are snapped to the quantization grid but stay float).
+ * @p bits <= 0 disables quantization and returns a copy.
+ */
+tensor::Tensor quantize(const tensor::Tensor &t, int bits);
+
+/** In-place variant of quantize(). */
+void quantizeInPlace(tensor::Tensor &t, int bits);
+
+} // namespace nn
+} // namespace inca
+
+#endif // INCA_NN_NOISE_HH

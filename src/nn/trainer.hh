@@ -1,0 +1,63 @@
+/**
+ * @file
+ * SGD training and evaluation loops for the accuracy experiments.
+ *
+ * Reproduces the paper's Table VI protocol: train for a fixed number of
+ * epochs with RRAM noise injected into weights (WS hardware) or
+ * activations (IS hardware / INCA) and report test accuracy, evaluated
+ * under the same hardware noise. Also drives the Table I post-training
+ * quantization sweep.
+ */
+
+#ifndef INCA_NN_TRAINER_HH
+#define INCA_NN_TRAINER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/dataset.hh"
+#include "nn/module.hh"
+
+namespace inca {
+namespace nn {
+
+/** Training hyperparameters and hardware-effect configuration. */
+struct TrainConfig
+{
+    int epochs = 10;
+    std::int64_t batchSize = 16;
+    float lr = 0.05f;
+    NoiseSpec noise;            ///< injected in every forward pass
+    std::uint64_t seed = 11;
+    bool verbose = false;
+};
+
+/** Per-epoch training trace. */
+struct TrainResult
+{
+    std::vector<double> epochLoss;
+    std::vector<double> epochTestAccuracy; ///< fraction in [0, 1]
+    double finalTestAccuracy = 0.0;
+};
+
+/** Hardware effects applied at evaluation time. */
+struct EvalOptions
+{
+    NoiseSpec noise;
+    int weightBits = 0; ///< post-training weight quantization (0 = off)
+    int actBits = 0;    ///< activation quantization (0 = off)
+    std::uint64_t seed = 23;
+};
+
+/** Train @p net on @p data.train, testing each epoch on @p data.test. */
+TrainResult train(Sequential &net, const DatasetPair &data,
+                  const TrainConfig &config);
+
+/** Test accuracy (fraction correct) under the given hardware effects. */
+double evaluate(Sequential &net, const Dataset &test,
+                const EvalOptions &options = {});
+
+} // namespace nn
+} // namespace inca
+
+#endif // INCA_NN_TRAINER_HH

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Result export: serialize simulation runs to CSV and JSON so the
+ * regenerated tables/figures can be plotted or diffed outside the
+ * repository (the figures in the paper are plots of exactly these
+ * series).
+ */
+
+#ifndef INCA_SIM_EXPORT_HH
+#define INCA_SIM_EXPORT_HH
+
+#include <string>
+
+#include "arch/cost.hh"
+
+namespace inca {
+namespace sim {
+
+/**
+ * Per-layer CSV: one row per layer with name, kind, latency, total
+ * energy, and one column per distinct stat key across the run.
+ */
+std::string toCsv(const arch::RunCost &run);
+
+/**
+ * JSON object with run metadata, totals, and a per-layer array of
+ * {name, kind, latency, energy, stats{...}}.
+ */
+std::string toJson(const arch::RunCost &run);
+
+/** Write a string to a file; fatal() when the file cannot open. */
+void writeFile(const std::string &path, const std::string &content);
+
+} // namespace sim
+} // namespace inca
+
+#endif // INCA_SIM_EXPORT_HH

@@ -1,0 +1,126 @@
+#include "sim/plot.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace inca {
+namespace sim {
+
+std::string
+barChart(const std::vector<Bar> &bars, const BarOptions &options)
+{
+    inca_assert(options.width >= 5, "bar chart needs >= 5 columns");
+    if (bars.empty())
+        return "(no data)\n";
+
+    size_t labelWidth = 0;
+    double maxValue = 0.0;
+    for (const auto &bar : bars) {
+        labelWidth = std::max(labelWidth, bar.label.size());
+        inca_assert(bar.value >= 0.0, "bars must be non-negative");
+        if (options.logScale)
+            inca_assert(bar.value >= 1.0,
+                        "log-scale bars must be >= 1");
+        maxValue = std::max(maxValue, bar.value);
+    }
+    if (maxValue <= 0.0)
+        maxValue = 1.0;
+
+    auto scaled = [&](double v) {
+        if (!options.logScale)
+            return v / maxValue;
+        const double top = std::log10(maxValue);
+        return top <= 0.0 ? 1.0 : std::log10(std::max(v, 1.0)) / top;
+    };
+
+    std::ostringstream os;
+    for (const auto &bar : bars) {
+        const int len = std::max(
+            bar.value > 0.0 ? 1 : 0,
+            int(std::lround(scaled(bar.value) * options.width)));
+        char value[64];
+        std::snprintf(value, sizeof(value), "%.*f%s%s",
+                      options.precision, bar.value,
+                      options.unit.empty() ? "" : " ",
+                      options.unit.c_str());
+        os << bar.label
+           << std::string(labelWidth - bar.label.size(), ' ') << " |"
+           << std::string(size_t(len), '#')
+           << std::string(size_t(options.width - len), ' ') << "| "
+           << value << "\n";
+    }
+    if (options.logScale)
+        os << "(log10 scale)\n";
+    return os.str();
+}
+
+std::string
+lineChart(const std::vector<Point> &points, const LineOptions &options)
+{
+    inca_assert(options.width >= 10 && options.height >= 4,
+                "line chart needs >= 10x4 cells");
+    if (points.empty())
+        return "(no data)\n";
+
+    auto transform = [&](double y) {
+        if (!options.logY)
+            return y;
+        inca_assert(y > 0.0, "logY needs positive values");
+        return std::log10(y);
+    };
+    double xLo = points.front().x, xHi = points.front().x;
+    double yLo = transform(points.front().y);
+    double yHi = yLo;
+    for (const auto &p : points) {
+        xLo = std::min(xLo, p.x);
+        xHi = std::max(xHi, p.x);
+        const double y = transform(p.y);
+        yLo = std::min(yLo, y);
+        yHi = std::max(yHi, y);
+    }
+    if (xHi == xLo)
+        xHi = xLo + 1.0;
+    if (yHi == yLo)
+        yHi = yLo + 1.0;
+
+    std::vector<std::string> grid(
+        size_t(options.height), std::string(size_t(options.width), ' '));
+    for (const auto &p : points) {
+        const double y = options.logY ? std::log10(p.y) : p.y;
+        const int col = int(std::lround(
+            (p.x - xLo) / (xHi - xLo) * (options.width - 1)));
+        const int row = int(std::lround(
+            (y - yLo) / (yHi - yLo) * (options.height - 1)));
+        grid[size_t(options.height - 1 - row)][size_t(col)] = '*';
+    }
+
+    std::ostringstream os;
+    char buf[64];
+    for (int r = 0; r < options.height; ++r) {
+        const bool top = r == 0, bottom = r == options.height - 1;
+        if (top || bottom) {
+            const double y = top ? yHi : yLo;
+            std::snprintf(buf, sizeof(buf), "%10.3g |",
+                          options.logY ? std::pow(10.0, y) : y);
+        } else {
+            std::snprintf(buf, sizeof(buf), "%10s |", "");
+        }
+        os << buf << grid[size_t(r)] << "\n";
+    }
+    os << std::string(11, ' ') << '+'
+       << std::string(size_t(options.width), '-') << "\n";
+    std::snprintf(buf, sizeof(buf), "%10s  %-10.3g", "", xLo);
+    os << buf;
+    std::snprintf(buf, sizeof(buf), "%*.3g", options.width - 10, xHi);
+    os << buf << "\n";
+    if (options.logY)
+        os << "(log y-axis)\n";
+    return os.str();
+}
+
+} // namespace sim
+} // namespace inca

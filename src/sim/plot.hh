@@ -1,0 +1,65 @@
+/**
+ * @file
+ * ASCII chart rendering for the figure benches.
+ *
+ * The paper's figures are bar charts (Figs. 6, 7, 11, 13-16) and one
+ * line chart (Fig. 1b); the bench binaries render the same series as
+ * ASCII so the *shape* -- who wins, by how much, where the knee or
+ * crossover falls -- is visible straight from the terminal. Bars
+ * support linear and log10 scaling (the paper plots Figs. 11/12/14 in
+ * log scale for exactly the reason ours needs it: the light models'
+ * bars dwarf everything else).
+ */
+
+#ifndef INCA_SIM_PLOT_HH
+#define INCA_SIM_PLOT_HH
+
+#include <string>
+#include <vector>
+
+namespace inca {
+namespace sim {
+
+/** One labelled bar. */
+struct Bar
+{
+    std::string label;
+    double value = 0.0;
+};
+
+/** Options for barChart(). */
+struct BarOptions
+{
+    int width = 50;        ///< max bar length in characters
+    bool logScale = false; ///< log10 axis (values must be >= 1)
+    std::string unit;      ///< appended to the printed values
+    int precision = 1;     ///< digits for the printed values
+};
+
+/** Render a horizontal bar chart. */
+std::string barChart(const std::vector<Bar> &bars,
+                     const BarOptions &options = {});
+
+/** One (x, y) series point. */
+struct Point
+{
+    double x = 0.0;
+    double y = 0.0;
+};
+
+/** Options for lineChart(). */
+struct LineOptions
+{
+    int width = 60;  ///< plot columns
+    int height = 16; ///< plot rows
+    bool logY = false;
+};
+
+/** Render an (x, y) scatter/line chart with axis annotations. */
+std::string lineChart(const std::vector<Point> &points,
+                      const LineOptions &options = {});
+
+} // namespace sim
+} // namespace inca
+
+#endif // INCA_SIM_PLOT_HH

@@ -1,0 +1,92 @@
+#include "sim/report.hh"
+
+#include "common/logging.hh"
+
+namespace inca {
+namespace sim {
+
+Comparison
+compare(const core::IncaEngine &incaEngine,
+        const baseline::BaselineEngine &baseEngine,
+        const nn::NetworkDesc &net, int batchSize, arch::Phase phase)
+{
+    Comparison c;
+    c.network = net.name;
+    if (phase == arch::Phase::Inference) {
+        c.inca = incaEngine.inference(net, batchSize);
+        c.baseline = baseEngine.inference(net, batchSize);
+    } else {
+        c.inca = incaEngine.training(net, batchSize);
+        c.baseline = baseEngine.training(net, batchSize);
+    }
+    return c;
+}
+
+std::vector<Comparison>
+compareSuite(const core::IncaEngine &incaEngine,
+             const baseline::BaselineEngine &baseEngine,
+             const std::vector<nn::NetworkDesc> &nets, int batchSize,
+             arch::Phase phase)
+{
+    std::vector<Comparison> out;
+    out.reserve(nets.size());
+    for (const auto &net : nets)
+        out.push_back(
+            compare(incaEngine, baseEngine, net, batchSize, phase));
+    return out;
+}
+
+std::map<std::string, double>
+energyBreakdown(const arch::RunCost &run)
+{
+    std::map<std::string, double> groups;
+    groups["dram"] = run.sum("energy.dram");
+    groups["buffer"] = run.sum("energy.buffer");
+    groups["array"] = run.sum("energy.array");
+    groups["adc"] = run.sum("energy.adc");
+    groups["dac"] = run.sum("energy.dac");
+    groups["digital"] = run.sum("energy.digital");
+    groups["static"] = run.staticEnergy;
+    return groups;
+}
+
+std::map<std::string, double>
+energyBreakdownPct(const arch::RunCost &run)
+{
+    auto groups = energyBreakdown(run);
+    double total = 0.0;
+    for (const auto &[name, value] : groups)
+        total += value;
+    if (total > 0.0) {
+        for (auto &[name, value] : groups)
+            value = 100.0 * value / total;
+    }
+    return groups;
+}
+
+std::vector<std::pair<std::string, Joules>>
+layerwiseMemoryEnergy(const arch::RunCost &run)
+{
+    std::vector<std::pair<std::string, Joules>> out;
+    for (const auto &layer : run.layers) {
+        if (layer.name.find(".bwd") != std::string::npos ||
+            layer.name.find(".upd") != std::string::npos ||
+            layer.name == "weight-reload") {
+            continue;
+        }
+        switch (layer.kind) {
+          case nn::LayerKind::Conv:
+          case nn::LayerKind::Depthwise:
+          case nn::LayerKind::Pointwise:
+          case nn::LayerKind::FullyConnected:
+            out.emplace_back(layer.name, layer.memoryEnergy());
+            break;
+          default:
+            break;
+        }
+    }
+    return out;
+}
+
+} // namespace sim
+} // namespace inca

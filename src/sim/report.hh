@@ -1,0 +1,82 @@
+/**
+ * @file
+ * End-to-end comparison and reporting helpers.
+ *
+ * The bench binaries regenerate the paper's tables and figures; the
+ * helpers here run both engines on a suite of networks, compute the
+ * gain metrics the paper plots (energy efficiency, speedup), and
+ * group raw stats into the component classes the breakdown figures
+ * use (DRAM / buffer / array / ADC / digital / static).
+ */
+
+#ifndef INCA_SIM_REPORT_HH
+#define INCA_SIM_REPORT_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "arch/cost.hh"
+#include "baseline/engine.hh"
+#include "inca/engine.hh"
+#include "nn/network.hh"
+
+namespace inca {
+namespace sim {
+
+/** One network's INCA-vs-baseline result. */
+struct Comparison
+{
+    std::string network;
+    arch::RunCost inca;
+    arch::RunCost baseline;
+
+    /** Paper Fig. 11 metric: baseline energy / INCA energy. */
+    double
+    energyEfficiencyGain() const
+    {
+        return inca.energy() == 0.0
+                   ? 0.0
+                   : baseline.energy() / inca.energy();
+    }
+
+    /** Paper Fig. 14 metric: baseline latency / INCA latency. */
+    double
+    speedup() const
+    {
+        return inca.latency == 0.0 ? 0.0
+                                   : baseline.latency / inca.latency;
+    }
+};
+
+/** Run both engines on @p net for one phase. */
+Comparison compare(const core::IncaEngine &incaEngine,
+                   const baseline::BaselineEngine &baseEngine,
+                   const nn::NetworkDesc &net, int batchSize,
+                   arch::Phase phase);
+
+/** Run a whole suite. */
+std::vector<Comparison> compareSuite(
+    const core::IncaEngine &incaEngine,
+    const baseline::BaselineEngine &baseEngine,
+    const std::vector<nn::NetworkDesc> &nets, int batchSize,
+    arch::Phase phase);
+
+/**
+ * Group a run's energy into breakdown classes: "dram", "buffer",
+ * "array", "adc", "dac", "digital", "static". Values in joules.
+ */
+std::map<std::string, double> energyBreakdown(const arch::RunCost &run);
+
+/** Percentage view of energyBreakdown() (sums to 100). */
+std::map<std::string, double> energyBreakdownPct(
+    const arch::RunCost &run);
+
+/** Per-layer DRAM + buffer energy of forward conv-like layers. */
+std::vector<std::pair<std::string, Joules>> layerwiseMemoryEnergy(
+    const arch::RunCost &run);
+
+} // namespace sim
+} // namespace inca
+
+#endif // INCA_SIM_REPORT_HH

@@ -1,0 +1,84 @@
+#include "sim/schedule.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "common/units.hh"
+
+namespace inca {
+namespace sim {
+
+Seconds
+Timeline::makespan() const
+{
+    Seconds end = 0.0;
+    for (const auto &entry : entries)
+        end = std::max(end, entry.end);
+    return end;
+}
+
+std::string
+Timeline::gantt(int width) const
+{
+    inca_assert(width >= 10, "gantt needs at least 10 columns");
+    const Seconds span = makespan();
+    std::ostringstream os;
+    if (span <= 0.0)
+        return "(empty timeline)\n";
+    for (const auto &entry : entries) {
+        if (entry.duration() <= 0.0)
+            continue;
+        const int begin =
+            int(entry.start / span * double(width - 1));
+        int len = std::max(
+            1, int(entry.duration() / span * double(width)));
+        len = std::min(len, width - begin);
+        std::string bar(size_t(width), ' ');
+        for (int i = 0; i < len; ++i)
+            bar[size_t(begin + i)] = '#';
+        char buf[160];
+        std::snprintf(buf, sizeof(buf), "%-16s |%s| %s\n",
+                      entry.name.c_str(), bar.c_str(),
+                      formatSi(entry.duration(), "s").c_str());
+        os << buf;
+    }
+    char total[64];
+    std::snprintf(total, sizeof(total), "%-16s  makespan: %s\n",
+                  "", formatSi(span, "s").c_str());
+    os << total;
+    return os.str();
+}
+
+std::vector<TimelineEntry>
+Timeline::longest(size_t n) const
+{
+    std::vector<TimelineEntry> sorted = entries;
+    std::sort(sorted.begin(), sorted.end(),
+              [](const TimelineEntry &a, const TimelineEntry &b) {
+                  return a.duration() > b.duration();
+              });
+    if (sorted.size() > n)
+        sorted.resize(n);
+    return sorted;
+}
+
+Timeline
+timelineOf(const arch::RunCost &run)
+{
+    Timeline tl;
+    Seconds cursor = 0.0;
+    for (const auto &layer : run.layers) {
+        TimelineEntry entry;
+        entry.name = layer.name;
+        entry.start = cursor;
+        entry.end = cursor + layer.latency;
+        cursor = entry.end;
+        tl.entries.push_back(std::move(entry));
+    }
+    return tl;
+}
+
+} // namespace sim
+} // namespace inca

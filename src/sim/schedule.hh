@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Execution timelines and ASCII Gantt rendering.
+ *
+ * Engines report per-layer busy times; this module lays them out on a
+ * time axis (the sequential dependency chain: INCA executes layers in
+ * order, and a training run chains forward, backward and update
+ * phases) and renders an ASCII Gantt chart so a user can see where a
+ * batch's time goes -- the visual counterpart of Fig. 12's layerwise
+ * energy series.
+ */
+
+#ifndef INCA_SIM_SCHEDULE_HH
+#define INCA_SIM_SCHEDULE_HH
+
+#include <string>
+#include <vector>
+
+#include "arch/cost.hh"
+
+namespace inca {
+namespace sim {
+
+/** One scheduled interval. */
+struct TimelineEntry
+{
+    std::string name;
+    Seconds start = 0.0;
+    Seconds end = 0.0;
+
+    Seconds duration() const { return end - start; }
+};
+
+/** A laid-out execution timeline. */
+struct Timeline
+{
+    std::vector<TimelineEntry> entries;
+
+    /** End of the last entry. */
+    Seconds makespan() const;
+
+    /**
+     * Render as an ASCII Gantt chart, @p width characters across,
+     * skipping zero-duration entries.
+     */
+    std::string gantt(int width = 60) const;
+
+    /** The @p n longest entries, longest first. */
+    std::vector<TimelineEntry> longest(size_t n) const;
+};
+
+/**
+ * Sequential layout of a run's layers: each layer starts when its
+ * predecessor ends (the dependency-chain view of the run).
+ */
+Timeline timelineOf(const arch::RunCost &run);
+
+} // namespace sim
+} // namespace inca
+
+#endif // INCA_SIM_SCHEDULE_HH

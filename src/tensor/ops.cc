@@ -1,0 +1,657 @@
+#include "tensor/ops.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.hh"
+
+namespace inca {
+namespace tensor {
+
+std::int64_t
+convOutDim(std::int64_t in, int k, const ConvSpec &spec)
+{
+    const std::int64_t padded = in + 2 * spec.pad;
+    inca_assert(padded >= k, "window %d larger than padded input %lld", k,
+                (long long)padded);
+    return (padded - k) / spec.stride + 1;
+}
+
+Tensor
+conv2d(const Tensor &x, const Tensor &w, const ConvSpec &spec)
+{
+    inca_assert(x.rank() == 4 && w.rank() == 4, "conv2d expects 4-D x/w");
+    const std::int64_t n = x.dim(0), c = x.dim(1), h = x.dim(2),
+                       wd = x.dim(3);
+    const std::int64_t f = w.dim(0), kh = w.dim(2), kw = w.dim(3);
+    inca_assert(w.dim(1) == c, "channel mismatch: x has %lld, w has %lld",
+                (long long)c, (long long)w.dim(1));
+    const std::int64_t oh = convOutDim(h, int(kh), spec);
+    const std::int64_t ow = convOutDim(wd, int(kw), spec);
+
+    Tensor y({n, f, oh, ow});
+    for (std::int64_t in = 0; in < n; ++in) {
+        for (std::int64_t of = 0; of < f; ++of) {
+            for (std::int64_t orow = 0; orow < oh; ++orow) {
+                for (std::int64_t ocol = 0; ocol < ow; ++ocol) {
+                    float acc = 0.0f;
+                    for (std::int64_t ic = 0; ic < c; ++ic) {
+                        for (std::int64_t kr = 0; kr < kh; ++kr) {
+                            const std::int64_t ir =
+                                orow * spec.stride + kr - spec.pad;
+                            if (ir < 0 || ir >= h)
+                                continue;
+                            for (std::int64_t kc = 0; kc < kw; ++kc) {
+                                const std::int64_t icl =
+                                    ocol * spec.stride + kc - spec.pad;
+                                if (icl < 0 || icl >= wd)
+                                    continue;
+                                acc += x.at(in, ic, ir, icl) *
+                                       w.at(of, ic, kr, kc);
+                            }
+                        }
+                    }
+                    y.at(in, of, orow, ocol) = acc;
+                }
+            }
+        }
+    }
+    return y;
+}
+
+Tensor
+conv2dInputGrad(const Tensor &dy, const Tensor &w,
+                const std::vector<std::int64_t> &xShape,
+                const ConvSpec &spec)
+{
+    inca_assert(dy.rank() == 4 && w.rank() == 4 && xShape.size() == 4,
+                "conv2dInputGrad expects 4-D operands");
+    const std::int64_t n = dy.dim(0), f = dy.dim(1), oh = dy.dim(2),
+                       ow = dy.dim(3);
+    const std::int64_t c = xShape[1], h = xShape[2], wd = xShape[3];
+    const std::int64_t kh = w.dim(2), kw = w.dim(3);
+    inca_assert(w.dim(0) == f && w.dim(1) == c, "shape mismatch");
+
+    Tensor dx(xShape);
+    for (std::int64_t in = 0; in < n; ++in) {
+        for (std::int64_t of = 0; of < f; ++of) {
+            for (std::int64_t orow = 0; orow < oh; ++orow) {
+                for (std::int64_t ocol = 0; ocol < ow; ++ocol) {
+                    const float g = dy.at(in, of, orow, ocol);
+                    if (g == 0.0f)
+                        continue;
+                    for (std::int64_t ic = 0; ic < c; ++ic) {
+                        for (std::int64_t kr = 0; kr < kh; ++kr) {
+                            const std::int64_t ir =
+                                orow * spec.stride + kr - spec.pad;
+                            if (ir < 0 || ir >= h)
+                                continue;
+                            for (std::int64_t kc = 0; kc < kw; ++kc) {
+                                const std::int64_t icl =
+                                    ocol * spec.stride + kc - spec.pad;
+                                if (icl < 0 || icl >= wd)
+                                    continue;
+                                dx.at(in, ic, ir, icl) +=
+                                    g * w.at(of, ic, kr, kc);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    return dx;
+}
+
+Tensor
+conv2dWeightGrad(const Tensor &dy, const Tensor &x,
+                 const std::vector<std::int64_t> &wShape,
+                 const ConvSpec &spec)
+{
+    inca_assert(dy.rank() == 4 && x.rank() == 4 && wShape.size() == 4,
+                "conv2dWeightGrad expects 4-D operands");
+    const std::int64_t n = dy.dim(0), f = dy.dim(1), oh = dy.dim(2),
+                       ow = dy.dim(3);
+    const std::int64_t c = x.dim(1), h = x.dim(2), wd = x.dim(3);
+    const std::int64_t kh = wShape[2], kw = wShape[3];
+    inca_assert(wShape[0] == f && wShape[1] == c, "shape mismatch");
+
+    Tensor dw(wShape);
+    for (std::int64_t in = 0; in < n; ++in) {
+        for (std::int64_t of = 0; of < f; ++of) {
+            for (std::int64_t orow = 0; orow < oh; ++orow) {
+                for (std::int64_t ocol = 0; ocol < ow; ++ocol) {
+                    const float g = dy.at(in, of, orow, ocol);
+                    if (g == 0.0f)
+                        continue;
+                    for (std::int64_t ic = 0; ic < c; ++ic) {
+                        for (std::int64_t kr = 0; kr < kh; ++kr) {
+                            const std::int64_t ir =
+                                orow * spec.stride + kr - spec.pad;
+                            if (ir < 0 || ir >= h)
+                                continue;
+                            for (std::int64_t kc = 0; kc < kw; ++kc) {
+                                const std::int64_t icl =
+                                    ocol * spec.stride + kc - spec.pad;
+                                if (icl < 0 || icl >= wd)
+                                    continue;
+                                dw.at(of, ic, kr, kc) +=
+                                    g * x.at(in, ic, ir, icl);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    return dw;
+}
+
+Tensor
+depthwiseConv2d(const Tensor &x, const Tensor &w, const ConvSpec &spec)
+{
+    inca_assert(x.rank() == 4 && w.rank() == 3,
+                "depthwiseConv2d expects x rank 4, w rank 3");
+    const std::int64_t n = x.dim(0), c = x.dim(1), h = x.dim(2),
+                       wd = x.dim(3);
+    const std::int64_t kh = w.dim(1), kw = w.dim(2);
+    inca_assert(w.dim(0) == c, "depthwise channel mismatch");
+    const std::int64_t oh = convOutDim(h, int(kh), spec);
+    const std::int64_t ow = convOutDim(wd, int(kw), spec);
+
+    Tensor y({n, c, oh, ow});
+    for (std::int64_t in = 0; in < n; ++in) {
+        for (std::int64_t ic = 0; ic < c; ++ic) {
+            for (std::int64_t orow = 0; orow < oh; ++orow) {
+                for (std::int64_t ocol = 0; ocol < ow; ++ocol) {
+                    float acc = 0.0f;
+                    for (std::int64_t kr = 0; kr < kh; ++kr) {
+                        const std::int64_t ir =
+                            orow * spec.stride + kr - spec.pad;
+                        if (ir < 0 || ir >= h)
+                            continue;
+                        for (std::int64_t kc = 0; kc < kw; ++kc) {
+                            const std::int64_t icl =
+                                ocol * spec.stride + kc - spec.pad;
+                            if (icl < 0 || icl >= wd)
+                                continue;
+                            acc += x.at(in, ic, ir, icl) *
+                                   w.at(ic, kr, kc);
+                        }
+                    }
+                    y.at(in, ic, orow, ocol) = acc;
+                }
+            }
+        }
+    }
+    return y;
+}
+
+Tensor
+depthwiseConv2dInputGrad(const Tensor &dy, const Tensor &w,
+                         const std::vector<std::int64_t> &xShape,
+                         const ConvSpec &spec)
+{
+    const std::int64_t n = dy.dim(0), c = dy.dim(1), oh = dy.dim(2),
+                       ow = dy.dim(3);
+    const std::int64_t h = xShape[2], wd = xShape[3];
+    const std::int64_t kh = w.dim(1), kw = w.dim(2);
+
+    Tensor dx(xShape);
+    for (std::int64_t in = 0; in < n; ++in) {
+        for (std::int64_t ic = 0; ic < c; ++ic) {
+            for (std::int64_t orow = 0; orow < oh; ++orow) {
+                for (std::int64_t ocol = 0; ocol < ow; ++ocol) {
+                    const float g = dy.at(in, ic, orow, ocol);
+                    if (g == 0.0f)
+                        continue;
+                    for (std::int64_t kr = 0; kr < kh; ++kr) {
+                        const std::int64_t ir =
+                            orow * spec.stride + kr - spec.pad;
+                        if (ir < 0 || ir >= h)
+                            continue;
+                        for (std::int64_t kc = 0; kc < kw; ++kc) {
+                            const std::int64_t icl =
+                                ocol * spec.stride + kc - spec.pad;
+                            if (icl < 0 || icl >= wd)
+                                continue;
+                            dx.at(in, ic, ir, icl) += g * w.at(ic, kr, kc);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    return dx;
+}
+
+Tensor
+depthwiseConv2dWeightGrad(const Tensor &dy, const Tensor &x,
+                          const std::vector<std::int64_t> &wShape,
+                          const ConvSpec &spec)
+{
+    const std::int64_t n = dy.dim(0), c = dy.dim(1), oh = dy.dim(2),
+                       ow = dy.dim(3);
+    const std::int64_t h = x.dim(2), wd = x.dim(3);
+    const std::int64_t kh = wShape[1], kw = wShape[2];
+
+    Tensor dw(wShape);
+    for (std::int64_t in = 0; in < n; ++in) {
+        for (std::int64_t ic = 0; ic < c; ++ic) {
+            for (std::int64_t orow = 0; orow < oh; ++orow) {
+                for (std::int64_t ocol = 0; ocol < ow; ++ocol) {
+                    const float g = dy.at(in, ic, orow, ocol);
+                    if (g == 0.0f)
+                        continue;
+                    for (std::int64_t kr = 0; kr < kh; ++kr) {
+                        const std::int64_t ir =
+                            orow * spec.stride + kr - spec.pad;
+                        if (ir < 0 || ir >= h)
+                            continue;
+                        for (std::int64_t kc = 0; kc < kw; ++kc) {
+                            const std::int64_t icl =
+                                ocol * spec.stride + kc - spec.pad;
+                            if (icl < 0 || icl >= wd)
+                                continue;
+                            dw.at(ic, kr, kc) += g * x.at(in, ic, ir, icl);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    return dw;
+}
+
+Tensor
+matmul(const Tensor &a, const Tensor &b)
+{
+    inca_assert(a.rank() == 2 && b.rank() == 2, "matmul expects rank 2");
+    const std::int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+    inca_assert(b.dim(0) == k, "matmul inner dims differ: %lld vs %lld",
+                (long long)k, (long long)b.dim(0));
+
+    Tensor y({m, n});
+    for (std::int64_t i = 0; i < m; ++i) {
+        for (std::int64_t kk = 0; kk < k; ++kk) {
+            const float av = a.at(i, kk);
+            if (av == 0.0f)
+                continue;
+            for (std::int64_t j = 0; j < n; ++j)
+                y.at(i, j) += av * b.at(kk, j);
+        }
+    }
+    return y;
+}
+
+Tensor
+transpose(const Tensor &a)
+{
+    inca_assert(a.rank() == 2, "transpose expects rank 2");
+    const std::int64_t m = a.dim(0), n = a.dim(1);
+    Tensor t({n, m});
+    for (std::int64_t i = 0; i < m; ++i)
+        for (std::int64_t j = 0; j < n; ++j)
+            t.at(j, i) = a.at(i, j);
+    return t;
+}
+
+Tensor
+im2col(const Tensor &x, int kh, int kw, const ConvSpec &spec)
+{
+    inca_assert(x.rank() == 4, "im2col expects rank 4");
+    const std::int64_t n = x.dim(0), c = x.dim(1), h = x.dim(2),
+                       wd = x.dim(3);
+    const std::int64_t oh = convOutDim(h, kh, spec);
+    const std::int64_t ow = convOutDim(wd, kw, spec);
+
+    Tensor cols({n * oh * ow, c * kh * kw});
+    std::int64_t row = 0;
+    for (std::int64_t in = 0; in < n; ++in) {
+        for (std::int64_t orow = 0; orow < oh; ++orow) {
+            for (std::int64_t ocol = 0; ocol < ow; ++ocol, ++row) {
+                std::int64_t col = 0;
+                for (std::int64_t ic = 0; ic < c; ++ic) {
+                    for (std::int64_t kr = 0; kr < kh; ++kr) {
+                        for (std::int64_t kc = 0; kc < kw; ++kc, ++col) {
+                            const std::int64_t ir =
+                                orow * spec.stride + kr - spec.pad;
+                            const std::int64_t icl =
+                                ocol * spec.stride + kc - spec.pad;
+                            if (ir < 0 || ir >= h || icl < 0 || icl >= wd)
+                                continue;
+                            cols.at(row, col) = x.at(in, ic, ir, icl);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    return cols;
+}
+
+Tensor
+conv2dGemm(const Tensor &x, const Tensor &w, const ConvSpec &spec)
+{
+    const std::int64_t n = x.dim(0);
+    const std::int64_t f = w.dim(0), c = w.dim(1), kh = w.dim(2),
+                       kw = w.dim(3);
+    const std::int64_t oh = convOutDim(x.dim(2), int(kh), spec);
+    const std::int64_t ow = convOutDim(x.dim(3), int(kw), spec);
+
+    const Tensor cols = im2col(x, int(kh), int(kw), spec);
+    // Weight matrix: [C*KH*KW, F], one unrolled kernel per column --
+    // exactly how WS crossbars lay kernels out (one kernel per bitline).
+    Tensor wm({c * kh * kw, f});
+    for (std::int64_t of = 0; of < f; ++of) {
+        std::int64_t r = 0;
+        for (std::int64_t ic = 0; ic < c; ++ic)
+            for (std::int64_t kr = 0; kr < kh; ++kr)
+                for (std::int64_t kc = 0; kc < kw; ++kc, ++r)
+                    wm.at(r, of) = w.at(of, ic, kr, kc);
+    }
+
+    const Tensor prod = matmul(cols, wm); // [N*OH*OW, F]
+    Tensor y({n, f, oh, ow});
+    std::int64_t row = 0;
+    for (std::int64_t in = 0; in < n; ++in)
+        for (std::int64_t orow = 0; orow < oh; ++orow)
+            for (std::int64_t ocol = 0; ocol < ow; ++ocol, ++row)
+                for (std::int64_t of = 0; of < f; ++of)
+                    y.at(in, of, orow, ocol) = prod.at(row, of);
+    return y;
+}
+
+Tensor
+fc(const Tensor &x, const Tensor &w, const Tensor &bias)
+{
+    inca_assert(x.rank() == 2 && w.rank() == 2, "fc expects rank-2 x/w");
+    Tensor y = matmul(x, w);
+    if (bias.size() > 0) {
+        inca_assert(bias.size() == w.dim(1), "bias size mismatch");
+        for (std::int64_t i = 0; i < y.dim(0); ++i)
+            for (std::int64_t j = 0; j < y.dim(1); ++j)
+                y.at(i, j) += bias[j];
+    }
+    return y;
+}
+
+Tensor
+fcInputGrad(const Tensor &dy, const Tensor &w)
+{
+    return matmul(dy, transpose(w));
+}
+
+Tensor
+fcWeightGrad(const Tensor &dy, const Tensor &x)
+{
+    return matmul(transpose(x), dy);
+}
+
+Tensor
+fcBiasGrad(const Tensor &dy)
+{
+    Tensor db({dy.dim(1)});
+    for (std::int64_t i = 0; i < dy.dim(0); ++i)
+        for (std::int64_t j = 0; j < dy.dim(1); ++j)
+            db[j] += dy.at(i, j);
+    return db;
+}
+
+Tensor
+relu(const Tensor &x)
+{
+    Tensor y(x.shape());
+    for (std::int64_t i = 0; i < x.size(); ++i)
+        y[i] = std::max(0.0f, x[i]);
+    return y;
+}
+
+Tensor
+reluGrad(const Tensor &dy, const Tensor &x)
+{
+    inca_assert(dy.shape() == x.shape(), "reluGrad shape mismatch");
+    Tensor dx(x.shape());
+    for (std::int64_t i = 0; i < x.size(); ++i)
+        dx[i] = x[i] > 0.0f ? dy[i] : 0.0f;
+    return dx;
+}
+
+Tensor
+sigmoid(const Tensor &x)
+{
+    Tensor y(x.shape());
+    for (std::int64_t i = 0; i < x.size(); ++i)
+        y[i] = 1.0f / (1.0f + std::exp(-x[i]));
+    return y;
+}
+
+Tensor
+sigmoidGrad(const Tensor &dy, const Tensor &y)
+{
+    inca_assert(dy.shape() == y.shape(), "sigmoidGrad shape mismatch");
+    Tensor dx(y.shape());
+    for (std::int64_t i = 0; i < y.size(); ++i)
+        dx[i] = dy[i] * y[i] * (1.0f - y[i]);
+    return dx;
+}
+
+Tensor
+tanhAct(const Tensor &x)
+{
+    Tensor y(x.shape());
+    for (std::int64_t i = 0; i < x.size(); ++i)
+        y[i] = std::tanh(x[i]);
+    return y;
+}
+
+Tensor
+tanhGrad(const Tensor &dy, const Tensor &y)
+{
+    inca_assert(dy.shape() == y.shape(), "tanhGrad shape mismatch");
+    Tensor dx(y.shape());
+    for (std::int64_t i = 0; i < y.size(); ++i)
+        dx[i] = dy[i] * (1.0f - y[i] * y[i]);
+    return dx;
+}
+
+PoolResult
+maxPool2d(const Tensor &x, int k, const ConvSpec &spec)
+{
+    inca_assert(x.rank() == 4, "maxPool2d expects rank 4");
+    const std::int64_t n = x.dim(0), c = x.dim(1), h = x.dim(2),
+                       wd = x.dim(3);
+    const std::int64_t oh = convOutDim(h, k, spec);
+    const std::int64_t ow = convOutDim(wd, k, spec);
+
+    PoolResult res{Tensor({n, c, oh, ow}), Tensor({n, c, oh, ow})};
+    for (std::int64_t in = 0; in < n; ++in) {
+        for (std::int64_t ic = 0; ic < c; ++ic) {
+            for (std::int64_t orow = 0; orow < oh; ++orow) {
+                for (std::int64_t ocol = 0; ocol < ow; ++ocol) {
+                    float best = -std::numeric_limits<float>::infinity();
+                    std::int64_t bestIdx = -1;
+                    for (int kr = 0; kr < k; ++kr) {
+                        const std::int64_t ir =
+                            orow * spec.stride + kr - spec.pad;
+                        if (ir < 0 || ir >= h)
+                            continue;
+                        for (int kc = 0; kc < k; ++kc) {
+                            const std::int64_t icl =
+                                ocol * spec.stride + kc - spec.pad;
+                            if (icl < 0 || icl >= wd)
+                                continue;
+                            const float v = x.at(in, ic, ir, icl);
+                            if (v > best) {
+                                best = v;
+                                bestIdx = ir * wd + icl;
+                            }
+                        }
+                    }
+                    inca_assert(bestIdx >= 0, "empty pooling window");
+                    res.output.at(in, ic, orow, ocol) = best;
+                    res.argmax.at(in, ic, orow, ocol) = float(bestIdx);
+                }
+            }
+        }
+    }
+    return res;
+}
+
+Tensor
+maxPool2dGrad(const Tensor &dy, const Tensor &argmax,
+              const std::vector<std::int64_t> &xShape, int k,
+              const ConvSpec &spec)
+{
+    (void)k;
+    (void)spec;
+    inca_assert(dy.shape() == argmax.shape(),
+                "maxPool2dGrad shape mismatch");
+    const std::int64_t n = dy.dim(0), c = dy.dim(1), oh = dy.dim(2),
+                       ow = dy.dim(3);
+    const std::int64_t wd = xShape[3];
+
+    Tensor dx(xShape);
+    for (std::int64_t in = 0; in < n; ++in) {
+        for (std::int64_t ic = 0; ic < c; ++ic) {
+            for (std::int64_t orow = 0; orow < oh; ++orow) {
+                for (std::int64_t ocol = 0; ocol < ow; ++ocol) {
+                    const auto flat =
+                        std::int64_t(argmax.at(in, ic, orow, ocol));
+                    dx.at(in, ic, flat / wd, flat % wd) +=
+                        dy.at(in, ic, orow, ocol);
+                }
+            }
+        }
+    }
+    return dx;
+}
+
+Tensor
+globalAvgPool(const Tensor &x)
+{
+    inca_assert(x.rank() == 4, "globalAvgPool expects rank 4");
+    const std::int64_t n = x.dim(0), c = x.dim(1), h = x.dim(2),
+                       wd = x.dim(3);
+    Tensor y({n, c});
+    const float scale = 1.0f / float(h * wd);
+    for (std::int64_t in = 0; in < n; ++in) {
+        for (std::int64_t ic = 0; ic < c; ++ic) {
+            float acc = 0.0f;
+            for (std::int64_t r = 0; r < h; ++r)
+                for (std::int64_t cl = 0; cl < wd; ++cl)
+                    acc += x.at(in, ic, r, cl);
+            y.at(in, ic) = acc * scale;
+        }
+    }
+    return y;
+}
+
+Tensor
+globalAvgPoolGrad(const Tensor &dy, const std::vector<std::int64_t> &xShape)
+{
+    const std::int64_t n = xShape[0], c = xShape[1], h = xShape[2],
+                       wd = xShape[3];
+    Tensor dx(xShape);
+    const float scale = 1.0f / float(h * wd);
+    for (std::int64_t in = 0; in < n; ++in)
+        for (std::int64_t ic = 0; ic < c; ++ic)
+            for (std::int64_t r = 0; r < h; ++r)
+                for (std::int64_t cl = 0; cl < wd; ++cl)
+                    dx.at(in, ic, r, cl) = dy.at(in, ic) * scale;
+    return dx;
+}
+
+Tensor
+softmax(const Tensor &logits)
+{
+    inca_assert(logits.rank() == 2, "softmax expects rank 2");
+    const std::int64_t n = logits.dim(0), f = logits.dim(1);
+    Tensor p({n, f});
+    for (std::int64_t i = 0; i < n; ++i) {
+        float mx = -std::numeric_limits<float>::infinity();
+        for (std::int64_t j = 0; j < f; ++j)
+            mx = std::max(mx, logits.at(i, j));
+        double denom = 0.0;
+        for (std::int64_t j = 0; j < f; ++j) {
+            const float e = std::exp(logits.at(i, j) - mx);
+            p.at(i, j) = e;
+            denom += e;
+        }
+        for (std::int64_t j = 0; j < f; ++j)
+            p.at(i, j) = float(p.at(i, j) / denom);
+    }
+    return p;
+}
+
+LossResult
+crossEntropy(const Tensor &logits, const std::vector<int> &labels)
+{
+    const std::int64_t n = logits.dim(0), f = logits.dim(1);
+    inca_assert(std::int64_t(labels.size()) == n,
+                "label count %zu != batch %lld", labels.size(),
+                (long long)n);
+
+    const Tensor p = softmax(logits);
+    LossResult res;
+    res.grad = Tensor({n, f});
+    double loss = 0.0;
+    for (std::int64_t i = 0; i < n; ++i) {
+        const int label = labels[size_t(i)];
+        inca_assert(label >= 0 && label < f, "label %d out of range",
+                    label);
+        loss -= std::log(std::max(p.at(i, label), 1e-12f));
+        for (std::int64_t j = 0; j < f; ++j) {
+            res.grad.at(i, j) =
+                (p.at(i, j) - (j == label ? 1.0f : 0.0f)) / float(n);
+        }
+    }
+    res.loss = loss / double(n);
+    return res;
+}
+
+LossResult
+l2Loss(const Tensor &outputs, const std::vector<int> &labels)
+{
+    const std::int64_t n = outputs.dim(0), f = outputs.dim(1);
+    inca_assert(std::int64_t(labels.size()) == n,
+                "label count %zu != batch %lld", labels.size(),
+                (long long)n);
+    LossResult res;
+    res.grad = Tensor({n, f});
+    double loss = 0.0;
+    for (std::int64_t i = 0; i < n; ++i) {
+        const int label = labels[size_t(i)];
+        inca_assert(label >= 0 && label < f, "label %d out of range",
+                    label);
+        for (std::int64_t j = 0; j < f; ++j) {
+            const float target = j == label ? 1.0f : 0.0f;
+            const float diff = outputs.at(i, j) - target;
+            loss += 0.5 * double(diff) * double(diff);
+            res.grad.at(i, j) = diff / float(n);
+        }
+    }
+    res.loss = loss / double(n);
+    return res;
+}
+
+int
+countCorrect(const Tensor &logits, const std::vector<int> &labels)
+{
+    const std::int64_t n = logits.dim(0), f = logits.dim(1);
+    int correct = 0;
+    for (std::int64_t i = 0; i < n; ++i) {
+        std::int64_t best = 0;
+        for (std::int64_t j = 1; j < f; ++j) {
+            if (logits.at(i, j) > logits.at(i, best))
+                best = j;
+        }
+        if (best == labels[size_t(i)])
+            ++correct;
+    }
+    return correct;
+}
+
+} // namespace tensor
+} // namespace inca

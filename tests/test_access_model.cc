@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Buffer-access model tests (paper Eqs. 5/6, Fig. 7a, Table III).
+ */
+
+#include <gtest/gtest.h>
+
+#include "dataflow/access_model.hh"
+#include "nn/model_zoo.hh"
+
+namespace inca {
+namespace dataflow {
+namespace {
+
+nn::LayerDesc
+convLayer(std::int64_t c, std::int64_t hw, std::int64_t n, int k,
+          std::int64_t out)
+{
+    nn::LayerDesc l;
+    l.kind = nn::LayerKind::Conv;
+    l.inC = c;
+    l.inH = l.inW = hw;
+    l.outC = n;
+    l.outH = l.outW = out;
+    l.kh = l.kw = k;
+    return l;
+}
+
+TEST(Eq5, HandComputedCases)
+{
+    // VGG16 conv1: 3x3x3 window.
+    const auto l1 = convLayer(3, 224, 64, 3, 224);
+    EXPECT_EQ(fetchWordsPerOutput(l1, {16, 256}), 2u); // ceil(432/256)
+    EXPECT_EQ(fetchWordsPerOutput(l1, {8, 256}), 1u);  // ceil(216/256)
+    // VGG16 conv2: 3x3x64.
+    const auto l2 = convLayer(64, 224, 64, 3, 224);
+    EXPECT_EQ(fetchWordsPerOutput(l2, {16, 256}), 36u);
+    EXPECT_EQ(fetchWordsPerOutput(l2, {8, 256}), 18u);
+}
+
+TEST(Eq6, HandComputedCases)
+{
+    const auto l = convLayer(64, 224, 64, 3, 224);
+    // ceil(64 * 8 / 256) * 224 * 224 = 2 * 50176.
+    EXPECT_EQ(saveWords(l, {8, 256}), 2u * 50176u);
+    EXPECT_EQ(saveWords(l, {16, 256}), 4u * 50176u);
+}
+
+TEST(LayerAccesses, WsFormula)
+{
+    const auto l = convLayer(64, 224, 64, 3, 224);
+    const AccessConfig cfg{8, 256};
+    // Eq5 * OH * OW + Eq6.
+    EXPECT_EQ(wsLayerAccesses(l, cfg), 18u * 50176u + 2u * 50176u);
+}
+
+TEST(LayerAccesses, IsFormulaReusesKernelAcrossWindows)
+{
+    const auto l = convLayer(64, 224, 64, 3, 224);
+    const AccessConfig cfg{8, 256};
+    // Eq5 * N, independent of the output spatial size.
+    EXPECT_EQ(isLayerAccesses(l, cfg), 18u * 64u);
+    auto small = l;
+    small.outH = small.outW = 7;
+    EXPECT_EQ(isLayerAccesses(small, cfg), 18u * 64u);
+}
+
+TEST(LayerAccesses, DepthwiseFetchesPerChannel)
+{
+    nn::LayerDesc l;
+    l.kind = nn::LayerKind::Depthwise;
+    l.inC = l.outC = 32;
+    l.inH = l.inW = l.outH = l.outW = 14;
+    l.kh = l.kw = 3;
+    const AccessConfig cfg{8, 256};
+    // Each channel's 3x3 kernel: ceil(9*8/256)=1 word, 32 channels.
+    EXPECT_EQ(isLayerAccesses(l, cfg), 32u);
+}
+
+TEST(LayerAccesses, NonConvIsFree)
+{
+    nn::LayerDesc pool;
+    pool.kind = nn::LayerKind::MaxPool;
+    const AccessConfig cfg{8, 256};
+    EXPECT_EQ(wsLayerAccesses(pool, cfg), 0u);
+    EXPECT_EQ(isLayerAccesses(pool, cfg), 0u);
+}
+
+TEST(TableIII, IncaCountsMatchPaper)
+{
+    // The paper's INCA column (8-bit data / 256-bit bus, convolution
+    // layers): VGG16 460,000; VGG19 625,888; ResNet18 349,024. Our
+    // conv-stack reconstruction reproduces these to < 0.1 %.
+    const AccessConfig cfg{8, 256};
+    EXPECT_NEAR(double(networkAccesses(nn::vgg16(), cfg).inca),
+                460000.0, 500.0);
+    EXPECT_NEAR(double(networkAccesses(nn::vgg19(), cfg).inca),
+                625888.0, 500.0);
+    EXPECT_NEAR(double(networkAccesses(nn::resnet18(), cfg).inca),
+                349024.0, 500.0);
+}
+
+TEST(TableIII, RemainingNetworksSameBallpark)
+{
+    // ResNet50 / MobileNetV2 / MNasNet block details differ slightly
+    // from the authors' (paper: 508,950 / 66,832 / 92,333); require
+    // the same order of magnitude and < 2x.
+    const AccessConfig cfg{8, 256};
+    const double rn50 =
+        double(networkAccesses(nn::resnet50(), cfg).inca);
+    EXPECT_GT(rn50, 0.5 * 508950.0);
+    EXPECT_LT(rn50, 2.0 * 508950.0);
+    const double mbv2 =
+        double(networkAccesses(nn::mobilenetV2(), cfg).inca);
+    EXPECT_GT(mbv2, 0.5 * 66832.0);
+    EXPECT_LT(mbv2, 2.0 * 66832.0);
+    const double mnas =
+        double(networkAccesses(nn::mnasnet(), cfg).inca);
+    EXPECT_GT(mnas, 0.5 * 92333.0);
+    EXPECT_LT(mnas, 2.0 * 92333.0);
+}
+
+TEST(Fig7a, WsNeedsMoreAccessesEverywhere)
+{
+    // Fig. 7a (16-bit / 256-bit): WS needs from ~2x (ResNets) to ~3x
+    // (VGGs) more accesses than IS. Our WS accounting follows the
+    // printed equations and lands above the paper's WS bars, so the
+    // ratio bound is the robust property.
+    const AccessConfig cfg{16, 256};
+    for (const auto &net : nn::evaluationSuite()) {
+        const auto s = networkAccesses(net, cfg);
+        EXPECT_GT(s.ratio(), 1.3) << net.name;
+    }
+}
+
+TEST(Fig7a, VggsGainMoreThanResnets)
+{
+    const AccessConfig cfg{16, 256};
+    const double vgg = networkAccesses(nn::vgg16(), cfg).ratio();
+    const double rn = networkAccesses(nn::resnet18(), cfg).ratio();
+    EXPECT_GT(vgg, rn);
+}
+
+TEST(Access, WiderBusNeverIncreasesWords)
+{
+    const auto l = convLayer(64, 56, 128, 3, 56);
+    const AccessConfig narrow{8, 128};
+    const AccessConfig wide{8, 512};
+    EXPECT_GE(wsLayerAccesses(l, narrow), wsLayerAccesses(l, wide));
+    EXPECT_GE(isLayerAccesses(l, narrow), isLayerAccesses(l, wide));
+}
+
+TEST(Access, HigherPrecisionNeverDecreasesWords)
+{
+    const auto l = convLayer(64, 56, 128, 3, 56);
+    EXPECT_LE(isLayerAccesses(l, {8, 256}),
+              isLayerAccesses(l, {16, 256}));
+    EXPECT_LE(wsLayerAccesses(l, {8, 256}),
+              wsLayerAccesses(l, {16, 256}));
+}
+
+TEST(Training, IncaRoughlyDoublesItsInferenceAccesses)
+{
+    // Section V-B-1: "the training process may double the accesses in
+    // INCA to fetch transposed weight matrices".
+    const AccessConfig cfg{8, 256};
+    for (const auto &net : nn::evaluationSuite()) {
+        const auto inf = networkAccesses(net, cfg);
+        const auto trn = networkTrainingAccesses(net, cfg);
+        EXPECT_GE(trn.inca, 2 * inf.inca) << net.name;
+        EXPECT_LE(double(trn.inca), 3.5 * double(inf.inca))
+            << net.name;
+    }
+}
+
+TEST(Training, IsStillWinsInTraining)
+{
+    // "most networks still take advantage of the IS dataflow during
+    // training as well".
+    const AccessConfig cfg{8, 256};
+    for (const auto &net : nn::evaluationSuite()) {
+        const auto trn = networkTrainingAccesses(net, cfg);
+        EXPECT_GT(trn.baseline, trn.inca) << net.name;
+    }
+}
+
+TEST(Access, IncludeFcFlagAddsClassifierTraffic)
+{
+    AccessConfig noFc{8, 256};
+    AccessConfig withFc{8, 256};
+    withFc.includeFullyConnected = true;
+    const auto a = networkAccesses(nn::vgg16(), noFc);
+    const auto b = networkAccesses(nn::vgg16(), withFc);
+    EXPECT_GT(b.inca, a.inca);
+    EXPECT_GT(b.baseline, a.baseline);
+}
+
+} // namespace
+} // namespace dataflow
+} // namespace inca

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Tests for the paper's alternative activation functions (sigmoid /
+ * tanh, Section II-B) and the L2 loss of Eq. 3.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "nn/dataset.hh"
+#include "nn/module.hh"
+#include "nn/trainer.hh"
+#include "tensor/ops.hh"
+
+namespace inca {
+namespace tensor {
+namespace {
+
+Tensor
+numericalGrad(Tensor &x, const std::function<double()> &f,
+              float eps = 1e-3f)
+{
+    Tensor g(x.shape());
+    for (std::int64_t i = 0; i < x.size(); ++i) {
+        const float orig = x[i];
+        x[i] = orig + eps;
+        const double plus = f();
+        x[i] = orig - eps;
+        const double minus = f();
+        x[i] = orig;
+        g[i] = float((plus - minus) / (2.0 * eps));
+    }
+    return g;
+}
+
+TEST(Sigmoid, RangeAndFixedPoints)
+{
+    Tensor x({3}, {-100.0f, 0.0f, 100.0f});
+    Tensor y = sigmoid(x);
+    EXPECT_NEAR(y[0], 0.0f, 1e-6f);
+    EXPECT_FLOAT_EQ(y[1], 0.5f);
+    EXPECT_NEAR(y[2], 1.0f, 1e-6f);
+}
+
+TEST(Sigmoid, GradMatchesNumerical)
+{
+    Rng rng(1);
+    Tensor x = Tensor::randn({16}, rng);
+    Tensor y = sigmoid(x);
+    Tensor coeff = Tensor::randn({16}, rng);
+    Tensor analytic = sigmoidGrad(coeff, y);
+    Tensor numeric = numericalGrad(x, [&] {
+        const Tensor p = sigmoid(x);
+        double s = 0.0;
+        for (std::int64_t i = 0; i < p.size(); ++i)
+            s += double(p[i]) * double(coeff[i]);
+        return s;
+    });
+    EXPECT_TRUE(analytic.allClose(numeric, 1e-2f));
+}
+
+TEST(TanhAct, RangeAndOddness)
+{
+    Tensor x({3}, {-2.0f, 0.0f, 2.0f});
+    Tensor y = tanhAct(x);
+    EXPECT_FLOAT_EQ(y[1], 0.0f);
+    EXPECT_NEAR(y[0], -y[2], 1e-6f);
+    EXPECT_NEAR(y[2], std::tanh(2.0), 1e-6);
+}
+
+TEST(TanhAct, GradMatchesNumerical)
+{
+    Rng rng(2);
+    Tensor x = Tensor::randn({16}, rng);
+    Tensor y = tanhAct(x);
+    Tensor coeff = Tensor::randn({16}, rng);
+    Tensor analytic = tanhGrad(coeff, y);
+    Tensor numeric = numericalGrad(x, [&] {
+        const Tensor p = tanhAct(x);
+        double s = 0.0;
+        for (std::int64_t i = 0; i < p.size(); ++i)
+            s += double(p[i]) * double(coeff[i]);
+        return s;
+    });
+    EXPECT_TRUE(analytic.allClose(numeric, 1e-2f));
+}
+
+TEST(L2Loss, PerfectPredictionIsZero)
+{
+    Tensor outputs({2, 3});
+    outputs.at(0, 1) = 1.0f;
+    outputs.at(1, 0) = 1.0f;
+    const auto res = l2Loss(outputs, {1, 0});
+    EXPECT_NEAR(res.loss, 0.0, 1e-9);
+    EXPECT_NEAR(res.grad.absMax(), 0.0f, 1e-9f);
+}
+
+TEST(L2Loss, GradIsPredMinusTarget)
+{
+    // Eq. 3: delta_L = y_target - y_pred (we keep the gradient-descent
+    // sign: d loss / d output = y_pred - y_target, scaled by 1/N).
+    Tensor outputs({1, 2}, {0.8f, 0.3f});
+    const auto res = l2Loss(outputs, {0});
+    EXPECT_NEAR(res.grad.at(0, 0), 0.8f - 1.0f, 1e-6f);
+    EXPECT_NEAR(res.grad.at(0, 1), 0.3f - 0.0f, 1e-6f);
+}
+
+TEST(L2Loss, GradMatchesNumerical)
+{
+    Rng rng(3);
+    Tensor outputs = Tensor::randn({3, 4}, rng);
+    const std::vector<int> labels{2, 0, 3};
+    const auto res = l2Loss(outputs, labels);
+    Tensor numeric = numericalGrad(
+        outputs, [&] { return l2Loss(outputs, labels).loss; }, 1e-2f);
+    EXPECT_TRUE(res.grad.allClose(numeric, 1e-2f));
+}
+
+TEST(L2LossDeath, LabelRangeChecked)
+{
+    Tensor outputs({1, 2});
+    EXPECT_DEATH(l2Loss(outputs, {5}), "label");
+}
+
+} // namespace
+} // namespace tensor
+
+namespace nn {
+namespace {
+
+using tensor::Tensor;
+
+TEST(SigmoidModule, BackwardMatchesOpGrad)
+{
+    Rng rng(4);
+    Sigmoid mod;
+    Tensor x = Tensor::randn({2, 8}, rng);
+    ForwardCtx ctx;
+    ctx.training = true;
+    Tensor y = mod.forward(x, ctx);
+    Tensor dy = Tensor::randn(y.shape(), rng);
+    Tensor dx = mod.backward(dy);
+    EXPECT_TRUE(dx.allClose(tensor::sigmoidGrad(dy, y), 1e-6f));
+}
+
+TEST(TanhModule, BackwardMatchesOpGrad)
+{
+    Rng rng(5);
+    Tanh mod;
+    Tensor x = Tensor::randn({2, 8}, rng);
+    ForwardCtx ctx;
+    ctx.training = true;
+    Tensor y = mod.forward(x, ctx);
+    Tensor dy = Tensor::randn(y.shape(), rng);
+    Tensor dx = mod.backward(dy);
+    EXPECT_TRUE(dx.allClose(tensor::tanhGrad(dy, y), 1e-6f));
+}
+
+TEST(AlternativeActivations, TanhNetworkTrains)
+{
+    // Section II-B lists tanh as an activation choice; a tanh CNN
+    // must still learn the synthetic task.
+    setQuiet(true);
+    SyntheticSpec spec;
+    spec.numClasses = 3;
+    spec.channels = 1;
+    spec.size = 8;
+    spec.trainPerClass = 24;
+    spec.testPerClass = 12;
+    spec.seed = 5;
+    auto data = makeSynthetic(spec);
+
+    Rng rng(6);
+    Sequential net;
+    net.emplace<Conv2d>(1, 6, 3, 1, 1, rng);
+    net.emplace<Tanh>();
+    net.emplace<MaxPool2d>(2);
+    net.emplace<Flatten>();
+    net.emplace<Linear>(6 * 4 * 4, 3, rng);
+
+    TrainConfig cfg;
+    cfg.epochs = 10;
+    cfg.batchSize = 8;
+    cfg.lr = 0.05f;
+    const auto result = train(net, data, cfg);
+    EXPECT_GE(result.finalTestAccuracy, 0.8);
+}
+
+} // namespace
+} // namespace nn
+} // namespace inca

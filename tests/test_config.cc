@@ -1,0 +1,150 @@
+/**
+ * @file
+ * INI-style Config parser tests and chip-config override tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "arch/config.hh"
+#include "common/config.hh"
+
+namespace inca {
+namespace {
+
+TEST(Config, ParsesFlatKeys)
+{
+    const auto cfg = Config::fromString("batch = 32\nname = vgg16\n");
+    EXPECT_EQ(cfg.getInt("batch", 0), 32);
+    EXPECT_EQ(cfg.getString("name"), "vgg16");
+    EXPECT_EQ(cfg.size(), 2u);
+}
+
+TEST(Config, SectionsFlattenToDottedKeys)
+{
+    const auto cfg = Config::fromString(
+        "[inca]\nsubarray_size = 32\n[baseline]\nsubarray_size = 64\n");
+    EXPECT_EQ(cfg.getInt("inca.subarray_size", 0), 32);
+    EXPECT_EQ(cfg.getInt("baseline.subarray_size", 0), 64);
+    EXPECT_FALSE(cfg.has("subarray_size"));
+}
+
+TEST(Config, CommentsAndBlankLines)
+{
+    const auto cfg = Config::fromString(
+        "# full-line comment\n\nkey = 7 ; trailing comment\n"
+        "other = text # more\n");
+    EXPECT_EQ(cfg.getInt("key", 0), 7);
+    EXPECT_EQ(cfg.getString("other"), "text");
+}
+
+TEST(Config, WhitespaceTrimmed)
+{
+    const auto cfg = Config::fromString("   spaced   =   value   \n");
+    EXPECT_EQ(cfg.getString("spaced"), "value");
+}
+
+TEST(Config, Fallbacks)
+{
+    const Config cfg;
+    EXPECT_EQ(cfg.getInt("missing", 42), 42);
+    EXPECT_DOUBLE_EQ(cfg.getDouble("missing", 2.5), 2.5);
+    EXPECT_EQ(cfg.getString("missing", "abc"), "abc");
+    EXPECT_TRUE(cfg.getBool("missing", true));
+}
+
+TEST(Config, TypedParsing)
+{
+    const auto cfg = Config::fromString(
+        "f = 3.25\nneg = -17\nhex = 0x10\nyes = yes\nno = OFF\n");
+    EXPECT_DOUBLE_EQ(cfg.getDouble("f", 0.0), 3.25);
+    EXPECT_EQ(cfg.getInt("neg", 0), -17);
+    EXPECT_EQ(cfg.getInt("hex", 0), 16);
+    EXPECT_TRUE(cfg.getBool("yes", false));
+    EXPECT_FALSE(cfg.getBool("no", true));
+}
+
+TEST(Config, SetOverwrites)
+{
+    Config cfg;
+    cfg.set("a", "1");
+    cfg.set("a", "2");
+    EXPECT_EQ(cfg.getInt("a", 0), 2);
+}
+
+TEST(Config, KeysSorted)
+{
+    const auto cfg = Config::fromString("z = 1\na = 2\n");
+    const auto keys = cfg.keys();
+    ASSERT_EQ(keys.size(), 2u);
+    EXPECT_EQ(keys[0], "a");
+    EXPECT_EQ(keys[1], "z");
+}
+
+TEST(Config, FromFileRoundTrip)
+{
+    const std::string path = "/tmp/inca_config_test.ini";
+    {
+        std::ofstream out(path);
+        out << "[inca]\nadc_bits = 5\n";
+    }
+    const auto cfg = Config::fromFile(path);
+    EXPECT_EQ(cfg.getInt("inca.adc_bits", 0), 5);
+    std::remove(path.c_str());
+}
+
+TEST(ConfigDeath, MalformedLineFatal)
+{
+    EXPECT_DEATH(Config::fromString("no equals sign\n"),
+                 "expected 'key = value'");
+    EXPECT_DEATH(Config::fromString("[unterminated\n"),
+                 "unterminated");
+    EXPECT_DEATH(Config::fromString("= novalue\n"), "empty key");
+}
+
+TEST(ConfigDeath, BadNumberFatal)
+{
+    const auto cfg = Config::fromString("x = not-a-number\n");
+    EXPECT_DEATH(cfg.getInt("x", 0), "not an integer");
+    EXPECT_DEATH(cfg.getDouble("x", 0.0), "not a number");
+    EXPECT_DEATH(cfg.getBool("x", false), "not a boolean");
+}
+
+TEST(ArchConfig, IncaOverrides)
+{
+    const auto cfg = Config::fromString(
+        "[inca]\nsubarray_size = 32\nadc_bits = 5\nbatch_size = 16\n"
+        "num_tiles = 84\nbuffer_kib = 128\n");
+    const auto inca = arch::incaFromConfig(cfg);
+    EXPECT_EQ(inca.subarraySize, 32);
+    EXPECT_EQ(inca.adcBits, 5);
+    EXPECT_EQ(inca.batchSize, 16);
+    EXPECT_EQ(inca.org.numTiles, 84);
+    EXPECT_DOUBLE_EQ(inca.buffer.capacity, 128.0 * 1024.0);
+    // Untouched fields keep Table II defaults.
+    EXPECT_EQ(inca.stackedPlanes, 64);
+    EXPECT_EQ(inca.weightBits, 8);
+}
+
+TEST(ArchConfig, BaselineOverrides)
+{
+    const auto cfg = Config::fromString(
+        "[baseline]\nsubarray_size = 256\nadc_bits = 6\n");
+    const auto base = arch::baselineFromConfig(cfg);
+    EXPECT_EQ(base.subarraySize, 256);
+    EXPECT_EQ(base.adcBits, 6);
+    EXPECT_EQ(base.org.numTiles, 168);
+}
+
+TEST(ArchConfig, EmptyConfigIsTableII)
+{
+    const Config cfg;
+    const auto inca = arch::incaFromConfig(cfg);
+    EXPECT_EQ(inca.subarraySize, arch::paperInca().subarraySize);
+    EXPECT_EQ(inca.org.totalSubarrays(), 16128);
+}
+
+} // namespace
+} // namespace inca

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Cross-module consistency: the analytic counters (dataflow), the
+ * engines' event stats, and the structural models must agree with
+ * each other wherever they describe the same quantity.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "arch/endurance.hh"
+#include "baseline/engine.hh"
+#include "dataflow/access_model.hh"
+#include "dataflow/footprint.hh"
+#include "dataflow/unroll.hh"
+#include "inca/engine.hh"
+#include "nn/model_zoo.hh"
+
+namespace inca {
+namespace {
+
+class CrossModel : public ::testing::TestWithParam<const char *>
+{
+  protected:
+    nn::NetworkDesc net() const { return nn::byName(GetParam()); }
+};
+
+TEST_P(CrossModel, IncaEngineBufferReadsMatchAccessModel)
+{
+    // The engine's per-batch weight-fetch words must equal the
+    // Eq. 5 x N access counter (conv layers) plus the FC layers'
+    // fetches (the counter's Table III mode excludes FC).
+    core::IncaEngine engine(arch::paperInca());
+    const auto run = engine.inference(net(), 64);
+    dataflow::AccessConfig cfg{8, 256};
+    cfg.includeFullyConnected = true;
+    const double expected =
+        double(dataflow::networkAccesses(net(), cfg).inca);
+    EXPECT_NEAR(run.sum("count.buffer.read"), expected,
+                expected * 1e-9);
+}
+
+TEST_P(CrossModel, BaselineEngineBufferTrafficMatchesAccessModel)
+{
+    baseline::BaselineEngine engine(arch::paperBaseline());
+    const auto run = engine.inference(net(), 64);
+    dataflow::AccessConfig cfg{8, 256};
+    cfg.includeFullyConnected = true;
+    // Per image x 64; the counter sums fetch + save.
+    const double expected =
+        64.0 * double(dataflow::networkAccesses(net(), cfg).baseline);
+    const double measured = run.sum("count.buffer.read") +
+                            run.sum("count.buffer.write");
+    EXPECT_NEAR(measured, expected, expected * 1e-9);
+}
+
+TEST_P(CrossModel, EngineArrayWritesMatchEnduranceModel)
+{
+    // The endurance model's writes-per-iteration is derived from the
+    // same activation/error accounting the INCA engine charges. The
+    // engine additionally writes the first-layer input load and the
+    // D6 replication copies -- but those land on OTHERWISE-IDLE
+    // cells, so the endurance model's per-cell stress metric excludes
+    // them by design. The engine must charge at least the endurance
+    // model's writes, and the extra is bounded by the replication
+    // degree (<= serial channels <= a generous constant here).
+    core::IncaEngine engine(arch::paperInca());
+    const auto run = engine.training(net(), 64);
+    const auto wear = arch::incaEndurance(net(), arch::paperInca(), 64);
+    const double engineWrites = run.sum("count.array.write");
+    EXPECT_GE(engineWrites, wear.writesPerIteration * 0.99);
+    EXPECT_LE(engineWrites, wear.writesPerIteration * 50.0);
+}
+
+TEST_P(CrossModel, FootprintActivationsMatchUnrollDirectCount)
+{
+    // Two independent modules count "activation elements" and must
+    // agree exactly.
+    const auto row = dataflow::footprint(net());
+    const auto unroll = dataflow::unrollComparison(net());
+    EXPECT_DOUBLE_EQ(row.inca.rram, double(unroll.direct));
+}
+
+TEST_P(CrossModel, StaticEnergyIsIdleTimesLatency)
+{
+    core::IncaEngine inca(arch::paperInca());
+    baseline::BaselineEngine base(arch::paperBaseline());
+    const auto i = inca.training(net(), 64);
+    EXPECT_NEAR(i.staticEnergy, inca.idlePower() * i.latency,
+                i.staticEnergy * 1e-9);
+    const auto b = base.inference(net(), 64);
+    EXPECT_NEAR(b.staticEnergy, base.idlePower() * b.latency,
+                b.staticEnergy * 1e-9);
+}
+
+TEST_P(CrossModel, EnergyDecomposesIntoBreakdownClasses)
+{
+    core::IncaEngine engine(arch::paperInca());
+    const auto run = engine.training(net(), 64);
+    const double classes =
+        run.sum("energy.dram") + run.sum("energy.buffer") +
+        run.sum("energy.array") + run.sum("energy.adc") +
+        run.sum("energy.dac") + run.sum("energy.digital");
+    EXPECT_NEAR(run.energy(), classes + run.staticEnergy,
+                run.energy() * 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, CrossModel,
+                         ::testing::Values("vgg16", "resnet18",
+                                           "resnet50", "mobilenetv2",
+                                           "mnasnet", "lenet5",
+                                           "vgg8"));
+
+} // namespace
+} // namespace inca

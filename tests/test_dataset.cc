@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Synthetic dataset generator tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/random.hh"
+#include "nn/dataset.hh"
+
+namespace inca {
+namespace nn {
+namespace {
+
+TEST(Dataset, ShapesMatchSpec)
+{
+    SyntheticSpec spec;
+    spec.numClasses = 3;
+    spec.channels = 2;
+    spec.size = 10;
+    spec.trainPerClass = 5;
+    spec.testPerClass = 4;
+    auto data = makeSynthetic(spec);
+    EXPECT_EQ(data.train.count(), 15);
+    EXPECT_EQ(data.test.count(), 12);
+    EXPECT_EQ(data.train.images.shape(),
+              (std::vector<std::int64_t>{15, 2, 10, 10}));
+}
+
+TEST(Dataset, LabelsBalancedAndInRange)
+{
+    SyntheticSpec spec;
+    spec.numClasses = 4;
+    spec.trainPerClass = 10;
+    auto data = makeSynthetic(spec);
+    std::vector<int> counts(4, 0);
+    for (int label : data.train.labels) {
+        ASSERT_GE(label, 0);
+        ASSERT_LT(label, 4);
+        ++counts[size_t(label)];
+    }
+    for (int c : counts)
+        EXPECT_EQ(c, 10);
+}
+
+TEST(Dataset, DeterministicForSeed)
+{
+    SyntheticSpec spec;
+    auto a = makeSynthetic(spec);
+    auto b = makeSynthetic(spec);
+    EXPECT_TRUE(a.train.images.equals(b.train.images));
+    EXPECT_EQ(a.train.labels, b.train.labels);
+}
+
+TEST(Dataset, DifferentSeedsDiffer)
+{
+    SyntheticSpec a, b;
+    b.seed = a.seed + 1;
+    EXPECT_FALSE(makeSynthetic(a).train.images.equals(
+        makeSynthetic(b).train.images));
+}
+
+TEST(Dataset, ClassesAreSeparable)
+{
+    // Mean images of different classes must differ far more than the
+    // pixel noise, otherwise the classification task is ill-posed.
+    SyntheticSpec spec;
+    spec.numClasses = 2;
+    spec.trainPerClass = 20;
+    auto data = makeSynthetic(spec);
+    const auto n = data.train.count();
+    const auto per = data.train.images.size() / n;
+    std::vector<double> mean0(size_t(per), 0.0), mean1(size_t(per), 0.0);
+    int n0 = 0, n1 = 0;
+    for (std::int64_t i = 0; i < n; ++i) {
+        auto &mean = data.train.labels[size_t(i)] == 0 ? mean0 : mean1;
+        (data.train.labels[size_t(i)] == 0 ? n0 : n1)++;
+        for (std::int64_t e = 0; e < per; ++e)
+            mean[size_t(e)] += data.train.images[i * per + e];
+    }
+    double dist = 0.0;
+    for (std::int64_t e = 0; e < per; ++e) {
+        const double d = mean0[size_t(e)] / n0 - mean1[size_t(e)] / n1;
+        dist += d * d;
+    }
+    EXPECT_GT(std::sqrt(dist / double(per)), 3.0 * spec.pixelNoise /
+                                                 std::sqrt(20.0));
+}
+
+TEST(Dataset, BatchExtractsCorrectSlice)
+{
+    SyntheticSpec spec;
+    spec.numClasses = 2;
+    spec.trainPerClass = 8;
+    auto data = makeSynthetic(spec);
+    auto [x, labels] = data.train.batch(4, 3);
+    EXPECT_EQ(x.dim(0), 3);
+    EXPECT_EQ(labels.size(), 3u);
+    const auto per = data.train.images.size() / data.train.count();
+    for (std::int64_t i = 0; i < 3; ++i) {
+        EXPECT_EQ(labels[size_t(i)], data.train.labels[size_t(4 + i)]);
+        for (std::int64_t e = 0; e < per; ++e)
+            EXPECT_EQ(x[i * per + e],
+                      data.train.images[(4 + i) * per + e]);
+    }
+}
+
+TEST(Dataset, ShuffleIsPermutation)
+{
+    SyntheticSpec spec;
+    spec.numClasses = 3;
+    spec.trainPerClass = 6;
+    auto data = makeSynthetic(spec);
+    Dataset copy = data.train;
+    Rng rng(99);
+    copy.shuffle(rng);
+    // Same multiset of labels.
+    auto sorted = [](std::vector<int> v) {
+        std::sort(v.begin(), v.end());
+        return v;
+    };
+    EXPECT_EQ(sorted(copy.labels), sorted(data.train.labels));
+    // Same total pixel mass.
+    EXPECT_NEAR(copy.images.sum(), data.train.images.sum(), 1e-3);
+}
+
+TEST(DatasetDeath, BatchOutOfRangePanics)
+{
+    SyntheticSpec spec;
+    spec.numClasses = 2;
+    spec.trainPerClass = 4;
+    auto data = makeSynthetic(spec);
+    EXPECT_DEATH(data.train.batch(6, 4), "out of range");
+}
+
+} // namespace
+} // namespace nn
+} // namespace inca

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Device-preset tests (paper Section VI's alternative technologies).
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/config.hh"
+#include "circuit/devices.hh"
+#include "inca/engine.hh"
+#include "nn/model_zoo.hh"
+
+namespace inca {
+namespace circuit {
+namespace {
+
+TEST(Devices, RramPresetIsTableII)
+{
+    const auto p = rramPreset();
+    EXPECT_EQ(p.technology, DeviceTechnology::Rram);
+    EXPECT_DOUBLE_EQ(p.device.rOn, 240e3);
+    EXPECT_DOUBLE_EQ(p.device.tWrite, 50e-9);
+    EXPECT_TRUE(p.nonVolatile);
+    EXPECT_DOUBLE_EQ(p.cellAreaFactor, 1.0);
+}
+
+TEST(Devices, AllPresetsEnumerated)
+{
+    const auto all = allDevicePresets();
+    ASSERT_EQ(all.size(), 4u);
+    EXPECT_EQ(all[0].technology, DeviceTechnology::Rram);
+    for (const auto &p : all) {
+        EXPECT_FALSE(p.name.empty());
+        EXPECT_GT(p.endurance, 0.0);
+        EXPECT_GT(p.cellAreaFactor, 0.0);
+        EXPECT_GT(p.device.tRead, 0.0);
+        EXPECT_GT(p.device.tWrite, 0.0);
+    }
+}
+
+TEST(Devices, PresetForRoundTrips)
+{
+    for (const auto tech :
+         {DeviceTechnology::Rram, DeviceTechnology::Pcm,
+          DeviceTechnology::Fefet, DeviceTechnology::SramCim}) {
+        EXPECT_EQ(presetFor(tech).technology, tech);
+    }
+}
+
+TEST(Devices, PcmWritesAreHotterAndSlower)
+{
+    const auto rram = rramPreset();
+    const auto pcm = pcmPreset();
+    EXPECT_GT(pcm.device.tWrite, rram.device.tWrite);
+    EXPECT_GT(pcm.device.writeEnergyOn(),
+              rram.device.writeEnergyOn());
+    EXPECT_LT(pcm.endurance, rram.endurance);
+}
+
+TEST(Devices, FefetWritesAreFasterAndEnduring)
+{
+    const auto rram = rramPreset();
+    const auto fefet = fefetPreset();
+    EXPECT_LT(fefet.device.tWrite, rram.device.tWrite);
+    EXPECT_GT(fefet.endurance, rram.endurance);
+    EXPECT_TRUE(fefet.nonVolatile);
+}
+
+TEST(Devices, SramIsVolatileAndLarge)
+{
+    const auto sram = sramCimPreset();
+    EXPECT_FALSE(sram.nonVolatile);
+    EXPECT_GT(sram.standbyPowerPerCell, 0.0);
+    EXPECT_GT(sram.cellAreaFactor, 3.0);
+    EXPECT_GT(sram.endurance, 1e12);
+    EXPECT_LT(sram.device.tWrite, 10e-9);
+}
+
+TEST(Devices, EnginesAcceptEveryPreset)
+{
+    // The Section VI study: the IS engine must run unchanged on every
+    // technology preset and produce sane costs.
+    const auto net = nn::lenet5();
+    double prevEnergy = 0.0;
+    for (const auto &preset : allDevicePresets()) {
+        arch::IncaConfig cfg = arch::paperInca();
+        cfg.device = preset.device;
+        core::IncaEngine engine(cfg);
+        const auto run = engine.training(net, 64);
+        EXPECT_GT(run.energy(), 0.0) << preset.name;
+        EXPECT_GT(run.latency, 0.0) << preset.name;
+        (void)prevEnergy;
+        prevEnergy = run.energy();
+    }
+}
+
+TEST(Devices, SramRunsFasterThanPcm)
+{
+    // 1 ns cells vs. 150 ns writes must show in the run latency.
+    const auto net = nn::lenet5();
+    arch::IncaConfig sramCfg = arch::paperInca();
+    sramCfg.device = sramCimPreset().device;
+    arch::IncaConfig pcmCfg = arch::paperInca();
+    pcmCfg.device = pcmPreset().device;
+    const auto sramRun =
+        core::IncaEngine(sramCfg).inference(net, 64);
+    const auto pcmRun = core::IncaEngine(pcmCfg).inference(net, 64);
+    EXPECT_LT(sramRun.latency, pcmRun.latency);
+}
+
+} // namespace
+} // namespace circuit
+} // namespace inca

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Endurance-analysis tests (paper Section VI's future-work concern,
+ * quantified).
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/endurance.hh"
+#include "nn/model_zoo.hh"
+
+namespace inca {
+namespace arch {
+namespace {
+
+TEST(Endurance, IncaWritesActivationsTwicePerIteration)
+{
+    // Forward writes outputs, backward overwrites with errors: each
+    // activation cell sees ~2 writes per iteration (ratio of writes
+    // to written cells).
+    const auto net = nn::resnet18();
+    const auto r = incaEndurance(net, paperInca(), 64);
+    EXPECT_GT(r.writesPerCellPerIteration, 1.0);
+    EXPECT_LT(r.writesPerCellPerIteration, 4.0);
+}
+
+TEST(Endurance, BaselineWeightCellsWrittenOncePerUpdate)
+{
+    const auto net = nn::vgg16();
+    const auto r = baselineEndurance(net, paperBaseline(), 64);
+    // Mixing weight cells (1 write) and activation cells (1 write):
+    // close to 1 write per written cell per iteration.
+    EXPECT_GT(r.writesPerCellPerIteration, 0.5);
+    EXPECT_LT(r.writesPerCellPerIteration, 2.0);
+}
+
+TEST(Endurance, CountsScaleWithBatch)
+{
+    const auto net = nn::resnet18();
+    const auto b8 = incaEndurance(net, paperInca(), 8);
+    const auto b64 = incaEndurance(net, paperInca(), 64);
+    EXPECT_NEAR(b64.writesPerIteration / b8.writesPerIteration, 8.0,
+                1e-6);
+    // Per-cell stress does not grow with batch: more planes share it.
+    EXPECT_NEAR(b64.writesPerCellPerIteration,
+                b8.writesPerCellPerIteration, 1e-9);
+}
+
+TEST(Endurance, LifetimeScalesWithRating)
+{
+    const auto net = nn::mobilenetV2();
+    const auto typical =
+        incaEndurance(net, paperInca(), 64, kEnduranceTypical);
+    const auto optimistic =
+        incaEndurance(net, paperInca(), 64, kEnduranceOptimistic);
+    EXPECT_NEAR(optimistic.iterationsToWearOut /
+                    typical.iterationsToWearOut,
+                kEnduranceOptimistic / kEnduranceTypical, 1e-6);
+}
+
+TEST(Endurance, SectionSixTradeoffIsVisible)
+{
+    // The paper's Section VI concern in numbers: per training
+    // iteration, INCA stresses its (few) activation cells more than
+    // the baseline stresses its (many) weight cells -- endurance is
+    // the price of the IS dataflow's energy/latency wins.
+    const auto net = nn::vgg16();
+    const auto is = incaEndurance(net, paperInca(), 64);
+    const auto ws = baselineEndurance(net, paperBaseline(), 64);
+    EXPECT_GT(is.writesPerCellPerIteration,
+              ws.writesPerCellPerIteration);
+    // Both live well past a single training run at typical ratings.
+    EXPECT_GT(is.iterationsToWearOut, 1e8);
+    EXPECT_GT(ws.iterationsToWearOut, 1e8);
+}
+
+TEST(Endurance, InferenceOnlyWsWritesNothing)
+{
+    // Pure-inference WS never rewrites cells once programmed; the
+    // report models training. Check the training write counts are
+    // positive and finite for the whole suite.
+    for (const auto &net : nn::evaluationSuite()) {
+        const auto is = incaEndurance(net, paperInca(), 64);
+        const auto ws = baselineEndurance(net, paperBaseline(), 64);
+        EXPECT_GT(is.writesPerIteration, 0.0) << net.name;
+        EXPECT_GT(ws.writesPerIteration, 0.0) << net.name;
+        EXPECT_GT(is.iterationsToWearOut, 0.0) << net.name;
+    }
+}
+
+TEST(EnduranceDeath, BadBatchPanics)
+{
+    EXPECT_DEATH(incaEndurance(nn::lenet5(), paperInca(), 0),
+                 "batch");
+}
+
+} // namespace
+} // namespace arch
+} // namespace inca

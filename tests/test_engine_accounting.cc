@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Closed-form accounting checks: the engines' event counts must equal
+ * the formulas DESIGN.md documents (D1-D9), computed by hand for
+ * single-layer networks. These tests lock the accounting against
+ * accidental drift.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baseline/engine.hh"
+#include "dataflow/access_model.hh"
+#include "inca/engine.hh"
+#include "nn/network.hh"
+
+namespace inca {
+namespace {
+
+/** A single-conv-layer network: C x H x H -> N x H x H, 3x3 same. */
+nn::NetworkDesc
+oneConv(std::int64_t c, std::int64_t h, std::int64_t n)
+{
+    nn::NetBuilder b("one-conv", c, h, h);
+    b.conv(n, 3, 1, 1);
+    return b.build(int(n));
+}
+
+/** A single depthwise layer. */
+nn::NetworkDesc
+oneDepthwise(std::int64_t c, std::int64_t h)
+{
+    nn::NetBuilder b("one-dw", c, h, h);
+    b.dwconv(3, 1, 1);
+    return b.build(int(c));
+}
+
+const nn::LayerDesc &
+convLayer(const nn::NetworkDesc &net)
+{
+    return net.layers.front();
+}
+
+TEST(IncaAccounting, ArrayReadEventsAreMacsTimesBitPairs)
+{
+    // D-model: cell reads = MACs x weightBits x actBits x images.
+    const auto net = oneConv(16, 32, 8);
+    core::IncaEngine engine(arch::paperInca());
+    const auto run = engine.inference(net, 64);
+    const double macs = double(convLayer(net).macs());
+    EXPECT_DOUBLE_EQ(run.sum("count.array.read"),
+                     macs * 8.0 * 8.0 * 64.0);
+}
+
+TEST(IncaAccounting, AdcConversionsUseChannelGroups)
+{
+    // D1: conversions = outputs x wBits x aBits x ceil(C/16) x images.
+    const auto net = oneConv(48, 32, 8); // ceil(48/16) = 3 groups
+    core::IncaEngine engine(arch::paperInca());
+    const auto run = engine.inference(net, 64);
+    const double outputs = double(convLayer(net).outputCount());
+    EXPECT_DOUBLE_EQ(run.sum("count.adc"),
+                     outputs * 8.0 * 8.0 * 3.0 * 64.0);
+}
+
+TEST(IncaAccounting, BufferReadsAreEqFiveTimesKernels)
+{
+    // IS weight traffic: Eq. 5 x N words per batch wave.
+    const auto net = oneConv(16, 32, 8);
+    core::IncaEngine engine(arch::paperInca());
+    const auto run = engine.inference(net, 64);
+    const dataflow::AccessConfig acc{8, 256};
+    EXPECT_DOUBLE_EQ(
+        run.sum("count.buffer.read"),
+        double(dataflow::isLayerAccesses(convLayer(net), acc)));
+}
+
+TEST(IncaAccounting, OutputAndInputWritesCharged)
+{
+    // First conv: input load + output propagation, aBits cells per
+    // value per image, plus D6's replication copies: 4 channels x 1
+    // partition = 4 macros of 2016 -> replication capped at the 4
+    // serial channels -> 3 extra input copies.
+    const auto net = oneConv(4, 16, 4);
+    core::IncaEngine engine(arch::paperInca());
+    const auto run = engine.inference(net, 64);
+    const auto &l = convLayer(net);
+    const double replicationCopies = 3.0;
+    EXPECT_DOUBLE_EQ(
+        run.sum("count.array.write"),
+        double(l.outputCount()) * 8.0 * 64.0 +
+            double(l.inputCount()) * (1.0 + replicationCopies) * 8.0 *
+                64.0);
+}
+
+TEST(IncaAccounting, NoDramWhenWeightsFitBuffers)
+{
+    // 4x4x3x3 kernels: a few KB << 10.5 MB of buffers -> no stream.
+    const auto net = oneConv(4, 16, 4);
+    core::IncaEngine engine(arch::paperInca());
+    const auto run = engine.inference(net, 64);
+    EXPECT_DOUBLE_EQ(run.sum("count.dram.bytes"), 0.0);
+    EXPECT_DOUBLE_EQ(run.sum("energy.dram"), 0.0);
+}
+
+TEST(IncaAccounting, LatencyFormulaSmallLayer)
+{
+    // 16-channel, 32x32 map: 4 partitions/channel, 256 positions per
+    // partition, 8 output channels serial; 16 x 4 = 64 macros needed
+    // of 2016 -> replication 31 -> ceil(8/31) = 1 serial channel.
+    const auto net = oneConv(16, 32, 8);
+    core::IncaEngine engine(arch::paperInca());
+    const auto run = engine.inference(net, 64);
+    const double reads = 256.0 * 8.0 * 1.0;
+    EXPECT_NEAR(run.latency, reads * engine.readCycleTime(64),
+                1e-12);
+}
+
+TEST(BaselineAccounting, AdcConversionsCoverAllColumns)
+{
+    // D1 baseline: conversions = windows x aBits x arrays x 128 x
+    // images. 16 channels x 9 = 144 rows -> 2 row tiles; 8 kernels x
+    // 8 bits = 64 columns -> 1 col tile; arrays = 2.
+    const auto net = oneConv(16, 32, 8);
+    baseline::BaselineEngine engine(arch::paperBaseline());
+    const auto run = engine.inference(net, 64);
+    const double windows = 32.0 * 32.0;
+    EXPECT_DOUBLE_EQ(run.sum("count.adc"),
+                     windows * 8.0 * 2.0 * 128.0 * 64.0);
+}
+
+TEST(BaselineAccounting, DepthwiseBurnsPerChannelArrays)
+{
+    // Depthwise: one array per channel, all 128 columns converting.
+    const auto net = oneDepthwise(32, 16);
+    baseline::BaselineEngine engine(arch::paperBaseline());
+    const auto run = engine.inference(net, 64);
+    const double windows = 16.0 * 16.0;
+    EXPECT_DOUBLE_EQ(run.sum("count.adc"),
+                     windows * 8.0 * 32.0 * 128.0 * 64.0);
+}
+
+TEST(BaselineAccounting, BufferTrafficMatchesEquations)
+{
+    const auto net = oneConv(16, 32, 8);
+    baseline::BaselineEngine engine(arch::paperBaseline());
+    const auto run = engine.inference(net, 64);
+    const dataflow::AccessConfig acc{8, 256};
+    const auto &l = convLayer(net);
+    const double fetch =
+        double(dataflow::fetchWordsPerOutput(l, acc)) * 32.0 * 32.0 *
+        64.0;
+    const double save = double(dataflow::saveWords(l, acc)) * 64.0;
+    EXPECT_DOUBLE_EQ(run.sum("count.buffer.read"), fetch);
+    EXPECT_DOUBLE_EQ(run.sum("count.buffer.write"), save);
+}
+
+TEST(BaselineAccounting, CellReadsCoverWholeColumns)
+{
+    // Active cells per (window, abit): usedRows x colTiles x 128
+    // (1T1R cannot gate columns).
+    const auto net = oneConv(16, 32, 8);
+    baseline::BaselineEngine engine(arch::paperBaseline());
+    const auto run = engine.inference(net, 64);
+    const double windows = 32.0 * 32.0;
+    const double activeCells = 144.0 * 1.0 * 128.0;
+    EXPECT_DOUBLE_EQ(run.sum("count.array.read"),
+                     windows * 8.0 * activeCells * 64.0);
+}
+
+TEST(BaselineAccounting, InferenceLatencyIsPipelined)
+{
+    // One layer: fill = windows x aBits x 100 ns; batch drains at the
+    // same stage time (single-stage pipeline).
+    const auto net = oneConv(16, 32, 8);
+    baseline::BaselineEngine engine(arch::paperBaseline());
+    const auto run = engine.inference(net, 64);
+    const double stage = 32.0 * 32.0 * 8.0 * 100e-9;
+    EXPECT_NEAR(run.latency, stage + 63.0 * stage, stage * 0.51);
+}
+
+TEST(TrainingAccounting, IncaTrainingIsThreePassesOfReads)
+{
+    const auto net = oneConv(16, 32, 8);
+    core::IncaEngine engine(arch::paperInca());
+    const double inf =
+        engine.inference(net, 64).sum("count.array.read");
+    const double trn =
+        engine.training(net, 64).sum("count.array.read");
+    EXPECT_DOUBLE_EQ(trn, 3.0 * inf);
+}
+
+TEST(TrainingAccounting, BaselineWeightRewritesPerBatch)
+{
+    // PipeLayer reprograms original + transposed weight cells once
+    // per iteration: 2 x weights x 8 bits, on top of the activation
+    // and error stores.
+    const auto net = oneConv(16, 32, 8);
+    baseline::BaselineEngine engine(arch::paperBaseline());
+    const auto run = engine.training(net, 64);
+    const double weights = double(convLayer(net).weightCount());
+    const double actStores =
+        double(convLayer(net).inputCount()) * 8.0 * 64.0;
+    EXPECT_DOUBLE_EQ(run.sum("count.array.write"),
+                     2.0 * weights * 8.0 + actStores);
+}
+
+} // namespace
+} // namespace inca

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * CSV / JSON export tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "inca/engine.hh"
+#include "nn/model_zoo.hh"
+#include "sim/export.hh"
+
+namespace inca {
+namespace sim {
+namespace {
+
+arch::RunCost
+sampleRun()
+{
+    core::IncaEngine engine(arch::paperInca());
+    return engine.inference(nn::lenet5(), 8);
+}
+
+TEST(ExportCsv, HeaderAndRowCount)
+{
+    const auto run = sampleRun();
+    const std::string csv = toCsv(run);
+    // One header + one line per layer.
+    size_t lines = 0;
+    for (char c : csv)
+        lines += c == '\n';
+    EXPECT_EQ(lines, run.layers.size() + 1);
+    EXPECT_EQ(csv.rfind("layer,kind,latency_s,energy_J", 0), 0u);
+}
+
+TEST(ExportCsv, ConsistentColumnCounts)
+{
+    const std::string csv = toCsv(sampleRun());
+    std::istringstream in(csv);
+    std::string line;
+    size_t columns = 0;
+    while (std::getline(in, line)) {
+        size_t commas = 0;
+        for (char c : line)
+            commas += c == ',';
+        if (columns == 0)
+            columns = commas;
+        else
+            EXPECT_EQ(commas, columns) << line;
+    }
+    EXPECT_GE(columns, 4u);
+}
+
+TEST(ExportCsv, MentionsEveryLayer)
+{
+    const auto run = sampleRun();
+    const std::string csv = toCsv(run);
+    for (const auto &layer : run.layers)
+        EXPECT_NE(csv.find(layer.name + ","), std::string::npos)
+            << layer.name;
+}
+
+TEST(ExportJson, ContainsTotalsAndLayers)
+{
+    const auto run = sampleRun();
+    const std::string json = toJson(run);
+    EXPECT_NE(json.find("\"network\": \"lenet5\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"phase\": \"inference\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"batch_size\": 8"), std::string::npos);
+    EXPECT_NE(json.find("\"layers\": ["), std::string::npos);
+    for (const auto &layer : run.layers)
+        EXPECT_NE(json.find("\"" + layer.name + "\""),
+                  std::string::npos);
+}
+
+TEST(ExportJson, BalancedBracesAndBrackets)
+{
+    const std::string json = toJson(sampleRun());
+    int braces = 0, brackets = 0;
+    bool inString = false;
+    char prev = '\0';
+    for (char c : json) {
+        if (c == '"' && prev != '\\')
+            inString = !inString;
+        if (!inString) {
+            braces += c == '{';
+            braces -= c == '}';
+            brackets += c == '[';
+            brackets -= c == ']';
+        }
+        prev = c;
+    }
+    EXPECT_EQ(braces, 0);
+    EXPECT_EQ(brackets, 0);
+    EXPECT_FALSE(inString);
+}
+
+TEST(ExportJson, TrainingPhaseLabel)
+{
+    core::IncaEngine engine(arch::paperInca());
+    const auto run = engine.training(nn::lenet5(), 4);
+    EXPECT_NE(toJson(run).find("\"phase\": \"training\""),
+              std::string::npos);
+}
+
+TEST(ExportFile, RoundTrip)
+{
+    const std::string path = "/tmp/inca_export_test.csv";
+    writeFile(path, "hello,world\n");
+    std::ifstream in(path);
+    std::string line;
+    std::getline(in, line);
+    EXPECT_EQ(line, "hello,world");
+    std::remove(path.c_str());
+}
+
+TEST(ExportFileDeath, UnwritablePathFatal)
+{
+    EXPECT_DEATH(writeFile("/nonexistent-dir/x.csv", "x"),
+                 "cannot write");
+}
+
+} // namespace
+} // namespace sim
+} // namespace inca

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Memory-footprint model tests against the paper's Table IV.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dataflow/footprint.hh"
+#include "nn/model_zoo.hh"
+
+namespace inca {
+namespace dataflow {
+namespace {
+
+TEST(Footprint, StructuralRelations)
+{
+    for (const auto &net : nn::evaluationSuite()) {
+        const auto row = footprint(net);
+        const double w = double(net.totalWeights());
+        const double a = double(net.totalActivations());
+        // Baseline RRAM = weights + transposed copy + activations.
+        EXPECT_DOUBLE_EQ(row.baseline.rram, 2.0 * w + a) << net.name;
+        // Baseline buffers stage the activations.
+        EXPECT_DOUBLE_EQ(row.baseline.buffers, a) << net.name;
+        // INCA: activations in RRAM, weights in buffers.
+        EXPECT_DOUBLE_EQ(row.inca.rram, a) << net.name;
+        EXPECT_DOUBLE_EQ(row.inca.buffers, w) << net.name;
+    }
+}
+
+TEST(Footprint, IncaRramEqualsBaselineBuffers)
+{
+    // A striking Table IV symmetry: INCA's RRAM column equals the
+    // baseline's buffer column (both are the activation capacity).
+    for (const auto &net : nn::evaluationSuite()) {
+        const auto row = footprint(net);
+        EXPECT_DOUBLE_EQ(row.inca.rram, row.baseline.buffers)
+            << net.name;
+    }
+}
+
+TEST(Footprint, TableIVVgg16)
+{
+    // Paper row: baseline 272.57 / 8.69 MiB, INCA 8.69 / 131.94 MiB.
+    const auto row = footprint(nn::vgg16());
+    EXPECT_NEAR(toMiB(row.baseline.rram), 272.57, 2.0);
+    EXPECT_NEAR(toMiB(row.baseline.buffers), 8.69, 0.6);
+    EXPECT_NEAR(toMiB(row.inca.rram), 8.69, 0.6);
+    EXPECT_NEAR(toMiB(row.inca.buffers), 131.94, 0.5);
+}
+
+TEST(Footprint, TableIVVgg19)
+{
+    const auto row = footprint(nn::vgg19());
+    EXPECT_NEAR(toMiB(row.baseline.rram), 283.94, 2.0);
+    EXPECT_NEAR(toMiB(row.inca.buffers), 137.00, 0.5);
+}
+
+TEST(Footprint, TableIVResnet18)
+{
+    const auto row = footprint(nn::resnet18());
+    EXPECT_NEAR(toMiB(row.baseline.rram), 24.36, 1.0);
+    EXPECT_NEAR(toMiB(row.baseline.buffers), 2.08, 0.3);
+    EXPECT_NEAR(toMiB(row.inca.buffers), 11.14, 0.7);
+}
+
+TEST(Footprint, TableIVResnet50)
+{
+    const auto row = footprint(nn::resnet50());
+    EXPECT_NEAR(toMiB(row.baseline.rram), 58.79, 3.0);
+    EXPECT_NEAR(toMiB(row.inca.buffers), 24.32, 1.5);
+}
+
+TEST(Footprint, TableIVLightModels)
+{
+    // Light models: INCA's total footprint is smaller than the
+    // baseline's on both columns (weights are tiny).
+    const auto mbv2 = footprint(nn::mobilenetV2());
+    EXPECT_NEAR(toMiB(mbv2.baseline.rram), 13.05, 2.0);
+    EXPECT_NEAR(toMiB(mbv2.inca.buffers), 3.31, 1.0);
+    const auto mnas = footprint(nn::mnasnet());
+    EXPECT_NEAR(toMiB(mnas.baseline.rram), 13.57, 2.5);
+    EXPECT_NEAR(toMiB(mnas.inca.buffers), 4.14, 1.5);
+}
+
+TEST(Footprint, IncaNeedsFarLessRram)
+{
+    // Limitation 2's bottom line: INCA's RRAM requirement is a small
+    // fraction of the baseline's for the heavy networks.
+    for (const auto &net : nn::heavySuite()) {
+        const auto row = footprint(net);
+        EXPECT_LT(row.inca.rram, 0.25 * row.baseline.rram)
+            << net.name;
+    }
+}
+
+TEST(Footprint, PrecisionScalesLinearly)
+{
+    const auto p8 = footprint(nn::resnet18(), 8);
+    const auto p16 = footprint(nn::resnet18(), 16);
+    EXPECT_DOUBLE_EQ(p16.baseline.rram, 2.0 * p8.baseline.rram);
+    EXPECT_DOUBLE_EQ(p16.inca.buffers, 2.0 * p8.inca.buffers);
+}
+
+TEST(Footprint, ToMiB)
+{
+    EXPECT_DOUBLE_EQ(toMiB(1048576.0), 1.0);
+    EXPECT_DOUBLE_EQ(toMiB(0.0), 0.0);
+}
+
+} // namespace
+} // namespace dataflow
+} // namespace inca

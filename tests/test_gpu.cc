@@ -1,0 +1,104 @@
+/**
+ * @file
+ * GPU roofline model tests (paper Fig. 15 comparator).
+ */
+
+#include <gtest/gtest.h>
+
+#include "gpu/gpu_model.hh"
+#include "nn/model_zoo.hh"
+
+namespace inca {
+namespace gpu {
+namespace {
+
+TEST(Gpu, TableIISpecs)
+{
+    const GpuSpec spec;
+    EXPECT_DOUBLE_EQ(spec.peakFlops, 16.3e12);
+    EXPECT_DOUBLE_EQ(spec.memBandwidth, 672e9);
+    EXPECT_DOUBLE_EQ(spec.boardPower, 280.0);
+    EXPECT_NEAR(spec.dieArea, 754e-6, 1e-9);
+    EXPECT_EQ(spec.cudaCores, 4608);
+}
+
+TEST(Gpu, EnergyIsPowerTimesTime)
+{
+    GpuModel gpu;
+    const auto run = gpu.inference(nn::resnet18(), 64);
+    EXPECT_NEAR(run.energy, 280.0 * run.latency, 1e-9);
+    EXPECT_GT(run.latency, 0.0);
+}
+
+TEST(Gpu, FlopAccounting)
+{
+    GpuModel gpu;
+    const auto net = nn::resnet18();
+    const auto run = gpu.inference(net, 64);
+    EXPECT_DOUBLE_EQ(run.flops, 2.0 * double(net.totalMacs()) * 64.0);
+}
+
+TEST(Gpu, TrainingIsThreePasses)
+{
+    GpuModel gpu;
+    const auto net = nn::vgg16();
+    const auto inf = gpu.inference(net, 64);
+    const auto trn = gpu.training(net, 64);
+    EXPECT_DOUBLE_EQ(trn.flops, 3.0 * inf.flops);
+    EXPECT_GT(trn.latency, 2.0 * inf.latency);
+}
+
+TEST(Gpu, VggIsComputeBound)
+{
+    // VGG16 at batch 64: ~2 TFLOP vs ~2.6 GB -> compute dominates.
+    GpuModel gpu;
+    const auto net = nn::vgg16();
+    const auto run = gpu.inference(net, 64);
+    const GpuSpec &s = gpu.spec();
+    const double computeTime =
+        run.flops / (s.peakFlops * s.computeEfficiency);
+    const double memTime =
+        run.bytes / (s.memBandwidth * s.bandwidthEfficiency);
+    EXPECT_GT(computeTime, memTime);
+}
+
+TEST(Gpu, LightModelsAreNotComputeBound)
+{
+    // MobileNetV2's arithmetic intensity is far lower; the roofline
+    // must show compute NOT dominating by the VGG margin.
+    GpuModel gpu;
+    auto intensity = [&](const nn::NetworkDesc &net) {
+        const auto run = gpu.inference(net, 64);
+        return run.flops / run.bytes;
+    };
+    EXPECT_GT(intensity(nn::vgg16()),
+              5.0 * intensity(nn::mobilenetV2()));
+}
+
+TEST(Gpu, ThroughputScalesWithBatchUntilSaturation)
+{
+    GpuModel gpu;
+    const auto net = nn::resnet50();
+    const auto b8 = gpu.inference(net, 8);
+    const auto b64 = gpu.inference(net, 64);
+    EXPECT_GT(b64.throughput(64), b8.throughput(8) * 0.9);
+}
+
+TEST(Gpu, LatencyIncludesPerLayerOverhead)
+{
+    GpuSpec spec;
+    spec.perLayerOverhead = 1.0; // absurdly large to dominate
+    GpuModel gpu(spec);
+    const auto run = gpu.inference(nn::lenet5(), 1);
+    EXPECT_GT(run.latency, 4.0); // 5 conv-like layers x 1 s
+}
+
+TEST(GpuDeath, BadBatchPanics)
+{
+    GpuModel gpu;
+    EXPECT_DEATH(gpu.inference(nn::lenet5(), 0), "batch");
+}
+
+} // namespace
+} // namespace gpu
+} // namespace inca

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * INCA intra-layer mapping tests (paper Section IV-C).
+ */
+
+#include <gtest/gtest.h>
+
+#include "inca/mapping.hh"
+
+namespace inca {
+namespace core {
+namespace {
+
+nn::LayerDesc
+convLayer(std::int64_t c, std::int64_t hw, std::int64_t n, int k,
+          std::int64_t out)
+{
+    nn::LayerDesc l;
+    l.kind = k == 1 ? nn::LayerKind::Pointwise : nn::LayerKind::Conv;
+    l.inC = c;
+    l.inH = l.inW = hw;
+    l.outC = n;
+    l.outH = l.outW = out;
+    l.kh = l.kw = k;
+    return l;
+}
+
+TEST(Mapping, PartitionCounts)
+{
+    const auto cfg = arch::paperInca();
+    // 224x224 on 16x16 planes: 14x14 partitions per channel.
+    auto m = mapLayer(convLayer(3, 224, 64, 3, 224), cfg);
+    EXPECT_EQ(m.partitionsPerChannel, 196);
+    EXPECT_EQ(m.macrosNeeded, 3 * 196);
+    // 14x14 maps: one partition.
+    m = mapLayer(convLayer(512, 14, 512, 3, 14), cfg);
+    EXPECT_EQ(m.partitionsPerChannel, 1);
+    EXPECT_EQ(m.macrosNeeded, 512);
+}
+
+TEST(Mapping, RaggedMapsRoundUp)
+{
+    const auto cfg = arch::paperInca();
+    auto m = mapLayer(convLayer(64, 28, 64, 3, 28), cfg);
+    EXPECT_EQ(m.partitionsPerChannel, 4); // ceil(28/16)^2
+}
+
+TEST(Mapping, PositionsSplitAcrossPartitions)
+{
+    const auto cfg = arch::paperInca();
+    auto m = mapLayer(convLayer(3, 224, 64, 3, 224), cfg);
+    // 50176 output positions over 196 partitions.
+    EXPECT_EQ(m.positionsPerPartition, 256);
+}
+
+TEST(Mapping, OutputChannelsAreSerial)
+{
+    const auto cfg = arch::paperInca();
+    auto m = mapLayer(convLayer(64, 56, 128, 3, 56), cfg);
+    EXPECT_EQ(m.serialChannels, 128);
+    EXPECT_EQ(m.sequentialReads(8),
+              m.positionsPerPartition * 8 * 128);
+}
+
+TEST(Mapping, DepthwiseChannelsAreParallel)
+{
+    const auto cfg = arch::paperInca();
+    nn::LayerDesc l;
+    l.kind = nn::LayerKind::Depthwise;
+    l.inC = l.outC = 96;
+    l.inH = l.inW = l.outH = l.outW = 28;
+    l.kh = l.kw = 3;
+    auto m = mapLayer(l, cfg);
+    EXPECT_EQ(m.serialChannels, 1);
+    EXPECT_EQ(m.adcGroupsPerOutput, 1);
+    EXPECT_EQ(m.macrosNeeded, 96 * 4);
+}
+
+TEST(Mapping, AdcGroupsFollowChannelCount)
+{
+    const auto cfg = arch::paperInca(); // 16 subarrays per ADC
+    EXPECT_EQ(mapLayer(convLayer(512, 14, 512, 3, 14), cfg)
+                  .adcGroupsPerOutput,
+              32);
+    EXPECT_EQ(mapLayer(convLayer(16, 14, 16, 3, 14), cfg)
+                  .adcGroupsPerOutput,
+              1);
+    EXPECT_EQ(mapLayer(convLayer(17, 14, 16, 3, 14), cfg)
+                  .adcGroupsPerOutput,
+              2);
+}
+
+TEST(Mapping, PointwiseFoldsChannelsOntoPlane)
+{
+    const auto cfg = arch::paperInca();
+    // 1024 channels fold onto ceil(1024/256) = 4 planes per pixel;
+    // each plane holds one pixel's slice -> one serial position.
+    auto m = mapLayer(convLayer(1024, 14, 256, 1, 14), cfg);
+    EXPECT_EQ(m.partitionsPerChannel, 4); // fold groups
+    EXPECT_EQ(m.positionsPerPartition, 1);
+    EXPECT_EQ(m.serialChannels, 256);
+    EXPECT_EQ(m.windowCells, 256);
+    EXPECT_EQ(m.adcGroupsPerOutput, 1);
+}
+
+TEST(Mapping, PointwiseSmallChannelsShareAPlane)
+{
+    const auto cfg = arch::paperInca();
+    // 16 channels per pixel: 256/16 = 16 pixels per plane serialize.
+    auto m = mapLayer(convLayer(16, 32, 96, 1, 32), cfg);
+    EXPECT_EQ(m.positionsPerPartition, 16);
+    EXPECT_EQ(m.windowCells, 16);
+}
+
+TEST(Mapping, FullyConnectedFolds)
+{
+    const auto cfg = arch::paperInca();
+    nn::LayerDesc fc;
+    fc.kind = nn::LayerKind::FullyConnected;
+    fc.inC = 25088;
+    fc.inH = fc.inW = 1;
+    fc.outC = 4096;
+    fc.outH = fc.outW = 1;
+    fc.kh = fc.kw = 1;
+    auto m = mapLayer(fc, cfg);
+    EXPECT_EQ(m.partitionsPerChannel, 98); // ceil(25088/256)
+    EXPECT_EQ(m.serialChannels, 4096);
+    EXPECT_EQ(m.positionsPerPartition, 1);
+    EXPECT_EQ(m.adcGroupsPerOutput, 7); // ceil(98/16)
+}
+
+TEST(Mapping, WindowCellsMatchKernel)
+{
+    const auto cfg = arch::paperInca();
+    EXPECT_EQ(mapLayer(convLayer(8, 14, 8, 3, 14), cfg).windowCells,
+              9);
+    nn::LayerDesc l = convLayer(8, 14, 8, 3, 14);
+    l.kh = l.kw = 5;
+    EXPECT_EQ(mapLayer(l, cfg).windowCells, 25);
+}
+
+TEST(MappingDeath, NonConvLayerPanics)
+{
+    const auto cfg = arch::paperInca();
+    nn::LayerDesc pool;
+    pool.kind = nn::LayerKind::MaxPool;
+    pool.name = "pool";
+    EXPECT_DEATH(mapLayer(pool, cfg), "non-conv");
+}
+
+} // namespace
+} // namespace core
+} // namespace inca

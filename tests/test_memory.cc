@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Memory-substrate tests: bus word arithmetic, SRAM buffer energy,
+ * and the Fig. 1b DRAM bandwidth-latency model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "memory/bus.hh"
+#include "memory/dram.hh"
+#include "memory/sram.hh"
+
+namespace inca {
+namespace memory {
+namespace {
+
+TEST(Bus, WordArithmetic)
+{
+    Bus bus; // 256-bit
+    EXPECT_EQ(bus.words(0, 8), 0u);
+    EXPECT_EQ(bus.words(32, 8), 1u);   // exactly one word
+    EXPECT_EQ(bus.words(33, 8), 2u);
+    EXPECT_EQ(bus.words(27, 16), 2u);  // 432 bits -> 2 words (Eq. 5)
+    EXPECT_EQ(bus.words(27, 8), 1u);   // 216 bits -> 1 word
+}
+
+TEST(Bus, Eq5VggConv1Examples)
+{
+    // Paper Eq. 5 with K=3x3, C=3: ceil(27 * prec / 256).
+    Bus bus;
+    EXPECT_EQ(bus.words(9 * 64, 8), 18u);  // VGG conv2 at 8-bit
+    EXPECT_EQ(bus.words(9 * 64, 16), 36u); // and at 16-bit
+}
+
+TEST(Sram, TableIIDefaults)
+{
+    const SramBuffer b = paperBuffer();
+    EXPECT_DOUBLE_EQ(b.capacity, 65536.0);
+    EXPECT_EQ(b.port.widthBits, 256);
+}
+
+TEST(Sram, EnergyLinearInWords)
+{
+    const SramBuffer b = paperBuffer();
+    EXPECT_DOUBLE_EQ(b.readEnergy(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(b.readEnergy(10.0), 10.0 * b.readWordEnergy());
+    EXPECT_DOUBLE_EQ(b.writeEnergy(10.0), 10.0 * b.writeWordEnergy());
+    EXPECT_GT(b.writeWordEnergy(), b.readWordEnergy());
+}
+
+TEST(Sram, AreaMatchesTableVAnchor)
+{
+    const SramBuffer b = paperBuffer();
+    // 168 buffers -> 13.944 mm^2.
+    EXPECT_NEAR(b.area() * 168.0, 13.944e-6, 1e-9);
+    // Area scales with capacity.
+    SramBuffer big = b;
+    big.capacity = 128.0 * 1024.0;
+    EXPECT_NEAR(big.area(), 2.0 * b.area(), 1e-12);
+}
+
+TEST(Dram, PaperEnergyAssumption)
+{
+    const Dram d = paperDram();
+    // 32 pJ per 8-bit access.
+    EXPECT_DOUBLE_EQ(d.accessEnergy(1.0), 32e-12);
+    EXPECT_DOUBLE_EQ(d.accessEnergy(1e6), 32e-6);
+}
+
+TEST(Dram, StreamTime)
+{
+    const Dram d = paperDram();
+    EXPECT_DOUBLE_EQ(d.streamTime(d.peakBandwidth), 1.0);
+    EXPECT_DOUBLE_EQ(d.streamTime(0.0), 0.0);
+}
+
+TEST(Dram, LatencyNearFlatBelowKnee)
+{
+    const Dram d = paperDram();
+    const Seconds idle = d.loadedLatency(0.0);
+    EXPECT_DOUBLE_EQ(idle, d.unloadedLatency);
+    // At 50 % utilization the latency has grown by < 50 %.
+    EXPECT_LT(d.loadedLatency(0.5), 1.5 * idle);
+    // At the knee it is still within ~2x.
+    EXPECT_LT(d.loadedLatency(0.80), 2.0 * idle);
+}
+
+TEST(Dram, LatencyExplodesBeyondKnee)
+{
+    // Figure 1b: latency increases (near-)exponentially past ~80 % of
+    // the maximum sustained bandwidth.
+    const Dram d = paperDram();
+    const Seconds atKnee = d.loadedLatency(0.80);
+    EXPECT_GT(d.loadedLatency(0.95), 10.0 * atKnee);
+    EXPECT_GT(d.loadedLatency(0.99), 25.0 * atKnee);
+}
+
+/** Loaded latency must be strictly increasing in utilization. */
+class DramMonotone : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(DramMonotone, Increasing)
+{
+    const Dram d = paperDram();
+    const double u = GetParam();
+    EXPECT_GT(d.loadedLatency(u + 0.005), d.loadedLatency(u));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, DramMonotone,
+                         ::testing::Values(0.0, 0.1, 0.2, 0.3, 0.4,
+                                           0.5, 0.6, 0.7, 0.8, 0.85,
+                                           0.9, 0.95, 0.98));
+
+TEST(Dram, ExponentialGrowthRatePastKnee)
+{
+    // Each additional ~3 % of utilization should roughly double the
+    // excess latency in the saturated regime (0.045 * ln 2 = 0.031).
+    const Dram d = paperDram();
+    const double over1 = d.loadedLatency(0.90) - d.unloadedLatency;
+    const double over2 = d.loadedLatency(0.93) - d.unloadedLatency;
+    EXPECT_NEAR(over2 / over1, 2.0, 0.5);
+}
+
+TEST(DramDeath, FullUtilizationPanics)
+{
+    const Dram d = paperDram();
+    EXPECT_DEATH(d.loadedLatency(1.0), "utilization");
+    EXPECT_DEATH(d.loadedLatency(-0.1), "utilization");
+}
+
+} // namespace
+} // namespace memory
+} // namespace inca

@@ -1,0 +1,298 @@
+/**
+ * @file
+ * Runtime module tests: forward semantics, backward gradients against
+ * numerical differentiation through whole modules, SGD steps, and the
+ * hardware-effect injection points.
+ */
+
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "common/random.hh"
+#include "nn/module.hh"
+#include "tensor/ops.hh"
+
+namespace inca {
+namespace nn {
+namespace {
+
+using tensor::Tensor;
+
+double
+weightedSum(const Tensor &y, const Tensor &coeff)
+{
+    double s = 0.0;
+    for (std::int64_t i = 0; i < y.size(); ++i)
+        s += double(y[i]) * double(coeff[i]);
+    return s;
+}
+
+Tensor
+numericalInputGrad(Module &m, Tensor x, const Tensor &coeff,
+                   float eps = 1e-2f)
+{
+    ForwardCtx ctx;
+    ctx.training = false;
+    Tensor g(x.shape());
+    for (std::int64_t i = 0; i < x.size(); ++i) {
+        const float orig = x[i];
+        x[i] = orig + eps;
+        const double plus = weightedSum(m.forward(x, ctx), coeff);
+        x[i] = orig - eps;
+        const double minus = weightedSum(m.forward(x, ctx), coeff);
+        x[i] = orig;
+        g[i] = float((plus - minus) / (2.0 * eps));
+    }
+    return g;
+}
+
+TEST(Conv2dModule, ForwardMatchesTensorOp)
+{
+    Rng rng(1);
+    Conv2d conv(3, 4, 3, 1, 1, rng);
+    Tensor x = Tensor::randn({2, 3, 6, 6}, rng);
+    ForwardCtx ctx;
+    Tensor y = conv.forward(x, ctx);
+    EXPECT_EQ(y.shape(), (std::vector<std::int64_t>{2, 4, 6, 6}));
+    Tensor ref = tensor::conv2d(x, conv.weights(), {1, 1});
+    EXPECT_TRUE(y.allClose(ref, 1e-5f));
+}
+
+TEST(Conv2dModule, BackwardMatchesNumerical)
+{
+    Rng rng(2);
+    Conv2d conv(2, 3, 3, 1, 1, rng);
+    Tensor x = Tensor::randn({1, 2, 5, 5}, rng);
+    ForwardCtx ctx;
+    ctx.training = true;
+    Tensor y = conv.forward(x, ctx);
+    Tensor coeff = Tensor::randn(y.shape(), rng);
+    Tensor dx = conv.backward(coeff);
+    Tensor dxNum = numericalInputGrad(conv, x, coeff);
+    EXPECT_TRUE(dx.allClose(dxNum, 5e-2f));
+}
+
+TEST(Conv2dModule, SgdStepReducesWeightedOutput)
+{
+    Rng rng(3);
+    Conv2d conv(1, 1, 3, 1, 1, rng);
+    Tensor x = Tensor::randn({1, 1, 4, 4}, rng);
+    ForwardCtx ctx;
+    ctx.training = true;
+    Tensor y0 = conv.forward(x, ctx);
+    // Gradient of L = sum(y) w.r.t. y is all-ones.
+    Tensor ones = Tensor::full(y0.shape(), 1.0f);
+    conv.backward(ones);
+    conv.step(0.05f);
+    Tensor y1 = conv.forward(x, ctx);
+    EXPECT_LT(y1.sum(), y0.sum());
+}
+
+TEST(Conv2dModule, StepClearsGradient)
+{
+    Rng rng(4);
+    Conv2d conv(1, 1, 3, 1, 1, rng);
+    Tensor x = Tensor::randn({1, 1, 4, 4}, rng);
+    ForwardCtx ctx;
+    ctx.training = true;
+    conv.forward(x, ctx);
+    conv.backward(Tensor::full({1, 1, 4, 4}, 1.0f));
+    conv.step(0.1f);
+    Tensor w0 = conv.weights();
+    // Stepping again without a new backward must not move weights.
+    conv.step(0.1f);
+    EXPECT_TRUE(conv.weights().equals(w0));
+}
+
+TEST(DepthwiseModule, BackwardMatchesNumerical)
+{
+    Rng rng(5);
+    DepthwiseConv2d conv(3, 3, 1, 1, rng);
+    Tensor x = Tensor::randn({1, 3, 5, 5}, rng);
+    ForwardCtx ctx;
+    ctx.training = true;
+    Tensor y = conv.forward(x, ctx);
+    Tensor coeff = Tensor::randn(y.shape(), rng);
+    Tensor dx = conv.backward(coeff);
+    Tensor dxNum = numericalInputGrad(conv, x, coeff);
+    EXPECT_TRUE(dx.allClose(dxNum, 5e-2f));
+}
+
+TEST(LinearModule, ForwardAndBackward)
+{
+    Rng rng(6);
+    Linear lin(4, 3, rng);
+    Tensor x = Tensor::randn({2, 4}, rng);
+    ForwardCtx ctx;
+    ctx.training = true;
+    Tensor y = lin.forward(x, ctx);
+    EXPECT_EQ(y.shape(), (std::vector<std::int64_t>{2, 3}));
+    Tensor coeff = Tensor::randn(y.shape(), rng);
+    Tensor dx = lin.backward(coeff);
+    Tensor dxNum = numericalInputGrad(lin, x, coeff);
+    EXPECT_TRUE(dx.allClose(dxNum, 5e-2f));
+}
+
+TEST(ReLUModule, RoundTrip)
+{
+    ReLU r;
+    Tensor x({4}, {-1.0f, 2.0f, -3.0f, 4.0f});
+    ForwardCtx ctx;
+    ctx.training = true;
+    Tensor y = r.forward(x, ctx);
+    EXPECT_EQ(y[0], 0.0f);
+    EXPECT_EQ(y[1], 2.0f);
+    Tensor dy = Tensor::full({4}, 1.0f);
+    Tensor dx = r.backward(dy);
+    EXPECT_EQ(dx[0], 0.0f);
+    EXPECT_EQ(dx[1], 1.0f);
+    EXPECT_EQ(dx[3], 1.0f);
+}
+
+TEST(MaxPoolModule, ShrinksAndRestores)
+{
+    Rng rng(7);
+    MaxPool2d pool(2);
+    Tensor x = Tensor::randn({1, 2, 6, 6}, rng);
+    ForwardCtx ctx;
+    ctx.training = true;
+    Tensor y = pool.forward(x, ctx);
+    EXPECT_EQ(y.shape(), (std::vector<std::int64_t>{1, 2, 3, 3}));
+    Tensor dy = Tensor::full(y.shape(), 1.0f);
+    Tensor dx = pool.backward(dy);
+    EXPECT_EQ(dx.shape(), x.shape());
+    EXPECT_DOUBLE_EQ(dx.sum(), 18.0);
+}
+
+TEST(FlattenModule, RoundTrip)
+{
+    Flatten fl;
+    Tensor x({2, 3, 2, 2});
+    ForwardCtx ctx;
+    ctx.training = true;
+    Tensor y = fl.forward(x, ctx);
+    EXPECT_EQ(y.shape(), (std::vector<std::int64_t>{2, 12}));
+    Tensor dx = fl.backward(y);
+    EXPECT_EQ(dx.shape(), x.shape());
+}
+
+TEST(Sequential, ComposesAndCountsParameters)
+{
+    Rng rng(8);
+    Sequential net;
+    net.emplace<Conv2d>(1, 4, 3, 1, 1, rng);
+    net.emplace<ReLU>();
+    net.emplace<MaxPool2d>(2);
+    net.emplace<Flatten>();
+    net.emplace<Linear>(4 * 2 * 2, 3, rng);
+    EXPECT_EQ(net.size(), 5u);
+    EXPECT_EQ(net.parameterCount(), 4 * 9 + 16 * 3 + 3);
+
+    Tensor x = Tensor::randn({2, 1, 4, 4}, rng);
+    ForwardCtx ctx;
+    ctx.training = true;
+    Tensor y = net.forward(x, ctx);
+    EXPECT_EQ(y.shape(), (std::vector<std::int64_t>{2, 3}));
+    Tensor dx = net.backward(Tensor::full(y.shape(), 1.0f));
+    EXPECT_EQ(dx.shape(), x.shape());
+}
+
+TEST(Residual, ForwardAddsSkip)
+{
+    Rng rng(9);
+    // Inner path: conv with zero weights -> residual is relu(x).
+    auto inner = std::make_unique<Conv2d>(2, 2, 3, 1, 1, rng);
+    inner->weights().fill(0.0f);
+    Residual res(std::move(inner));
+    Tensor x = Tensor::randn({1, 2, 4, 4}, rng);
+    ForwardCtx ctx;
+    Tensor y = res.forward(x, ctx);
+    EXPECT_TRUE(y.allClose(tensor::relu(x), 1e-6f));
+}
+
+TEST(Residual, BackwardMatchesNumerical)
+{
+    Rng rng(10);
+    auto inner = std::make_unique<Conv2d>(2, 2, 3, 1, 1, rng);
+    Residual res(std::move(inner));
+    Tensor x = Tensor::randn({1, 2, 4, 4}, rng);
+    ForwardCtx ctx;
+    ctx.training = true;
+    Tensor y = res.forward(x, ctx);
+    Tensor coeff = Tensor::randn(y.shape(), rng);
+    Tensor dx = res.backward(coeff);
+    Tensor dxNum = numericalInputGrad(res, x, coeff);
+    EXPECT_TRUE(dx.allClose(dxNum, 6e-2f));
+}
+
+TEST(ForwardCtx, WeightNoiseChangesOutputOnlyWhenEnabled)
+{
+    Rng rng(11);
+    Conv2d conv(1, 1, 3, 1, 1, rng);
+    Tensor x = Tensor::randn({1, 1, 4, 4}, rng);
+    ForwardCtx clean;
+    Tensor y0 = conv.forward(x, clean);
+    Tensor y1 = conv.forward(x, clean);
+    EXPECT_TRUE(y0.equals(y1));
+
+    Rng noiseRng(12);
+    ForwardCtx noisy;
+    noisy.noise = NoiseSpec{NoiseTarget::Weights, 0.05};
+    noisy.rng = &noiseRng;
+    Tensor yN = conv.forward(x, noisy);
+    EXPECT_FALSE(yN.equals(y0));
+}
+
+TEST(ForwardCtx, ActivationNoiseStrikesOutputs)
+{
+    Rng rng(13);
+    Conv2d conv(1, 1, 3, 1, 1, rng);
+    Tensor x = Tensor::randn({1, 1, 4, 4}, rng);
+    Rng noiseRng(14);
+    ForwardCtx noisy;
+    noisy.noise = NoiseSpec{NoiseTarget::Activations, 0.05};
+    noisy.rng = &noiseRng;
+    ForwardCtx clean;
+    EXPECT_FALSE(
+        conv.forward(x, noisy).equals(conv.forward(x, clean)));
+}
+
+TEST(ForwardCtx, QuantizationSnapsWeights)
+{
+    Rng rng(15);
+    Conv2d conv(1, 2, 3, 1, 1, rng);
+    Tensor x = Tensor::randn({1, 1, 4, 4}, rng);
+    ForwardCtx q8, q2;
+    q8.weightBits = 8;
+    q2.weightBits = 2;
+    ForwardCtx clean;
+    Tensor yClean = conv.forward(x, clean);
+    Tensor y8 = conv.forward(x, q8);
+    Tensor y2 = conv.forward(x, q2);
+    // Coarser quantization must deviate more.
+    double err8 = 0.0, err2 = 0.0;
+    for (std::int64_t i = 0; i < yClean.size(); ++i) {
+        err8 += std::abs(double(y8[i] - yClean[i]));
+        err2 += std::abs(double(y2[i] - yClean[i]));
+    }
+    EXPECT_LT(err8, err2);
+}
+
+TEST(MakeSmallResNet, BuildsAndRuns)
+{
+    Rng rng(16);
+    auto net = makeSmallResNet(1, 8, 4, 8, rng);
+    Tensor x = Tensor::randn({2, 1, 8, 8}, rng);
+    ForwardCtx ctx;
+    ctx.training = true;
+    Tensor y = net->forward(x, ctx);
+    EXPECT_EQ(y.shape(), (std::vector<std::int64_t>{2, 4}));
+    Tensor dx = net->backward(Tensor::full(y.shape(), 0.1f));
+    EXPECT_EQ(dx.shape(), x.shape());
+    EXPECT_GT(net->parameterCount(), 0);
+}
+
+} // namespace
+} // namespace nn
+} // namespace inca

@@ -1,0 +1,265 @@
+/**
+ * @file
+ * Network description and model-zoo tests: layer shapes, parameter
+ * counts against published numbers, builder shape tracking.
+ */
+
+#include <gtest/gtest.h>
+
+#include "nn/model_zoo.hh"
+#include "nn/network.hh"
+
+namespace inca {
+namespace nn {
+namespace {
+
+TEST(LayerDesc, WeightAndMacCounts)
+{
+    LayerDesc l;
+    l.kind = LayerKind::Conv;
+    l.inC = 64;
+    l.inH = l.inW = 56;
+    l.outC = 128;
+    l.outH = l.outW = 56;
+    l.kh = l.kw = 3;
+    EXPECT_EQ(l.weightCount(), 9 * 64 * 128);
+    EXPECT_EQ(l.accumDepth(), 9 * 64);
+    EXPECT_EQ(l.macs(), 9LL * 64 * 128 * 56 * 56);
+    EXPECT_EQ(l.inputCount(), 64LL * 56 * 56);
+    EXPECT_EQ(l.outputCount(), 128LL * 56 * 56);
+    EXPECT_TRUE(l.isConvLike());
+    EXPECT_FALSE(l.isLight());
+}
+
+TEST(LayerDesc, DepthwiseDoesNotAccumulateChannels)
+{
+    LayerDesc l;
+    l.kind = LayerKind::Depthwise;
+    l.inC = l.outC = 32;
+    l.inH = l.inW = l.outH = l.outW = 14;
+    l.kh = l.kw = 3;
+    EXPECT_EQ(l.weightCount(), 9 * 32);
+    EXPECT_EQ(l.accumDepth(), 9);
+    EXPECT_EQ(l.macs(), 9LL * 32 * 14 * 14);
+    EXPECT_TRUE(l.isLight());
+}
+
+TEST(LayerDesc, NonConvHasNoWeights)
+{
+    LayerDesc l;
+    l.kind = LayerKind::MaxPool;
+    l.inC = l.outC = 64;
+    l.kh = l.kw = 2;
+    EXPECT_EQ(l.weightCount(), 0);
+    EXPECT_EQ(l.macs(), 0);
+    EXPECT_FALSE(l.isConvLike());
+}
+
+TEST(NetBuilder, TracksShapes)
+{
+    NetBuilder b("t", 3, 32, 32);
+    b.conv(16, 3, 1, 1);
+    EXPECT_EQ(b.channels(), 16);
+    EXPECT_EQ(b.height(), 32);
+    b.maxpool(2);
+    EXPECT_EQ(b.height(), 16);
+    b.conv(32, 3, 2, 1);
+    EXPECT_EQ(b.height(), 8);
+    b.gavgpool();
+    EXPECT_EQ(b.height(), 1);
+    b.fc(10);
+    EXPECT_EQ(b.channels(), 10);
+    auto net = b.build(10);
+    EXPECT_EQ(net.numClasses, 10);
+    EXPECT_EQ(net.layers.size(), 5u);
+}
+
+TEST(NetBuilder, FcFlattensInput)
+{
+    NetBuilder b("t", 8, 4, 4);
+    b.fc(10);
+    auto net = b.build(10);
+    EXPECT_EQ(net.layers[0].inC, 8 * 4 * 4);
+    EXPECT_EQ(net.layers[0].weightCount(), 128 * 10);
+}
+
+TEST(NetBuilder, SideConvDoesNotChangeMainPath)
+{
+    NetBuilder b("t", 64, 56, 56);
+    b.conv(128, 3, 2, 1);
+    b.sideConv(64, 56, 56, 128, 1, 2);
+    EXPECT_EQ(b.channels(), 128);
+    EXPECT_EQ(b.height(), 28);
+    auto net = b.build(10);
+    EXPECT_EQ(net.layers[1].inC, 64);
+    EXPECT_EQ(net.layers[1].outH, 28);
+}
+
+TEST(ModelZoo, Vgg16MatchesPublishedParameterCount)
+{
+    auto net = vgg16();
+    // ~138.36 M parameters (conv + FC, no biases modelled).
+    EXPECT_NEAR(double(net.totalWeights()), 138.34e6, 0.5e6);
+    // The paper's Limitation-2 example: 553 MB at 32-bit (decimal MB).
+    EXPECT_NEAR(double(net.totalWeights()) * 4.0 / 1e6, 553.0, 5.0);
+    EXPECT_FALSE(net.isLightModel());
+}
+
+TEST(ModelZoo, Vgg16HasThirteenConvsAndThreeFcs)
+{
+    auto net = vgg16();
+    int convs = 0, fcs = 0;
+    for (const auto &l : net.layers) {
+        if (l.kind == LayerKind::Conv)
+            ++convs;
+        if (l.kind == LayerKind::FullyConnected)
+            ++fcs;
+    }
+    EXPECT_EQ(convs, 13);
+    EXPECT_EQ(fcs, 3);
+}
+
+TEST(ModelZoo, Vgg19HasSixteenConvs)
+{
+    auto net = vgg19();
+    int convs = 0;
+    for (const auto &l : net.layers) {
+        if (l.kind == LayerKind::Conv)
+            ++convs;
+    }
+    EXPECT_EQ(convs, 16);
+    EXPECT_GT(net.totalWeights(), vgg16().totalWeights());
+}
+
+TEST(ModelZoo, Lenet5MatchesPaperFootprint)
+{
+    auto net = lenet5();
+    // The paper: "weights of LeNet5 occupy 240KB" in a 32-bit system.
+    const double kb = double(net.totalWeights()) * 4.0 / 1024.0;
+    EXPECT_NEAR(kb, 240.0, 10.0);
+}
+
+TEST(ModelZoo, Resnet18ParameterCount)
+{
+    auto net = resnet18();
+    // torchvision resnet18: 11.69 M params incl. biases/bn; our conv
+    // weights land near 11.2 M.
+    EXPECT_NEAR(double(net.totalWeights()), 11.2e6, 0.6e6);
+}
+
+TEST(ModelZoo, Resnet50ParameterCount)
+{
+    auto net = resnet50();
+    EXPECT_NEAR(double(net.totalWeights()), 25.0e6, 2.0e6);
+}
+
+TEST(ModelZoo, MobileNetV2IsLight)
+{
+    auto net = mobilenetV2();
+    EXPECT_TRUE(net.isLightModel());
+    // ~3.4 M params in the original paper (with BN); conv-only lands
+    // near 3 M.
+    EXPECT_NEAR(double(net.totalWeights()), 3.2e6, 0.8e6);
+}
+
+TEST(ModelZoo, MnasnetIsLight)
+{
+    auto net = mnasnet();
+    EXPECT_TRUE(net.isLightModel());
+    EXPECT_NEAR(double(net.totalWeights()), 4.0e6, 1.5e6);
+}
+
+TEST(ModelZoo, ImagenetShapesChainCorrectly)
+{
+    for (const auto &net : evaluationSuite()) {
+        const LayerDesc *prev = nullptr;
+        for (const auto &l : net.layers) {
+            if (prev != nullptr && l.kind != LayerKind::FullyConnected &&
+                l.name.rfind("sideconv", 0) != 0 &&
+                prev->name.rfind("sideconv", 0) != 0) {
+                EXPECT_EQ(l.inC, prev->outC)
+                    << net.name << " " << l.name;
+                EXPECT_EQ(l.inH, prev->outH)
+                    << net.name << " " << l.name;
+            }
+            prev = &l;
+        }
+    }
+}
+
+TEST(ModelZoo, CifarVariantsShrink)
+{
+    auto big = vgg16();
+    auto small = vgg16(cifarInput());
+    EXPECT_LT(small.totalMacs(), big.totalMacs());
+    EXPECT_EQ(small.numClasses, 10);
+    // CIFAR VGG16 conv stack ends at 1x1 spatial.
+    bool sawFc = false;
+    for (const auto &l : small.layers) {
+        if (l.kind == LayerKind::FullyConnected) {
+            if (!sawFc) {
+                EXPECT_EQ(l.inC, 512);
+            }
+            sawFc = true;
+        }
+    }
+    EXPECT_TRUE(sawFc);
+}
+
+TEST(ModelZoo, EvaluationSuiteOrder)
+{
+    auto suite = evaluationSuite();
+    ASSERT_EQ(suite.size(), 6u);
+    EXPECT_EQ(suite[0].name, "vgg16");
+    EXPECT_EQ(suite[1].name, "vgg19");
+    EXPECT_EQ(suite[2].name, "resnet18");
+    EXPECT_EQ(suite[3].name, "resnet50");
+    EXPECT_EQ(suite[4].name, "mobilenetv2");
+    EXPECT_EQ(suite[5].name, "mnasnet");
+}
+
+TEST(ModelZoo, ByNameRoundTrip)
+{
+    EXPECT_EQ(byName("vgg16").name, "vgg16");
+    EXPECT_EQ(byName("mnasnet").name, "mnasnet");
+    EXPECT_EQ(byName("lenet5").name, "lenet5");
+}
+
+TEST(ModelZoo, ResNet18TotalActivations)
+{
+    auto net = resnet18();
+    // Table IV: ResNet18 activations occupy ~2.08 MiB at 8 bit.
+    EXPECT_NEAR(double(net.totalActivations()) / 1.048576e6, 2.08,
+                0.25);
+}
+
+
+TEST(ModelZoo, Vgg8CifarShape)
+{
+    auto net = nn::vgg8();
+    int convs = 0, fcs = 0;
+    for (const auto &l : net.layers) {
+        if (l.kind == LayerKind::Conv)
+            ++convs;
+        if (l.kind == LayerKind::FullyConnected)
+            ++fcs;
+    }
+    EXPECT_EQ(convs, 6);
+    EXPECT_EQ(fcs, 2);
+    EXPECT_EQ(net.numClasses, 10);
+    // Conv stack ends at 4x4 spatial on 32x32 inputs.
+    EXPECT_EQ(net.convLayers().back().inC, 1024);
+    EXPECT_EQ(nn::byName("vgg8").name, "vgg8");
+}
+
+TEST(NetworkDesc, StrMentionsEveryLayer)
+{
+    auto net = lenet5();
+    const std::string s = net.str();
+    for (const auto &l : net.layers)
+        EXPECT_NE(s.find(l.name), std::string::npos);
+}
+
+} // namespace
+} // namespace nn
+} // namespace inca

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * RRAM noise and quantization model tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.hh"
+#include "nn/noise.hh"
+
+namespace inca {
+namespace nn {
+namespace {
+
+using tensor::Tensor;
+
+TEST(Noise, DisabledSpec)
+{
+    NoiseSpec off;
+    EXPECT_FALSE(off.enabled());
+    NoiseSpec zeroSigma{NoiseTarget::Weights, 0.0};
+    EXPECT_FALSE(zeroSigma.enabled());
+    NoiseSpec on{NoiseTarget::Activations, 0.02};
+    EXPECT_TRUE(on.enabled());
+}
+
+TEST(Noise, ZeroSigmaIsIdentity)
+{
+    Rng rng(1);
+    Tensor t = Tensor::randn({16}, rng);
+    Tensor out = addRangeNoise(t, 0.0, rng);
+    EXPECT_TRUE(out.equals(t));
+}
+
+TEST(Noise, ZeroTensorUnchanged)
+{
+    Rng rng(2);
+    Tensor t({8});
+    Tensor out = addRangeNoise(t, 0.1, rng);
+    EXPECT_TRUE(out.equals(t));
+}
+
+TEST(Noise, PerturbationScalesWithRange)
+{
+    // Same sigma, 10x larger values -> 10x larger absolute noise.
+    Rng rngA(3), rngB(3);
+    Tensor small = Tensor::full({1000}, 1.0f);
+    Tensor large = Tensor::full({1000}, 10.0f);
+    Tensor ns = addRangeNoise(small, 0.05, rngA);
+    Tensor nl = addRangeNoise(large, 0.05, rngB);
+    double devS = 0.0, devL = 0.0;
+    for (std::int64_t i = 0; i < 1000; ++i) {
+        devS += std::abs(double(ns[i]) - 1.0);
+        devL += std::abs(double(nl[i]) - 10.0);
+    }
+    EXPECT_NEAR(devL / devS, 10.0, 0.5);
+}
+
+TEST(Noise, EmpiricalSigmaMatches)
+{
+    Rng rng(4);
+    const double sigma = 0.03;
+    Tensor t = Tensor::full({20000}, 2.0f);
+    Tensor out = addRangeNoise(t, sigma, rng);
+    double sumSq = 0.0;
+    for (std::int64_t i = 0; i < t.size(); ++i) {
+        const double d = double(out[i]) - 2.0;
+        sumSq += d * d;
+    }
+    // Range = max|t| = 2 -> expected std = sigma * 2.
+    EXPECT_NEAR(std::sqrt(sumSq / double(t.size())), sigma * 2.0,
+                0.005);
+}
+
+TEST(Noise, ZeroCentered)
+{
+    Rng rng(5);
+    Tensor t = Tensor::full({50000}, 1.0f);
+    Tensor out = addRangeNoise(t, 0.05, rng);
+    EXPECT_NEAR(out.sum() / double(out.size()), 1.0, 0.002);
+}
+
+TEST(Quantize, ZeroBitsIsIdentity)
+{
+    Rng rng(6);
+    Tensor t = Tensor::randn({16}, rng);
+    EXPECT_TRUE(quantize(t, 0).equals(t));
+}
+
+TEST(Quantize, Idempotent)
+{
+    Rng rng(7);
+    Tensor t = Tensor::randn({64}, rng);
+    Tensor q1 = quantize(t, 5);
+    Tensor q2 = quantize(q1, 5);
+    EXPECT_TRUE(q1.allClose(q2, 1e-6f));
+}
+
+TEST(Quantize, PreservesRangeExtremes)
+{
+    Tensor t({3}, {-1.0f, 0.0f, 1.0f});
+    Tensor q = quantize(t, 4);
+    EXPECT_FLOAT_EQ(q[0], -1.0f);
+    EXPECT_FLOAT_EQ(q[1], 0.0f);
+    EXPECT_FLOAT_EQ(q[2], 1.0f);
+}
+
+TEST(Quantize, ErrorBoundedByHalfStep)
+{
+    Rng rng(8);
+    Tensor t = Tensor::randn({256}, rng);
+    const int bits = 6;
+    Tensor q = quantize(t, bits);
+    const float step = t.absMax() / float((1 << (bits - 1)) - 1);
+    for (std::int64_t i = 0; i < t.size(); ++i)
+        EXPECT_LE(std::abs(q[i] - t[i]), step / 2.0f + 1e-6f);
+}
+
+/** Quantization error must shrink monotonically with bit depth. */
+class QuantizeBits : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(QuantizeBits, MoreBitsLessError)
+{
+    const int bits = GetParam();
+    Rng rng(9);
+    Tensor t = Tensor::randn({512}, rng);
+    auto rmse = [&](int b) {
+        Tensor q = quantize(t, b);
+        double s = 0.0;
+        for (std::int64_t i = 0; i < t.size(); ++i) {
+            const double d = double(q[i] - t[i]);
+            s += d * d;
+        }
+        return std::sqrt(s / double(t.size()));
+    };
+    EXPECT_LE(rmse(bits + 1), rmse(bits) + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, QuantizeBits,
+                         ::testing::Values(2, 3, 4, 5, 6, 7, 8, 10));
+
+TEST(Quantize, GridIsSymmetric)
+{
+    Tensor t({2}, {0.7f, -0.7f});
+    Tensor q = quantize(t, 4);
+    EXPECT_FLOAT_EQ(q[0], -q[1]);
+}
+
+} // namespace
+} // namespace nn
+} // namespace inca

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * 2T1R vertical-plane tests: cell write/read, window gating (the
+ * paper's kernel-sliding mechanism), and ADC quantization.
+ */
+
+#include <gtest/gtest.h>
+
+#include "inca/plane.hh"
+
+namespace inca {
+namespace core {
+namespace {
+
+TEST(BitPlane, StartsCleared)
+{
+    BitPlane p(16);
+    EXPECT_EQ(p.popcount(), 0);
+    EXPECT_FALSE(p.cell(0, 0));
+    EXPECT_FALSE(p.cell(15, 15));
+}
+
+TEST(BitPlane, WriteReadRoundTrip)
+{
+    BitPlane p(8);
+    p.writeCell(3, 4, true);
+    EXPECT_TRUE(p.cell(3, 4));
+    EXPECT_FALSE(p.cell(4, 3));
+    p.writeCell(3, 4, false);
+    EXPECT_FALSE(p.cell(3, 4));
+}
+
+TEST(BitPlane, PopcountTracksWrites)
+{
+    BitPlane p(4);
+    for (int r = 0; r < 4; ++r)
+        p.writeCell(r, r, true);
+    EXPECT_EQ(p.popcount(), 4);
+}
+
+TEST(BitPlane, WindowReadCountsAndedBits)
+{
+    BitPlane p(6);
+    // Stored pattern in the 2x2 window at (1,1): cells (1,1), (2,2).
+    p.writeCell(1, 1, true);
+    p.writeCell(2, 2, true);
+    p.writeCell(0, 0, true); // outside the window: gated off
+    // Full weight pattern: all lines of the window driven.
+    EXPECT_EQ(p.readWindow(1, 1, 2, 2, {1, 1, 1, 1}), 2);
+    // Weight masks individual positions.
+    EXPECT_EQ(p.readWindow(1, 1, 2, 2, {1, 0, 0, 0}), 1);
+    EXPECT_EQ(p.readWindow(1, 1, 2, 2, {0, 1, 1, 0}), 0);
+}
+
+TEST(BitPlane, TransistorsGateCellsOutsideWindow)
+{
+    // This is the 2T1R mechanism (Fig. 8d): everything outside the
+    // active window contributes no current, no matter its state.
+    BitPlane p(8);
+    for (int r = 0; r < 8; ++r)
+        for (int c = 0; c < 8; ++c)
+            p.writeCell(r, c, true);
+    EXPECT_EQ(p.readWindow(2, 2, 3, 3,
+                           std::vector<std::uint8_t>(9, 1)),
+              9);
+    EXPECT_EQ(p.readWindow(0, 0, 2, 2, {1, 1, 1, 1}), 4);
+}
+
+TEST(BitPlane, SlidingWindowMoves)
+{
+    BitPlane p(5);
+    p.writeCell(0, 0, true);
+    const std::vector<std::uint8_t> w{1, 1, 1, 1};
+    EXPECT_EQ(p.readWindow(0, 0, 2, 2, w), 1);
+    EXPECT_EQ(p.readWindow(0, 1, 2, 2, w), 0);
+    EXPECT_EQ(p.readWindow(1, 0, 2, 2, w), 0);
+}
+
+TEST(BitPlane, HaloPositionsPartiallyOutsideContributePartialSum)
+{
+    BitPlane p(4);
+    for (int r = 0; r < 4; ++r)
+        for (int c = 0; c < 4; ++c)
+            p.writeCell(r, c, true);
+    const std::vector<std::uint8_t> w(9, 1);
+    // Window starting at (-1,-1): only the 2x2 in-plane corner counts.
+    EXPECT_EQ(p.readWindow(-1, -1, 3, 3, w), 4);
+    // Window starting at (3,3): only cell (3,3).
+    EXPECT_EQ(p.readWindow(3, 3, 3, 3, w), 1);
+    // Fully outside: zero.
+    EXPECT_EQ(p.readWindow(4, 4, 3, 3, w), 0);
+}
+
+TEST(AdcQuantize, FourBitsCoverThreeByThreeWindows)
+{
+    // The paper's claim: up to 9 binary products per 3x3 read, so
+    // 4 bits suffice.
+    for (int count = 0; count <= 9; ++count)
+        EXPECT_EQ(adcQuantize(count, 4), count);
+}
+
+TEST(AdcQuantize, SaturatesAtFullScale)
+{
+    EXPECT_EQ(adcQuantize(15, 4), 15);
+    EXPECT_EQ(adcQuantize(16, 4), 15);
+    EXPECT_EQ(adcQuantize(25, 4), 15); // a 5x5 window would clip
+    EXPECT_EQ(adcQuantize(25, 8), 25);
+    EXPECT_EQ(adcQuantize(300, 8), 255);
+}
+
+TEST(AdcQuantize, OneBit)
+{
+    EXPECT_EQ(adcQuantize(0, 1), 0);
+    EXPECT_EQ(adcQuantize(1, 1), 1);
+    EXPECT_EQ(adcQuantize(7, 1), 1);
+}
+
+TEST(BitPlaneDeath, OutOfRangeWritePanics)
+{
+    BitPlane p(4);
+    EXPECT_DEATH(p.writeCell(4, 0, true), "outside");
+    EXPECT_DEATH(p.writeCell(0, -1, true), "outside");
+    EXPECT_DEATH(p.cell(5, 5), "outside");
+}
+
+TEST(BitPlaneDeath, WrongPatternSizePanics)
+{
+    BitPlane p(4);
+    EXPECT_DEATH(p.readWindow(0, 0, 2, 2, {1, 1, 1}), "pattern");
+}
+
+} // namespace
+} // namespace core
+} // namespace inca

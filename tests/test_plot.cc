@@ -1,0 +1,125 @@
+/**
+ * @file
+ * ASCII chart rendering tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/plot.hh"
+
+namespace inca {
+namespace sim {
+namespace {
+
+int
+hashesOnLine(const std::string &chart, const std::string &label)
+{
+    const size_t line = chart.find(label);
+    EXPECT_NE(line, std::string::npos) << label;
+    const size_t end = chart.find('\n', line);
+    int n = 0;
+    for (size_t i = line; i < end; ++i)
+        n += chart[i] == '#';
+    return n;
+}
+
+TEST(BarChart, EmptyAndZero)
+{
+    EXPECT_EQ(barChart({}), "(no data)\n");
+    const auto chart = barChart({{"zero", 0.0}});
+    EXPECT_NE(chart.find("zero"), std::string::npos);
+    EXPECT_EQ(hashesOnLine(chart, "zero"), 0);
+}
+
+TEST(BarChart, ProportionalLengths)
+{
+    const auto chart =
+        barChart({{"big", 100.0}, {"half", 50.0}, {"tiny", 1.0}});
+    const int big = hashesOnLine(chart, "big");
+    const int half = hashesOnLine(chart, "half");
+    const int tiny = hashesOnLine(chart, "tiny");
+    EXPECT_NEAR(double(big) / double(half), 2.0, 0.2);
+    EXPECT_GE(tiny, 1); // nonzero values always visible
+    EXPECT_GT(half, tiny);
+}
+
+TEST(BarChart, LogScaleCompresses)
+{
+    BarOptions log;
+    log.logScale = true;
+    const auto chart =
+        barChart({{"k", 1000.0}, {"h", 100.0}, {"t", 10.0}}, log);
+    const int k = hashesOnLine(chart, "k");
+    const int h = hashesOnLine(chart, "h");
+    const int t = hashesOnLine(chart, "t");
+    // log10: 3 : 2 : 1.
+    EXPECT_NEAR(double(k) / double(t), 3.0, 0.5);
+    EXPECT_NEAR(double(h) / double(t), 2.0, 0.5);
+    EXPECT_NE(chart.find("log10"), std::string::npos);
+}
+
+TEST(BarChart, ValuesAndUnitsPrinted)
+{
+    BarOptions opt;
+    opt.unit = "x";
+    opt.precision = 1;
+    const auto chart = barChart({{"vgg16", 20.6}}, opt);
+    EXPECT_NE(chart.find("20.6 x"), std::string::npos);
+}
+
+TEST(BarChart, LabelsAligned)
+{
+    const auto chart = barChart({{"a", 1.0}, {"longer", 2.0}});
+    // Both bars start at the same column.
+    const size_t bar1 = chart.find('|');
+    const size_t line2 = chart.find('\n') + 1;
+    const size_t bar2 = chart.find('|', line2);
+    EXPECT_EQ(bar1, bar2 - line2);
+}
+
+TEST(BarChartDeath, NegativeAndBadLog)
+{
+    EXPECT_DEATH(barChart({{"bad", -1.0}}), "non-negative");
+    BarOptions log;
+    log.logScale = true;
+    EXPECT_DEATH(barChart({{"bad", 0.5}}, log), "log-scale");
+}
+
+TEST(LineChart, EmptyAndSinglePoint)
+{
+    EXPECT_EQ(lineChart({}), "(no data)\n");
+    const auto chart = lineChart({{1.0, 2.0}});
+    EXPECT_NE(chart.find('*'), std::string::npos);
+}
+
+TEST(LineChart, MonotoneSeriesFillsDiagonal)
+{
+    std::vector<Point> pts;
+    for (int i = 0; i <= 10; ++i)
+        pts.push_back({double(i), double(i)});
+    const auto chart = lineChart(pts, {40, 10, false});
+    // Stars present, axis rendered, extremes annotated.
+    int stars = 0;
+    for (char c : chart)
+        stars += c == '*';
+    EXPECT_GE(stars, 8);
+    EXPECT_NE(chart.find('+'), std::string::npos);
+    EXPECT_NE(chart.find("10"), std::string::npos);
+}
+
+TEST(LineChart, LogYAnnotated)
+{
+    const auto chart = lineChart({{0.0, 1.0}, {1.0, 1000.0}},
+                                 {40, 10, true});
+    EXPECT_NE(chart.find("(log y-axis)"), std::string::npos);
+}
+
+TEST(LineChartDeath, LogYNeedsPositive)
+{
+    EXPECT_DEATH(lineChart({{0.0, 0.0}}, {40, 10, true}),
+                 "positive");
+}
+
+} // namespace
+} // namespace sim
+} // namespace inca

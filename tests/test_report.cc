@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Reporting-helper tests: comparisons, breakdown grouping and
+ * layerwise series extraction.
+ */
+
+#include <gtest/gtest.h>
+
+#include "nn/model_zoo.hh"
+#include "sim/report.hh"
+
+namespace inca {
+namespace sim {
+namespace {
+
+class Report : public ::testing::Test
+{
+  protected:
+    core::IncaEngine inca{arch::paperInca()};
+    baseline::BaselineEngine base{arch::paperBaseline()};
+};
+
+TEST_F(Report, CompareProducesBothRuns)
+{
+    const auto c = compare(inca, base, nn::resnet18(), 64,
+                           arch::Phase::Inference);
+    EXPECT_EQ(c.network, "resnet18");
+    EXPECT_GT(c.inca.energy(), 0.0);
+    EXPECT_GT(c.baseline.energy(), 0.0);
+    EXPECT_GT(c.energyEfficiencyGain(), 1.0);
+    EXPECT_GT(c.speedup(), 1.0);
+}
+
+TEST_F(Report, CompareSuitePreservesOrder)
+{
+    const auto rows = compareSuite(inca, base, nn::evaluationSuite(),
+                                   64, arch::Phase::Inference);
+    ASSERT_EQ(rows.size(), 6u);
+    EXPECT_EQ(rows[0].network, "vgg16");
+    EXPECT_EQ(rows[5].network, "mnasnet");
+}
+
+TEST_F(Report, BreakdownSumsToTotalEnergy)
+{
+    const auto run = base.inference(nn::vgg16(), 64);
+    const auto groups = energyBreakdown(run);
+    double total = 0.0;
+    for (const auto &[name, value] : groups)
+        total += value;
+    EXPECT_NEAR(total, run.energy(), run.energy() * 1e-9);
+}
+
+TEST_F(Report, BreakdownHasExpectedClasses)
+{
+    const auto run = inca.inference(nn::resnet18(), 64);
+    const auto groups = energyBreakdown(run);
+    for (const char *key : {"dram", "buffer", "array", "adc", "dac",
+                            "digital", "static"}) {
+        EXPECT_TRUE(groups.count(key)) << key;
+    }
+}
+
+TEST_F(Report, PercentagesSumToHundred)
+{
+    const auto run = base.training(nn::mnasnet(), 64);
+    const auto pct = energyBreakdownPct(run);
+    double total = 0.0;
+    for (const auto &[name, value] : pct) {
+        EXPECT_GE(value, 0.0);
+        total += value;
+    }
+    EXPECT_NEAR(total, 100.0, 1e-6);
+}
+
+TEST_F(Report, Fig6ContrastMemorySystemEnergyShrinksOnInca)
+{
+    // The Fig. 6 vs Fig. 13b contrast: the DRAM + buffer energy a WS
+    // chip burns must far exceed INCA's for the same workload. (Our
+    // physically-derived model attributes relatively more of each
+    // chip's total to ADC/leakage than the paper's NeuroSim runs, so
+    // the robust reproduction target is the absolute memory-system
+    // energy contrast -- see EXPERIMENTS.md.)
+    const auto ws = energyBreakdown(base.inference(nn::vgg16(), 64));
+    const auto is = energyBreakdown(inca.inference(nn::vgg16(), 64));
+    const double wsMem = ws.at("dram") + ws.at("buffer");
+    const double isMem = is.at("dram") + is.at("buffer");
+    EXPECT_GT(wsMem, 5.0 * isMem);
+}
+
+TEST_F(Report, LayerwiseSeriesCoversForwardConvsOnly)
+{
+    const auto run = inca.training(nn::vgg16(), 64);
+    const auto series = layerwiseMemoryEnergy(run);
+    // VGG16: 13 convs + 3 FCs = 16 conv-like forward layers.
+    EXPECT_EQ(series.size(), 16u);
+    for (const auto &[name, energy] : series) {
+        EXPECT_EQ(name.find(".bwd"), std::string::npos);
+        EXPECT_EQ(name.find(".upd"), std::string::npos);
+        EXPECT_GE(energy, 0.0);
+    }
+}
+
+TEST_F(Report, LayerwiseShapeMatchesFig12)
+{
+    // Fig. 12: the WS baseline's early layers dominate its
+    // DRAM+buffer energy, while INCA's profile is flat-ish; in the
+    // last layers INCA can even exceed the baseline (crossover).
+    const auto ws =
+        layerwiseMemoryEnergy(base.inference(nn::vgg16(), 64));
+    const auto is =
+        layerwiseMemoryEnergy(inca.inference(nn::vgg16(), 64));
+    ASSERT_EQ(ws.size(), is.size());
+    // Early layers: WS far above INCA.
+    EXPECT_GT(ws[1].second, 10.0 * is[1].second);
+    // WS early >> WS late (front-loaded).
+    EXPECT_GT(ws[1].second, 5.0 * ws[12].second);
+}
+
+} // namespace
+} // namespace sim
+} // namespace inca

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Timeline / Gantt rendering tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "inca/engine.hh"
+#include "nn/model_zoo.hh"
+#include "sim/schedule.hh"
+
+namespace inca {
+namespace sim {
+namespace {
+
+Timeline
+sample()
+{
+    Timeline tl;
+    tl.entries = {{"a", 0.0, 1.0}, {"b", 1.0, 4.0}, {"c", 4.0, 4.5}};
+    return tl;
+}
+
+TEST(Timeline, Makespan)
+{
+    EXPECT_DOUBLE_EQ(sample().makespan(), 4.5);
+    EXPECT_DOUBLE_EQ(Timeline{}.makespan(), 0.0);
+}
+
+TEST(Timeline, LongestSorts)
+{
+    const auto top = sample().longest(2);
+    ASSERT_EQ(top.size(), 2u);
+    EXPECT_EQ(top[0].name, "b");
+    EXPECT_EQ(top[1].name, "a");
+}
+
+TEST(Timeline, GanttMentionsEntries)
+{
+    const std::string g = sample().gantt(40);
+    EXPECT_NE(g.find("a"), std::string::npos);
+    EXPECT_NE(g.find("b"), std::string::npos);
+    EXPECT_NE(g.find("makespan"), std::string::npos);
+    EXPECT_NE(g.find('#'), std::string::npos);
+}
+
+TEST(Timeline, GanttSkipsZeroDuration)
+{
+    Timeline tl;
+    tl.entries = {{"real", 0.0, 1.0}, {"ghost", 1.0, 1.0}};
+    const std::string g = tl.gantt(40);
+    EXPECT_NE(g.find("real"), std::string::npos);
+    EXPECT_EQ(g.find("ghost"), std::string::npos);
+}
+
+TEST(Timeline, EmptyGantt)
+{
+    EXPECT_EQ(Timeline{}.gantt(40), "(empty timeline)\n");
+}
+
+TEST(Timeline, BarLengthsProportional)
+{
+    const std::string g = sample().gantt(40);
+    // Entry 'b' (3.0 of 4.5) must have roughly 3x the hashes of
+    // entry 'a' (1.0 of 4.5).
+    auto hashesOn = [&](const std::string &name) {
+        const size_t line = g.find(name + " ");
+        const size_t end = g.find('\n', line);
+        int n = 0;
+        for (size_t i = line; i < end; ++i)
+            n += g[i] == '#';
+        return n;
+    };
+    EXPECT_NEAR(double(hashesOn("b")) / double(hashesOn("a")), 3.0,
+                1.0);
+}
+
+TEST(Timeline, FromRunChainsLayers)
+{
+    core::IncaEngine engine(arch::paperInca());
+    const auto run = engine.inference(nn::lenet5(), 8);
+    const auto tl = timelineOf(run);
+    ASSERT_EQ(tl.entries.size(), run.layers.size());
+    // Entries chain without gaps.
+    for (size_t i = 1; i < tl.entries.size(); ++i) {
+        EXPECT_DOUBLE_EQ(tl.entries[i].start, tl.entries[i - 1].end);
+    }
+    EXPECT_NEAR(tl.makespan(), run.latency, run.latency * 1e-9);
+}
+
+TEST(TimelineDeath, TooNarrowGanttPanics)
+{
+    EXPECT_DEATH(sample().gantt(3), "columns");
+}
+
+} // namespace
+} // namespace sim
+} // namespace inca

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Sneak-path and 3D-structure model tests (paper Sections II-A and
+ * IV-A: why 1R cannot scale, why INCA uses transistors and HRRAM).
+ */
+
+#include <gtest/gtest.h>
+
+#include "circuit/rram3d.hh"
+#include "circuit/sneak.hh"
+
+namespace inca {
+namespace circuit {
+namespace {
+
+TEST(Sneak, SelectedCurrentFollowsState)
+{
+    const RramDevice d = paperDevice();
+    const auto on = sneak1R(d, 16, true);
+    const auto off = sneak1R(d, 16, false);
+    EXPECT_NEAR(on.selectedCurrent, d.vRead / d.rOn, 1e-12);
+    EXPECT_NEAR(off.selectedCurrent, d.vRead / d.rOff, 1e-15);
+    EXPECT_GT(on.selectedCurrent, off.selectedCurrent);
+}
+
+TEST(Sneak, OneRMarginCollapsesWithArraySize)
+{
+    const RramDevice d = paperDevice();
+    double prev = 1.0;
+    for (int n : {2, 4, 8, 16, 32, 64, 128}) {
+        const auto a = sneak1R(d, n);
+        EXPECT_LT(a.readMargin, prev) << "n=" << n;
+        prev = a.readMargin;
+    }
+    // At 128 x 128 the sneak network dwarfs the selected cell.
+    EXPECT_LT(sneak1R(d, 128).readMargin, 0.05);
+}
+
+TEST(Sneak, WorstCaseReadingOffCellIsHopeless)
+{
+    // Reading a high-resistance cell among on-state neighbours: the
+    // sneak current is orders of magnitude above the signal even in
+    // small 1R arrays -- the core reason selector-free crossbars
+    // fail.
+    const RramDevice d = paperDevice();
+    const auto a = sneak1R(d, 16, false);
+    EXPECT_GT(a.sneakCurrent, 100.0 * a.selectedCurrent);
+    EXPECT_LT(a.readMargin, 0.01);
+}
+
+TEST(Sneak, TransistorsRestoreTheMargin)
+{
+    const RramDevice d = paperDevice();
+    const auto gated = sneakGated(d, 128, true);
+    EXPECT_GT(gated.readMargin, 0.99);
+    const auto gatedOff = sneakGated(d, 128, false);
+    // Even the off-state read stays readable under gating.
+    EXPECT_GT(gatedOff.readMargin, 0.5);
+}
+
+TEST(Sneak, GatedLeakageScalesWithCells)
+{
+    const RramDevice d = paperDevice();
+    const auto small = sneakGated(d, 16);
+    const auto large = sneakGated(d, 128);
+    EXPECT_GT(large.sneakCurrent, small.sneakCurrent);
+    EXPECT_NEAR(large.sneakCurrent / small.sneakCurrent,
+                (128.0 * 128.0 - 1.0) / (16.0 * 16.0 - 1.0), 1.0);
+}
+
+TEST(Sneak, MaxOneRArrayIsSmall)
+{
+    const RramDevice d = paperDevice();
+    const int maxN = maxArraySize1R(d, 0.5);
+    EXPECT_GT(maxN, 0);
+    EXPECT_LE(maxN, 8);
+}
+
+TEST(SneakDeath, BadArgumentsPanic)
+{
+    const RramDevice d = paperDevice();
+    EXPECT_DEATH(sneak1R(d, 1), "n >= 2");
+    EXPECT_DEATH(maxArraySize1R(d, 1.5), "margin");
+}
+
+TEST(Rram3D, IncaGeometryFeasibleOnlyAsHrram)
+{
+    // 16 x 16 x 64: 64 planes exceed the vertical-layer limit but fit
+    // the horizontal-stacking envelope -- "INCA demands a design with
+    // highly stacked 3D RRAM but not a large size plane. Therefore,
+    // we chose HRRAM."
+    const auto v = incaChoice(Stack3DStyle::Vrram);
+    const auto h = incaChoice(Stack3DStyle::Hrram);
+    EXPECT_FALSE(v.feasible);
+    EXPECT_NE(v.reason.find("vertical layer"), std::string::npos);
+    EXPECT_TRUE(h.feasible);
+    EXPECT_EQ(h.cells, 16 * 16 * 64);
+}
+
+TEST(Rram3D, HrramFootprintMatchesTableV)
+{
+    // The HRRAM evaluation of the Table II stack must equal the area
+    // model's 49.152 um^2 figure.
+    const auto h = incaChoice(Stack3DStyle::Hrram);
+    EXPECT_NEAR(h.footprint, 49.152e-12, 1.0e-12);
+}
+
+TEST(Rram3D, VrramSuitsShallowStacks)
+{
+    // A shallow, wide structure is VRRAM territory.
+    const auto v = evaluate3D(Stack3DStyle::Vrram, 64, 8, Cell2T1R{});
+    EXPECT_TRUE(v.feasible);
+    const auto h = evaluate3D(Stack3DStyle::Hrram, 65, 8, Cell2T1R{});
+    EXPECT_FALSE(h.feasible);
+    EXPECT_NE(h.reason.find("plane side"), std::string::npos);
+}
+
+TEST(Rram3D, HorizontalStackLimitEnforced)
+{
+    const auto h =
+        evaluate3D(Stack3DStyle::Hrram, 16, 256, Cell2T1R{});
+    EXPECT_FALSE(h.feasible);
+    EXPECT_NE(h.reason.find("horizontal"), std::string::npos);
+}
+
+TEST(Rram3D, StyleNames)
+{
+    EXPECT_STREQ(stack3DStyleName(Stack3DStyle::Vrram), "VRRAM");
+    EXPECT_STREQ(stack3DStyleName(Stack3DStyle::Hrram), "HRRAM");
+}
+
+} // namespace
+} // namespace circuit
+} // namespace inca

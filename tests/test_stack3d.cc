@@ -1,0 +1,155 @@
+/**
+ * @file
+ * 3D stack and PIM macro tests: shared-pillar batch semantics, value
+ * storage across bit planes, and bit-serial windowed convolution with
+ * ADC effects.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/random.hh"
+#include "inca/stack3d.hh"
+
+namespace inca {
+namespace core {
+namespace {
+
+TEST(Stack3D, SharedPillarsDriveAllPlanesAtOnce)
+{
+    // The 3D batch-parallelism mechanism: one weight pattern on the
+    // shared pillars, every plane (image) answers independently.
+    Stack3D stack(4, 3);
+    stack.plane(0).writeCell(0, 0, true);
+    stack.plane(1).writeCell(0, 1, true);
+    stack.plane(2).writeCell(1, 1, true);
+    const auto currents = stack.readWindow(0, 0, 2, 2, {1, 1, 0, 1});
+    ASSERT_EQ(currents.size(), 3u);
+    EXPECT_EQ(currents[0], 1); // (0,0) active, weight bit 1
+    EXPECT_EQ(currents[1], 1); // (0,1) active, weight bit 1
+    EXPECT_EQ(currents[2], 1); // (1,1) active, weight bit 1
+    const auto masked = stack.readWindow(0, 0, 2, 2, {0, 0, 1, 0});
+    EXPECT_EQ(masked[0], 0);
+    EXPECT_EQ(masked[1], 0);
+    EXPECT_EQ(masked[2], 0);
+}
+
+TEST(Stack3D, PlanesAreIndependent)
+{
+    Stack3D stack(4, 2);
+    stack.plane(0).writeCell(2, 2, true);
+    EXPECT_TRUE(stack.plane(0).cell(2, 2));
+    EXPECT_FALSE(stack.plane(1).cell(2, 2));
+}
+
+TEST(IncaMacro, ValueRoundTrip)
+{
+    IncaMacro macro(8, 4, 8);
+    macro.writeValue(0, 1, 2, 0xAB);
+    macro.writeValue(3, 7, 7, 0x01);
+    EXPECT_EQ(macro.readValue(0, 1, 2), 0xABu);
+    EXPECT_EQ(macro.readValue(3, 7, 7), 0x01u);
+    EXPECT_EQ(macro.readValue(1, 1, 2), 0u);
+}
+
+TEST(IncaMacro, OverwriteValue)
+{
+    IncaMacro macro(4, 1, 8);
+    macro.writeValue(0, 0, 0, 200);
+    macro.writeValue(0, 0, 0, 3);
+    EXPECT_EQ(macro.readValue(0, 0, 0), 3u);
+}
+
+TEST(IncaMacro, ConvolveWindowExactForSmallWindows)
+{
+    // Bit-serial direct convolution with a 4-bit ADC must be EXACT for
+    // 3x3 windows (<= 9 products per read).
+    Rng rng(1);
+    IncaMacro macro(8, 2, 8);
+    int x0[3][3], x1[3][3];
+    for (int r = 0; r < 3; ++r) {
+        for (int c = 0; c < 3; ++c) {
+            x0[r][c] = int(rng.below(256));
+            x1[r][c] = int(rng.below(256));
+            macro.writeValue(0, r + 2, c + 2, std::uint32_t(x0[r][c]));
+            macro.writeValue(1, r + 2, c + 2, std::uint32_t(x1[r][c]));
+        }
+    }
+    std::vector<int> kernel(9);
+    for (auto &k : kernel)
+        k = int(rng.below(255)) - 127;
+
+    const auto out = macro.convolveWindow(2, 2, 3, 3, kernel, 8, 4);
+    std::int64_t ref0 = 0, ref1 = 0;
+    for (int r = 0; r < 3; ++r) {
+        for (int c = 0; c < 3; ++c) {
+            ref0 += std::int64_t(kernel[size_t(r * 3 + c)]) * x0[r][c];
+            ref1 += std::int64_t(kernel[size_t(r * 3 + c)]) * x1[r][c];
+        }
+    }
+    EXPECT_EQ(out[0], ref0);
+    EXPECT_EQ(out[1], ref1);
+}
+
+TEST(IncaMacro, NegativeWeightsViaTwosComplement)
+{
+    IncaMacro macro(4, 1, 8);
+    macro.writeValue(0, 0, 0, 10);
+    macro.writeValue(0, 0, 1, 20);
+    const auto out =
+        macro.convolveWindow(0, 0, 1, 2, {-3, 2}, 8, 4);
+    EXPECT_EQ(out[0], -3 * 10 + 2 * 20);
+}
+
+TEST(IncaMacro, SignedActivationsViaMsbWeighting)
+{
+    // Two's-complement stored values (errors in backprop).
+    IncaMacro macro(4, 1, 8);
+    const std::int32_t vals[2] = {-5, 7};
+    macro.writeValue(0, 0, 0, std::uint32_t(vals[0]) & 0xFF);
+    macro.writeValue(0, 0, 1, std::uint32_t(vals[1]) & 0xFF);
+    const auto out = macro.convolveWindow(0, 0, 1, 2, {3, -2}, 8, 4,
+                                          /*signedActivations=*/true);
+    EXPECT_EQ(out[0], 3 * -5 + -2 * 7);
+}
+
+TEST(IncaMacro, FourBitAdcClipsLargeWindows)
+{
+    // A 5x5 all-ones window accumulates 25 > 15: the 4-bit ADC clips,
+    // an 8-bit ADC does not -- the quantitative form of the paper's
+    // "a 4-bit ADC is sufficient (for 3x3)".
+    IncaMacro macro(8, 1, 2);
+    for (int r = 0; r < 5; ++r)
+        for (int c = 0; c < 5; ++c)
+            macro.writeValue(0, r, c, 1);
+    std::vector<int> ones(25, 1);
+    const auto clipped = macro.convolveWindow(0, 0, 5, 5, ones, 2, 4);
+    const auto exact = macro.convolveWindow(0, 0, 5, 5, ones, 2, 8);
+    EXPECT_EQ(exact[0], 25);
+    EXPECT_EQ(clipped[0], 15);
+}
+
+TEST(IncaMacro, ZeroKernelSkipsReads)
+{
+    IncaMacro macro(4, 1, 8);
+    macro.writeValue(0, 0, 0, 255);
+    const auto out = macro.convolveWindow(0, 0, 2, 2, {0, 0, 0, 0}, 8,
+                                          4);
+    EXPECT_EQ(out[0], 0);
+}
+
+TEST(IncaMacroDeath, ValueRangeChecked)
+{
+    IncaMacro macro(4, 1, 4);
+    EXPECT_DEATH(macro.writeValue(0, 0, 0, 16), "exceeds");
+}
+
+TEST(IncaMacroDeath, KernelSizeChecked)
+{
+    IncaMacro macro(4, 1, 8);
+    EXPECT_DEATH(macro.convolveWindow(0, 0, 2, 2, {1, 2, 3}, 8, 4),
+                 "kernel");
+}
+
+} // namespace
+} // namespace core
+} // namespace inca

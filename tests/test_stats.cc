@@ -1,0 +1,111 @@
+/**
+ * @file
+ * StatSet accumulator tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hh"
+
+namespace inca {
+namespace {
+
+TEST(Stats, AddAndGet)
+{
+    StatSet s;
+    EXPECT_DOUBLE_EQ(s.get("missing"), 0.0);
+    EXPECT_FALSE(s.has("missing"));
+    s.add("energy.adc", 1.5);
+    s.add("energy.adc", 2.5);
+    EXPECT_TRUE(s.has("energy.adc"));
+    EXPECT_DOUBLE_EQ(s.get("energy.adc"), 4.0);
+}
+
+TEST(Stats, SetOverwrites)
+{
+    StatSet s;
+    s.add("x", 3.0);
+    s.set("x", 1.0);
+    EXPECT_DOUBLE_EQ(s.get("x"), 1.0);
+}
+
+TEST(Stats, AccumulateSets)
+{
+    StatSet a, b;
+    a.add("energy.adc", 1.0);
+    a.add("energy.dram", 2.0);
+    b.add("energy.adc", 3.0);
+    b.add("count.reads", 7.0);
+    a += b;
+    EXPECT_DOUBLE_EQ(a.get("energy.adc"), 4.0);
+    EXPECT_DOUBLE_EQ(a.get("energy.dram"), 2.0);
+    EXPECT_DOUBLE_EQ(a.get("count.reads"), 7.0);
+}
+
+TEST(Stats, ScaleAll)
+{
+    StatSet s;
+    s.add("a", 2.0);
+    s.add("b", 3.0);
+    s *= 4.0;
+    EXPECT_DOUBLE_EQ(s.get("a"), 8.0);
+    EXPECT_DOUBLE_EQ(s.get("b"), 12.0);
+}
+
+TEST(Stats, SumPrefixRespectsHierarchy)
+{
+    StatSet s;
+    s.add("energy.adc", 1.0);
+    s.add("energy.array.read", 2.0);
+    s.add("energy.array.write", 4.0);
+    s.add("energyx.bogus", 100.0); // must NOT match prefix "energy"
+    s.add("count.adc", 50.0);
+    EXPECT_DOUBLE_EQ(s.sumPrefix("energy"), 7.0);
+    EXPECT_DOUBLE_EQ(s.sumPrefix("energy.array"), 6.0);
+    EXPECT_DOUBLE_EQ(s.sumPrefix("energy.array.read"), 2.0);
+    EXPECT_DOUBLE_EQ(s.sumPrefix("energy.adc"), 1.0);
+    EXPECT_DOUBLE_EQ(s.sumPrefix("nothing"), 0.0);
+}
+
+TEST(Stats, SumPrefixExactNameOnly)
+{
+    StatSet s;
+    s.add("dram", 5.0);
+    EXPECT_DOUBLE_EQ(s.sumPrefix("dram"), 5.0);
+    EXPECT_DOUBLE_EQ(s.sumPrefix("dra"), 0.0);
+}
+
+TEST(Stats, ClearRemovesEverything)
+{
+    StatSet s;
+    s.add("a", 1.0);
+    s.clear();
+    EXPECT_FALSE(s.has("a"));
+    EXPECT_TRUE(s.entries().empty());
+}
+
+TEST(Stats, FormatContainsEntries)
+{
+    StatSet s;
+    s.add("energy.adc", 1.0);
+    const std::string out = s.format("Title");
+    EXPECT_NE(out.find("Title"), std::string::npos);
+    EXPECT_NE(out.find("energy.adc"), std::string::npos);
+}
+
+TEST(Stats, EntriesAreOrdered)
+{
+    StatSet s;
+    s.add("zeta", 1.0);
+    s.add("alpha", 1.0);
+    s.add("mid", 1.0);
+    auto it = s.entries().begin();
+    EXPECT_EQ(it->first, "alpha");
+    ++it;
+    EXPECT_EQ(it->first, "mid");
+    ++it;
+    EXPECT_EQ(it->first, "zeta");
+}
+
+} // namespace
+} // namespace inca

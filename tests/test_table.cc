@@ -1,0 +1,92 @@
+/**
+ * @file
+ * TextTable rendering tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/table.hh"
+
+namespace inca {
+namespace {
+
+TEST(Table, RendersHeadersAndRows)
+{
+    TextTable t({"Net", "Gain"});
+    t.addRow({"vgg16", "20.6x"});
+    t.addRow({"resnet18", "8.7x"});
+    const std::string out = t.str();
+    EXPECT_NE(out.find("Net"), std::string::npos);
+    EXPECT_NE(out.find("vgg16"), std::string::npos);
+    EXPECT_NE(out.find("8.7x"), std::string::npos);
+}
+
+TEST(Table, ColumnsAligned)
+{
+    TextTable t({"A", "B"});
+    t.addRow({"x", "y"});
+    t.addRow({"longer", "cell"});
+    const std::string out = t.str();
+    // Each data line must have the same length as the header line.
+    size_t firstLen = std::string::npos;
+    size_t pos = 0;
+    while (pos < out.size()) {
+        const size_t nl = out.find('\n', pos);
+        const std::string line = out.substr(pos, nl - pos);
+        if (!line.empty()) {
+            if (firstLen == std::string::npos)
+                firstLen = line.size();
+            EXPECT_EQ(line.size(), firstLen) << "line: " << line;
+        }
+        pos = nl + 1;
+    }
+}
+
+TEST(Table, NumFormatting)
+{
+    EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+    EXPECT_EQ(TextTable::num(3.0, 0), "3");
+    EXPECT_EQ(TextTable::num(-1.5, 1), "-1.5");
+}
+
+TEST(Table, RatioFormatting)
+{
+    EXPECT_EQ(TextTable::ratio(20.6), "20.6x");
+    EXPECT_EQ(TextTable::ratio(4.0, 0), "4x");
+}
+
+TEST(Table, CountFormatting)
+{
+    EXPECT_EQ(TextTable::count(0), "0");
+    EXPECT_EQ(TextTable::count(999), "999");
+    EXPECT_EQ(TextTable::count(1000), "1,000");
+    EXPECT_EQ(TextTable::count(1544496), "1,544,496");
+    EXPECT_EQ(TextTable::count(-12345), "-12,345");
+}
+
+TEST(Table, RuleRows)
+{
+    TextTable t({"A"});
+    t.addRow({"1"});
+    t.addRule();
+    t.addRow({"2"});
+    const std::string out = t.str();
+    // Rules render as +---+ lines; expect at least 4 of them
+    // (top, under header, mid, bottom).
+    int rules = 0;
+    size_t pos = 0;
+    while ((pos = out.find("+-", pos)) != std::string::npos) {
+        ++rules;
+        pos += 2;
+    }
+    EXPECT_GE(rules, 4);
+}
+
+TEST(TableDeath, ArityMismatchPanics)
+{
+    TextTable t({"A", "B"});
+    EXPECT_DEATH(t.addRow({"only-one"}), "arity");
+}
+
+} // namespace
+} // namespace inca

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Dense tensor container tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/random.hh"
+#include "tensor/tensor.hh"
+
+namespace inca {
+namespace tensor {
+namespace {
+
+TEST(Tensor, DefaultIsEmpty)
+{
+    Tensor t;
+    EXPECT_EQ(t.size(), 0);
+    EXPECT_EQ(t.rank(), 0);
+}
+
+TEST(Tensor, ZeroFilledConstruction)
+{
+    Tensor t({2, 3, 4});
+    EXPECT_EQ(t.size(), 24);
+    EXPECT_EQ(t.rank(), 3);
+    for (std::int64_t i = 0; i < t.size(); ++i)
+        EXPECT_EQ(t[i], 0.0f);
+}
+
+TEST(Tensor, ShapeAndDims)
+{
+    Tensor t({2, 3, 4});
+    EXPECT_EQ(t.dim(0), 2);
+    EXPECT_EQ(t.dim(1), 3);
+    EXPECT_EQ(t.dim(2), 4);
+    EXPECT_EQ(t.dim(-1), 4);
+    EXPECT_EQ(t.dim(-3), 2);
+}
+
+TEST(Tensor, RowMajorLayout)
+{
+    Tensor t({2, 3});
+    t.at(0, 0) = 1.0f;
+    t.at(0, 2) = 2.0f;
+    t.at(1, 0) = 3.0f;
+    EXPECT_EQ(t[0], 1.0f);
+    EXPECT_EQ(t[2], 2.0f);
+    EXPECT_EQ(t[3], 3.0f);
+}
+
+TEST(Tensor, FourDimIndexing)
+{
+    Tensor t({2, 3, 4, 5});
+    t.at(1, 2, 3, 4) = 42.0f;
+    EXPECT_EQ(t[t.size() - 1], 42.0f);
+    EXPECT_EQ(t.at(1, 2, 3, 4), 42.0f);
+}
+
+TEST(Tensor, FullFactory)
+{
+    Tensor t = Tensor::full({3, 3}, 2.5f);
+    EXPECT_DOUBLE_EQ(t.sum(), 9 * 2.5);
+}
+
+TEST(Tensor, RandnUsesRngDeterministically)
+{
+    Rng a(5), b(5);
+    Tensor x = Tensor::randn({4, 4}, a);
+    Tensor y = Tensor::randn({4, 4}, b);
+    EXPECT_TRUE(x.equals(y));
+    EXPECT_GT(x.absMax(), 0.0f);
+}
+
+TEST(Tensor, UniformRange)
+{
+    Rng rng(6);
+    Tensor t = Tensor::uniform({100}, rng, -1.0f, 1.0f);
+    for (std::int64_t i = 0; i < t.size(); ++i) {
+        EXPECT_GE(t[i], -1.0f);
+        EXPECT_LT(t[i], 1.0f);
+    }
+}
+
+TEST(Tensor, Reshape)
+{
+    Tensor t({2, 6});
+    t.at(1, 5) = 7.0f;
+    Tensor r = t.reshaped({3, 4});
+    EXPECT_EQ(r.dim(0), 3);
+    EXPECT_EQ(r.at(2, 3), 7.0f);
+}
+
+TEST(Tensor, ElementwiseOps)
+{
+    Tensor a = Tensor::full({2, 2}, 1.0f);
+    Tensor b = Tensor::full({2, 2}, 2.0f);
+    a += b;
+    EXPECT_DOUBLE_EQ(a.sum(), 12.0);
+    a -= b;
+    EXPECT_DOUBLE_EQ(a.sum(), 4.0);
+    a *= 3.0f;
+    EXPECT_DOUBLE_EQ(a.sum(), 12.0);
+}
+
+TEST(Tensor, AbsMax)
+{
+    Tensor t({3});
+    t[0] = -5.0f;
+    t[1] = 2.0f;
+    EXPECT_EQ(t.absMax(), 5.0f);
+}
+
+TEST(Tensor, AllClose)
+{
+    Tensor a = Tensor::full({2}, 1.0f);
+    Tensor b = Tensor::full({2}, 1.0f + 5e-6f);
+    EXPECT_TRUE(a.allClose(b, 1e-5f));
+    EXPECT_FALSE(a.allClose(b, 1e-7f));
+    Tensor c({3});
+    EXPECT_FALSE(a.allClose(c));
+}
+
+TEST(Tensor, ShapeStr)
+{
+    Tensor t({2, 3, 8, 8});
+    EXPECT_EQ(t.shapeStr(), "[2, 3, 8, 8]");
+}
+
+TEST(TensorDeath, OutOfRangeIndexPanics)
+{
+    Tensor t({2, 2});
+    EXPECT_DEATH(t.at(2, 0), "out of range");
+    EXPECT_DEATH(t.at(0, 0, 0), "arity");
+}
+
+TEST(TensorDeath, BadReshapePanics)
+{
+    Tensor t({2, 2});
+    EXPECT_DEATH(t.reshaped({3}), "reshape");
+}
+
+TEST(TensorDeath, MismatchedAddPanics)
+{
+    Tensor a({2}), b({3});
+    EXPECT_DEATH(a += b, "shape mismatch");
+}
+
+} // namespace
+} // namespace tensor
+} // namespace inca

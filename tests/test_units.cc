@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Unit and SI-helper tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/units.hh"
+
+namespace inca {
+namespace {
+
+using namespace inca::literals;
+
+TEST(Units, TimeLiterals)
+{
+    EXPECT_DOUBLE_EQ(1.0_s, 1.0);
+    EXPECT_DOUBLE_EQ(1.0_ms, 1e-3);
+    EXPECT_DOUBLE_EQ(1.0_us, 1e-6);
+    EXPECT_DOUBLE_EQ(10.0_ns, 1e-8);
+    EXPECT_DOUBLE_EQ(50_ns, 5e-8);
+    EXPECT_DOUBLE_EQ(1.0_ps, 1e-12);
+}
+
+TEST(Units, EnergyLiterals)
+{
+    EXPECT_DOUBLE_EQ(32_pJ, 32e-12);
+    EXPECT_DOUBLE_EQ(1.5_nJ, 1.5e-9);
+    EXPECT_DOUBLE_EQ(2.0_uJ, 2e-6);
+    EXPECT_DOUBLE_EQ(3.0_mJ, 3e-3);
+}
+
+TEST(Units, ElectricalLiterals)
+{
+    EXPECT_DOUBLE_EQ(240.0_kOhm, 240e3);
+    EXPECT_DOUBLE_EQ(24.0_MOhm, 24e6);
+    EXPECT_DOUBLE_EQ(0.5_V, 0.5);
+    EXPECT_DOUBLE_EQ(1.03_uW, 1.03e-6);
+    EXPECT_DOUBLE_EQ(10.42_nW, 10.42e-9);
+}
+
+TEST(Units, GeometryLiterals)
+{
+    EXPECT_DOUBLE_EQ(600.0_nm, 600e-9);
+    EXPECT_DOUBLE_EQ(0.03_um2, 0.03e-12);
+    EXPECT_DOUBLE_EQ(84.088_mm2, 84.088e-6);
+}
+
+TEST(Units, CapacityLiterals)
+{
+    EXPECT_DOUBLE_EQ(64_KiB, 65536.0);
+    EXPECT_DOUBLE_EQ(1_MiB, 1048576.0);
+    EXPECT_DOUBLE_EQ(8_GiB, 8.0 * 1073741824.0);
+}
+
+TEST(Units, FormatSiPicksPrefix)
+{
+    EXPECT_EQ(formatSi(3.2e-12, "J"), "3.20 pJ");
+    EXPECT_EQ(formatSi(1.5e-9, "s"), "1.50 ns");
+    EXPECT_EQ(formatSi(2.5e6, "Hz"), "2.50 MHz");
+    EXPECT_EQ(formatSi(42.0, "J"), "42.00 J");
+}
+
+TEST(Units, FormatSiZeroAndNegative)
+{
+    EXPECT_EQ(formatSi(0.0, "J"), "0.00 J");
+    EXPECT_EQ(formatSi(-2.0e-3, "J"), "-2.00 mJ");
+}
+
+TEST(Units, FormatSiPrecision)
+{
+    EXPECT_EQ(formatSi(3.14159e-6, "s", 4), "3.1416 us");
+    EXPECT_EQ(formatSi(3.14159e-6, "s", 0), "3 us");
+}
+
+TEST(Units, FormatArea)
+{
+    EXPECT_EQ(formatAreaMm2(84.088e-6), "84.088 mm^2");
+    EXPECT_EQ(formatAreaMm2(47.914e-6), "47.914 mm^2");
+}
+
+TEST(Units, CeilDiv)
+{
+    EXPECT_EQ(ceilDiv(0, 5), 0u);
+    EXPECT_EQ(ceilDiv(1, 5), 1u);
+    EXPECT_EQ(ceilDiv(5, 5), 1u);
+    EXPECT_EQ(ceilDiv(6, 5), 2u);
+    EXPECT_EQ(ceilDiv(432, 256), 2u);   // Eq. 5 for VGG16 conv1, 16-bit
+    EXPECT_EQ(ceilDiv(216, 256), 1u);   // same at 8-bit
+}
+
+/** ceilDiv must satisfy its defining inequality over a sweep. */
+class CeilDivProperty
+    : public ::testing::TestWithParam<std::pair<std::uint64_t,
+                                                std::uint64_t>>
+{
+};
+
+TEST_P(CeilDivProperty, Definition)
+{
+    const auto [n, d] = GetParam();
+    const auto q = ceilDiv(n, d);
+    EXPECT_GE(q * d, n);
+    if (q > 0) {
+        EXPECT_LT((q - 1) * d, n);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CeilDivProperty,
+    ::testing::Values(std::pair<std::uint64_t, std::uint64_t>{0, 1},
+                      std::pair<std::uint64_t, std::uint64_t>{1, 1},
+                      std::pair<std::uint64_t, std::uint64_t>{7, 3},
+                      std::pair<std::uint64_t, std::uint64_t>{9, 3},
+                      std::pair<std::uint64_t, std::uint64_t>{10, 3},
+                      std::pair<std::uint64_t, std::uint64_t>{255, 256},
+                      std::pair<std::uint64_t, std::uint64_t>{256, 256},
+                      std::pair<std::uint64_t, std::uint64_t>{257, 256},
+                      std::pair<std::uint64_t, std::uint64_t>{1u << 20,
+                                                              3}));
+
+} // namespace
+} // namespace inca

@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Utilization-model tests (paper Fig. 16): bounds, the 16x16 sweet
+ * spot, and the WS collapse on depthwise layers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/utilization.hh"
+#include "nn/model_zoo.hh"
+
+namespace inca {
+namespace arch {
+namespace {
+
+nn::LayerDesc
+convLayer(std::int64_t c, std::int64_t hw, std::int64_t n, int k)
+{
+    nn::LayerDesc l;
+    l.kind = nn::LayerKind::Conv;
+    l.inC = c;
+    l.inH = l.inW = hw;
+    l.outC = n;
+    l.outH = l.outW = hw;
+    l.kh = l.kw = k;
+    return l;
+}
+
+nn::LayerDesc
+depthwiseLayer(std::int64_t c, std::int64_t hw, int k)
+{
+    nn::LayerDesc l = convLayer(c, hw, c, k);
+    l.kind = nn::LayerKind::Depthwise;
+    return l;
+}
+
+TEST(IncaUtilization, PerfectFit)
+{
+    // A 16-divisible feature map wastes nothing on 16x16 planes.
+    EXPECT_DOUBLE_EQ(incaLayerUtilization(convLayer(64, 32, 64, 3), 16),
+                     1.0);
+    EXPECT_DOUBLE_EQ(incaLayerUtilization(convLayer(3, 224, 64, 3), 16),
+                     1.0);
+}
+
+TEST(IncaUtilization, RaggedEdgeWastes)
+{
+    // A 14x14 map on 16x16 planes uses 196 of 256 cells.
+    EXPECT_NEAR(incaLayerUtilization(convLayer(512, 14, 512, 3), 16),
+                196.0 / 256.0, 1e-9);
+    // ... and on 128x128 planes only 196 of 16384.
+    EXPECT_NEAR(incaLayerUtilization(convLayer(512, 14, 512, 3), 128),
+                196.0 / 16384.0, 1e-9);
+}
+
+TEST(IncaUtilization, IndependentOfKernelShape)
+{
+    // The paper: INCA's utilization "is not affected by kernel
+    // variance".
+    const double u3 =
+        incaLayerUtilization(convLayer(64, 28, 64, 3), 16);
+    const double u5 =
+        incaLayerUtilization(convLayer(64, 28, 64, 5), 16);
+    EXPECT_DOUBLE_EQ(u3, u5);
+}
+
+/** Fig. 16a: utilization must fall monotonically with array size. */
+class IncaArraySizeSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(IncaArraySizeSweep, NetworkUtilizationShrinksWithArraySize)
+{
+    const int s = GetParam();
+    for (const auto &net : nn::evaluationSuite()) {
+        const double uS = incaNetworkUtilization(net, s);
+        const double u2S = incaNetworkUtilization(net, 2 * s);
+        EXPECT_GE(uS, u2S) << net.name << " at " << s;
+        EXPECT_GE(uS, 0.0);
+        EXPECT_LE(uS, 1.0);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, IncaArraySizeSweep,
+                         ::testing::Values(8, 16, 32, 64));
+
+TEST(IncaUtilization, SixteenIsCompetitive)
+{
+    // Fig. 16a: 16x16 keeps utilization high on every network.
+    for (const auto &net : nn::evaluationSuite()) {
+        EXPECT_GE(incaNetworkUtilization(net, 16), 0.6) << net.name;
+        EXPECT_LE(incaNetworkUtilization(net, 128), 0.45) << net.name;
+    }
+}
+
+TEST(WsUtilization, FullColumnsWhenAligned)
+{
+    // 128-deep accumulation with 16 output channels at 8 bit fills
+    // columns exactly.
+    nn::LayerDesc l = convLayer(64, 28, 16, 3); // rows=576, cols=128
+    const double u = wsLayerUtilization(l, 128);
+    // rows: 576 over 5 tiles of 128 = 640 -> 0.9; cols exactly 1.0.
+    EXPECT_NEAR(u, 576.0 / 640.0, 1e-9);
+}
+
+TEST(WsUtilization, DepthwiseCollapses)
+{
+    // 3x3 depthwise kernels use 9 of 128 rows and 8 of 128 columns.
+    const double u = wsLayerUtilization(depthwiseLayer(64, 14, 3), 128);
+    EXPECT_NEAR(u, (9.0 * 8.0) / (128.0 * 128.0), 1e-9);
+    EXPECT_LT(u, 0.005);
+}
+
+TEST(WsUtilization, LightNetworksCollapse)
+{
+    // Fig. 16b: the baseline keeps ~full utilization on VGGs/ResNets
+    // but collapses on MobileNetV2 / MNasNet.
+    EXPECT_GT(wsNetworkUtilization(nn::vgg16(), 128), 0.9);
+    EXPECT_GT(wsNetworkUtilization(nn::resnet50(), 128), 0.8);
+    EXPECT_LT(wsNetworkUtilization(nn::mobilenetV2(), 128), 0.3);
+    EXPECT_LT(wsNetworkUtilization(nn::mnasnet(), 128), 0.3);
+}
+
+TEST(WsUtilization, IncaStaysFlatAcrossNetworks)
+{
+    // Fig. 16b, INCA side: utilization roughly constant across
+    // heavy and light networks at the 16x16 design point.
+    double lo = 1.0, hi = 0.0;
+    for (const auto &net : nn::evaluationSuite()) {
+        const double u = incaNetworkUtilization(net, 16);
+        lo = std::min(lo, u);
+        hi = std::max(hi, u);
+    }
+    EXPECT_LT(hi - lo, 0.35);
+    EXPECT_GT(lo, 0.55);
+}
+
+TEST(Utilization, NonConvLayersAreZero)
+{
+    nn::LayerDesc pool;
+    pool.kind = nn::LayerKind::MaxPool;
+    EXPECT_DOUBLE_EQ(incaLayerUtilization(pool, 16), 0.0);
+    EXPECT_DOUBLE_EQ(wsLayerUtilization(pool, 128), 0.0);
+}
+
+TEST(Utilization, FcFoldsOntoPlanes)
+{
+    nn::LayerDesc fc;
+    fc.kind = nn::LayerKind::FullyConnected;
+    fc.inC = 512; // exactly two 16x16 planes
+    fc.inH = fc.inW = 1;
+    fc.outC = 1000;
+    fc.outH = fc.outW = 1;
+    fc.kh = fc.kw = 1;
+    EXPECT_DOUBLE_EQ(incaLayerUtilization(fc, 16), 1.0);
+    fc.inC = 300; // 2 planes of 256, 300/512 used
+    EXPECT_NEAR(incaLayerUtilization(fc, 16), 300.0 / 512.0, 1e-9);
+}
+
+/** All layer utilizations stay in [0, 1] across a parameter sweep. */
+struct UtilCase
+{
+    std::int64_t c, hw, n;
+    int k, arraySize;
+};
+
+class UtilBounds : public ::testing::TestWithParam<UtilCase>
+{
+};
+
+TEST_P(UtilBounds, InUnitInterval)
+{
+    const auto p = GetParam();
+    const auto conv = convLayer(p.c, p.hw, p.n, p.k);
+    const auto dw = depthwiseLayer(p.c, p.hw, p.k);
+    for (double u : {incaLayerUtilization(conv, p.arraySize),
+                     wsLayerUtilization(conv, 128),
+                     incaLayerUtilization(dw, p.arraySize),
+                     wsLayerUtilization(dw, 128)}) {
+        EXPECT_GE(u, 0.0);
+        EXPECT_LE(u, 1.0);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, UtilBounds,
+    ::testing::Values(UtilCase{1, 7, 1, 1, 8},
+                      UtilCase{3, 224, 64, 3, 16},
+                      UtilCase{64, 56, 64, 3, 16},
+                      UtilCase{512, 7, 512, 3, 32},
+                      UtilCase{960, 7, 320, 1, 16},
+                      UtilCase{32, 112, 16, 5, 64},
+                      UtilCase{2048, 7, 1000, 1, 128}));
+
+} // namespace
+} // namespace arch
+} // namespace inca

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * WS (unrolled) mapping tests: row/column tiling, depthwise channel
+ * groups, and network-level array counts.
+ */
+
+#include <gtest/gtest.h>
+
+#include "baseline/mapping.hh"
+#include "nn/model_zoo.hh"
+
+namespace inca {
+namespace baseline {
+namespace {
+
+nn::LayerDesc
+convLayer(std::int64_t c, std::int64_t hw, std::int64_t n, int k)
+{
+    nn::LayerDesc l;
+    l.kind = k == 1 ? nn::LayerKind::Pointwise : nn::LayerKind::Conv;
+    l.inC = c;
+    l.inH = l.inW = hw;
+    l.outC = n;
+    l.outH = l.outW = hw;
+    l.kh = l.kw = k;
+    return l;
+}
+
+TEST(WsMapping, SingleArrayLayer)
+{
+    // 9*8 = 72 rows, 8*8 = 64 bit columns: one 128x128 crossbar.
+    const auto cfg = arch::paperBaseline();
+    const auto m = mapLayer(convLayer(8, 14, 8, 3), cfg);
+    EXPECT_EQ(m.usedRows, 72);
+    EXPECT_EQ(m.usedCols, 64);
+    EXPECT_EQ(m.rowTiles, 1);
+    EXPECT_EQ(m.colTiles, 1);
+    EXPECT_EQ(m.channelGroups, 1);
+    EXPECT_EQ(m.arrays(), 1);
+    EXPECT_EQ(m.windows, 14 * 14);
+}
+
+TEST(WsMapping, RowAndColumnTiling)
+{
+    // VGG16 conv5-class layer: 9*512 = 4608 rows -> 36 row tiles;
+    // 512*8 = 4096 columns -> 32 col tiles.
+    const auto cfg = arch::paperBaseline();
+    const auto m = mapLayer(convLayer(512, 14, 512, 3), cfg);
+    EXPECT_EQ(m.rowTiles, 36);
+    EXPECT_EQ(m.colTiles, 32);
+    EXPECT_EQ(m.arrays(), 36 * 32);
+}
+
+TEST(WsMapping, PointwiseUsesOneRowPerChannel)
+{
+    const auto cfg = arch::paperBaseline();
+    const auto m = mapLayer(convLayer(256, 14, 64, 1), cfg);
+    EXPECT_EQ(m.usedRows, 256);
+    EXPECT_EQ(m.rowTiles, 2);
+    EXPECT_EQ(m.usedCols, 64 * 8);
+    EXPECT_EQ(m.colTiles, 4);
+}
+
+TEST(WsMapping, DepthwiseGetsPerChannelGroups)
+{
+    const auto cfg = arch::paperBaseline();
+    nn::LayerDesc l = convLayer(96, 14, 96, 3);
+    l.kind = nn::LayerKind::Depthwise;
+    const auto m = mapLayer(l, cfg);
+    EXPECT_EQ(m.usedRows, 9);
+    EXPECT_EQ(m.usedCols, 8);
+    EXPECT_EQ(m.channelGroups, 96);
+    EXPECT_EQ(m.arrays(), 96); // one (mostly empty) array each
+}
+
+TEST(WsMapping, ArraysForNetworkSumsConvLayers)
+{
+    const auto cfg = arch::paperBaseline();
+    const auto net = nn::lenet5();
+    std::int64_t expected = 0;
+    for (const auto &l : net.layers) {
+        if (l.isConvLike())
+            expected += mapLayer(l, cfg).arrays();
+    }
+    EXPECT_EQ(arraysForNetwork(net, cfg), expected);
+    EXPECT_GT(expected, 0);
+}
+
+TEST(WsMapping, Vgg16NeedsMoreArraysThanChipHolds)
+{
+    // 138 M weights x 8 bit-columns >> 16128 crossbars' capacity --
+    // the weight-reload condition the engine models.
+    const auto cfg = arch::paperBaseline();
+    EXPECT_GT(arraysForNetwork(nn::vgg16(), cfg),
+              cfg.org.totalSubarrays());
+    // MobileNetV2's 3 M weights fit comfortably... in array COUNT
+    // terms depthwise fragmentation still wastes arrays, so compare
+    // capacity in cells instead.
+    EXPECT_LT(double(nn::mobilenetV2().totalWeights()) * 8.0,
+              double(cfg.totalCells()));
+}
+
+TEST(WsMapping, SmallerArraysMeanMoreTiles)
+{
+    auto cfg = arch::paperBaseline();
+    const auto big = mapLayer(convLayer(128, 14, 128, 3), cfg);
+    cfg.subarraySize = 64;
+    const auto small = mapLayer(convLayer(128, 14, 128, 3), cfg);
+    EXPECT_GT(small.arrays(), big.arrays());
+}
+
+TEST(WsMappingDeath, NonConvPanics)
+{
+    const auto cfg = arch::paperBaseline();
+    nn::LayerDesc pool;
+    pool.kind = nn::LayerKind::MaxPool;
+    pool.name = "pool";
+    EXPECT_DEATH(mapLayer(pool, cfg), "non-conv");
+}
+
+} // namespace
+} // namespace baseline
+} // namespace inca

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Functional WS training tests: the transposed-weight crossbars
+ * (Limitation 2) compute the correct error backpropagation, and the
+ * extra-array cost is real.
+ */
+
+#include <gtest/gtest.h>
+
+#include "baseline/training.hh"
+#include "common/random.hh"
+#include "tensor/ops.hh"
+
+namespace inca {
+namespace baseline {
+namespace {
+
+using tensor::ConvSpec;
+using tensor::Tensor;
+
+Tensor
+randomUnsigned(std::vector<std::int64_t> shape, int bits, Rng &rng)
+{
+    Tensor t(std::move(shape));
+    for (std::int64_t i = 0; i < t.size(); ++i)
+        t[i] = float(rng.below(1u << bits));
+    return t;
+}
+
+Tensor
+randomSigned(std::vector<std::int64_t> shape, int bits, Rng &rng)
+{
+    Tensor t(std::move(shape));
+    const int span = 1 << bits;
+    for (std::int64_t i = 0; i < t.size(); ++i)
+        t[i] = float(std::int64_t(rng.below(std::uint64_t(span))) -
+                     (span / 2));
+    return t;
+}
+
+TEST(SplitSigned, Reconstruction)
+{
+    Rng rng(1);
+    Tensor t = randomSigned({4, 4}, 6, rng);
+    auto [pos, neg] = splitSigned(t);
+    for (std::int64_t i = 0; i < t.size(); ++i) {
+        EXPECT_GE(pos[i], 0.0f);
+        EXPECT_GE(neg[i], 0.0f);
+        EXPECT_FLOAT_EQ(pos[i] - neg[i], t[i]);
+        EXPECT_TRUE(pos[i] == 0.0f || neg[i] == 0.0f);
+    }
+}
+
+TEST(WsTraining, ForwardMatchesReference)
+{
+    Rng rng(2);
+    Tensor w = randomSigned({4, 2, 3, 3}, 8, rng);
+    Tensor x = randomUnsigned({2, 2, 7, 7}, 8, rng);
+    WsTrainingContext ctx(w, 1, {32, 8, 8, 8});
+    EXPECT_TRUE(ctx.forward(x).equals(
+        tensor::conv2d(x, w, ConvSpec{1, 1})));
+}
+
+TEST(WsTraining, TransposedCrossbarsComputeInputGrad)
+{
+    // Signed errors stream as two unsigned passes through the W^T
+    // crossbars (PipeLayer's scheme); the difference of the passes
+    // must equal conv2dInputGrad exactly.
+    Rng rng(3);
+    const int pad = 1;
+    Tensor w = randomSigned({3, 2, 3, 3}, 8, rng);
+    Tensor dy = randomSigned({2, 3, 6, 6}, 6, rng);
+    WsTrainingContext ctx(w, pad, {32, 8, 8, 8});
+
+    auto [pos, neg] = splitSigned(dy);
+    Tensor dxPos = ctx.errorBackprop(pos);
+    Tensor dxNeg = ctx.errorBackprop(neg);
+    dxPos -= dxNeg;
+
+    Tensor ref = tensor::conv2dInputGrad(dy, w, {2, 2, 6, 6},
+                                         ConvSpec{1, pad});
+    EXPECT_TRUE(dxPos.equals(ref));
+}
+
+TEST(WsTraining, NoPaddingVariant)
+{
+    Rng rng(4);
+    Tensor w = randomSigned({2, 1, 3, 3}, 8, rng);
+    Tensor dy = randomSigned({1, 2, 4, 4}, 5, rng);
+    WsTrainingContext ctx(w, 0, {16, 8, 8, 8});
+    auto [pos, neg] = splitSigned(dy);
+    Tensor dx = ctx.errorBackprop(pos);
+    dx -= ctx.errorBackprop(neg);
+    Tensor ref = tensor::conv2dInputGrad(dy, w, {1, 1, 6, 6},
+                                         ConvSpec{1, 0});
+    EXPECT_TRUE(dx.equals(ref));
+}
+
+TEST(WsTraining, TransposedCopyCostsExtraArrays)
+{
+    // Limitation 2's hardware bill: the W^T disposition needs its own
+    // crossbars -- for a square channel count, exactly as many again.
+    Rng rng(5);
+    Tensor w = randomSigned({8, 8, 3, 3}, 8, rng);
+    WsTrainingContext ctx(w, 1, {32, 8, 8, 8});
+    EXPECT_GT(ctx.forwardArrays(), 0);
+    EXPECT_EQ(ctx.transposedArrays(), ctx.forwardArrays());
+    EXPECT_EQ(ctx.totalArrays(), 2 * ctx.forwardArrays());
+}
+
+TEST(WsTraining, AsymmetricChannelsStillDouble)
+{
+    // F != C: array counts differ between copies, but the copy is
+    // still a full second allocation.
+    Rng rng(6);
+    Tensor w = randomSigned({16, 4, 3, 3}, 8, rng);
+    WsTrainingContext ctx(w, 1, {32, 8, 8, 8});
+    EXPECT_GT(ctx.transposedArrays(), 0);
+    EXPECT_EQ(ctx.totalArrays(),
+              ctx.forwardArrays() + ctx.transposedArrays());
+}
+
+} // namespace
+} // namespace baseline
+} // namespace inca
