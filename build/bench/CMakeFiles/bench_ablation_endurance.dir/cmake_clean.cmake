@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_endurance.dir/bench_ablation_endurance.cc.o"
+  "CMakeFiles/bench_ablation_endurance.dir/bench_ablation_endurance.cc.o.d"
+  "bench_ablation_endurance"
+  "bench_ablation_endurance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_endurance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07_access_unroll.dir/bench_fig07_access_unroll.cc.o"
+  "CMakeFiles/bench_fig07_access_unroll.dir/bench_fig07_access_unroll.cc.o.d"
+  "bench_fig07_access_unroll"
+  "bench_fig07_access_unroll.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_access_unroll.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig07_access_unroll.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_buffer_accesses.dir/bench_table3_buffer_accesses.cc.o"
+  "CMakeFiles/bench_table3_buffer_accesses.dir/bench_table3_buffer_accesses.cc.o.d"
+  "bench_table3_buffer_accesses"
+  "bench_table3_buffer_accesses.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_buffer_accesses.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_footprint.dir/bench_table4_footprint.cc.o"
+  "CMakeFiles/bench_table4_footprint.dir/bench_table4_footprint.cc.o.d"
+  "bench_table4_footprint"
+  "bench_table4_footprint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_footprint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table6_noise_accuracy.cc" "bench/CMakeFiles/bench_table6_noise_accuracy.dir/bench_table6_noise_accuracy.cc.o" "gcc" "bench/CMakeFiles/bench_table6_noise_accuracy.dir/bench_table6_noise_accuracy.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/inca_simulator.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/inca_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/inca/CMakeFiles/inca_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/inca_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/inca_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataflow/CMakeFiles/inca_dataflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/memory/CMakeFiles/inca_memory.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/inca_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/inca_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/inca_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/inca_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

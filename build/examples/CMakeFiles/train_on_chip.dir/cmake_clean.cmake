@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/train_on_chip.dir/train_on_chip.cpp.o"
+  "CMakeFiles/train_on_chip.dir/train_on_chip.cpp.o.d"
+  "train_on_chip"
+  "train_on_chip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/train_on_chip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

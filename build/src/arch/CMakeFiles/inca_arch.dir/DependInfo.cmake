@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arch/area.cc" "src/arch/CMakeFiles/inca_arch.dir/area.cc.o" "gcc" "src/arch/CMakeFiles/inca_arch.dir/area.cc.o.d"
+  "/root/repo/src/arch/config.cc" "src/arch/CMakeFiles/inca_arch.dir/config.cc.o" "gcc" "src/arch/CMakeFiles/inca_arch.dir/config.cc.o.d"
+  "/root/repo/src/arch/endurance.cc" "src/arch/CMakeFiles/inca_arch.dir/endurance.cc.o" "gcc" "src/arch/CMakeFiles/inca_arch.dir/endurance.cc.o.d"
+  "/root/repo/src/arch/power.cc" "src/arch/CMakeFiles/inca_arch.dir/power.cc.o" "gcc" "src/arch/CMakeFiles/inca_arch.dir/power.cc.o.d"
+  "/root/repo/src/arch/utilization.cc" "src/arch/CMakeFiles/inca_arch.dir/utilization.cc.o" "gcc" "src/arch/CMakeFiles/inca_arch.dir/utilization.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/inca_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/inca_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/memory/CMakeFiles/inca_memory.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/inca_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/inca_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

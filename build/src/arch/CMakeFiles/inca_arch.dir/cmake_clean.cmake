@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inca_arch.dir/area.cc.o"
+  "CMakeFiles/inca_arch.dir/area.cc.o.d"
+  "CMakeFiles/inca_arch.dir/config.cc.o"
+  "CMakeFiles/inca_arch.dir/config.cc.o.d"
+  "CMakeFiles/inca_arch.dir/endurance.cc.o"
+  "CMakeFiles/inca_arch.dir/endurance.cc.o.d"
+  "CMakeFiles/inca_arch.dir/power.cc.o"
+  "CMakeFiles/inca_arch.dir/power.cc.o.d"
+  "CMakeFiles/inca_arch.dir/utilization.cc.o"
+  "CMakeFiles/inca_arch.dir/utilization.cc.o.d"
+  "libinca_arch.a"
+  "libinca_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inca_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

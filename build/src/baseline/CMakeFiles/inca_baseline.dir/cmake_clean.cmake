@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inca_baseline.dir/crossbar.cc.o"
+  "CMakeFiles/inca_baseline.dir/crossbar.cc.o.d"
+  "CMakeFiles/inca_baseline.dir/engine.cc.o"
+  "CMakeFiles/inca_baseline.dir/engine.cc.o.d"
+  "CMakeFiles/inca_baseline.dir/mapping.cc.o"
+  "CMakeFiles/inca_baseline.dir/mapping.cc.o.d"
+  "CMakeFiles/inca_baseline.dir/training.cc.o"
+  "CMakeFiles/inca_baseline.dir/training.cc.o.d"
+  "libinca_baseline.a"
+  "libinca_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inca_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

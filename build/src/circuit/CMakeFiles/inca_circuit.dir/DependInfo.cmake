@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/circuit/adc.cc" "src/circuit/CMakeFiles/inca_circuit.dir/adc.cc.o" "gcc" "src/circuit/CMakeFiles/inca_circuit.dir/adc.cc.o.d"
+  "/root/repo/src/circuit/cells.cc" "src/circuit/CMakeFiles/inca_circuit.dir/cells.cc.o" "gcc" "src/circuit/CMakeFiles/inca_circuit.dir/cells.cc.o.d"
+  "/root/repo/src/circuit/devices.cc" "src/circuit/CMakeFiles/inca_circuit.dir/devices.cc.o" "gcc" "src/circuit/CMakeFiles/inca_circuit.dir/devices.cc.o.d"
+  "/root/repo/src/circuit/digital.cc" "src/circuit/CMakeFiles/inca_circuit.dir/digital.cc.o" "gcc" "src/circuit/CMakeFiles/inca_circuit.dir/digital.cc.o.d"
+  "/root/repo/src/circuit/rram.cc" "src/circuit/CMakeFiles/inca_circuit.dir/rram.cc.o" "gcc" "src/circuit/CMakeFiles/inca_circuit.dir/rram.cc.o.d"
+  "/root/repo/src/circuit/rram3d.cc" "src/circuit/CMakeFiles/inca_circuit.dir/rram3d.cc.o" "gcc" "src/circuit/CMakeFiles/inca_circuit.dir/rram3d.cc.o.d"
+  "/root/repo/src/circuit/sneak.cc" "src/circuit/CMakeFiles/inca_circuit.dir/sneak.cc.o" "gcc" "src/circuit/CMakeFiles/inca_circuit.dir/sneak.cc.o.d"
+  "/root/repo/src/circuit/tech.cc" "src/circuit/CMakeFiles/inca_circuit.dir/tech.cc.o" "gcc" "src/circuit/CMakeFiles/inca_circuit.dir/tech.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/inca_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inca_circuit.dir/adc.cc.o"
+  "CMakeFiles/inca_circuit.dir/adc.cc.o.d"
+  "CMakeFiles/inca_circuit.dir/cells.cc.o"
+  "CMakeFiles/inca_circuit.dir/cells.cc.o.d"
+  "CMakeFiles/inca_circuit.dir/devices.cc.o"
+  "CMakeFiles/inca_circuit.dir/devices.cc.o.d"
+  "CMakeFiles/inca_circuit.dir/digital.cc.o"
+  "CMakeFiles/inca_circuit.dir/digital.cc.o.d"
+  "CMakeFiles/inca_circuit.dir/rram.cc.o"
+  "CMakeFiles/inca_circuit.dir/rram.cc.o.d"
+  "CMakeFiles/inca_circuit.dir/rram3d.cc.o"
+  "CMakeFiles/inca_circuit.dir/rram3d.cc.o.d"
+  "CMakeFiles/inca_circuit.dir/sneak.cc.o"
+  "CMakeFiles/inca_circuit.dir/sneak.cc.o.d"
+  "CMakeFiles/inca_circuit.dir/tech.cc.o"
+  "CMakeFiles/inca_circuit.dir/tech.cc.o.d"
+  "libinca_circuit.a"
+  "libinca_circuit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inca_circuit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

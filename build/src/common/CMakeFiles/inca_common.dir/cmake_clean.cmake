@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inca_common.dir/config.cc.o"
+  "CMakeFiles/inca_common.dir/config.cc.o.d"
+  "CMakeFiles/inca_common.dir/logging.cc.o"
+  "CMakeFiles/inca_common.dir/logging.cc.o.d"
+  "CMakeFiles/inca_common.dir/random.cc.o"
+  "CMakeFiles/inca_common.dir/random.cc.o.d"
+  "CMakeFiles/inca_common.dir/stats.cc.o"
+  "CMakeFiles/inca_common.dir/stats.cc.o.d"
+  "CMakeFiles/inca_common.dir/table.cc.o"
+  "CMakeFiles/inca_common.dir/table.cc.o.d"
+  "CMakeFiles/inca_common.dir/units.cc.o"
+  "CMakeFiles/inca_common.dir/units.cc.o.d"
+  "libinca_common.a"
+  "libinca_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inca_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

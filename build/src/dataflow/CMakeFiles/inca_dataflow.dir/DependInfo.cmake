@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dataflow/access_model.cc" "src/dataflow/CMakeFiles/inca_dataflow.dir/access_model.cc.o" "gcc" "src/dataflow/CMakeFiles/inca_dataflow.dir/access_model.cc.o.d"
+  "/root/repo/src/dataflow/footprint.cc" "src/dataflow/CMakeFiles/inca_dataflow.dir/footprint.cc.o" "gcc" "src/dataflow/CMakeFiles/inca_dataflow.dir/footprint.cc.o.d"
+  "/root/repo/src/dataflow/unroll.cc" "src/dataflow/CMakeFiles/inca_dataflow.dir/unroll.cc.o" "gcc" "src/dataflow/CMakeFiles/inca_dataflow.dir/unroll.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/inca_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/memory/CMakeFiles/inca_memory.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/inca_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/inca_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inca_dataflow.dir/access_model.cc.o"
+  "CMakeFiles/inca_dataflow.dir/access_model.cc.o.d"
+  "CMakeFiles/inca_dataflow.dir/footprint.cc.o"
+  "CMakeFiles/inca_dataflow.dir/footprint.cc.o.d"
+  "CMakeFiles/inca_dataflow.dir/unroll.cc.o"
+  "CMakeFiles/inca_dataflow.dir/unroll.cc.o.d"
+  "libinca_dataflow.a"
+  "libinca_dataflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inca_dataflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

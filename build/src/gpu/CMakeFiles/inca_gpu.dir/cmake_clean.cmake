@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inca_gpu.dir/gpu_model.cc.o"
+  "CMakeFiles/inca_gpu.dir/gpu_model.cc.o.d"
+  "libinca_gpu.a"
+  "libinca_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inca_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

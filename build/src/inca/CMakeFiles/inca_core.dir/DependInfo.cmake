@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/inca/engine.cc" "src/inca/CMakeFiles/inca_core.dir/engine.cc.o" "gcc" "src/inca/CMakeFiles/inca_core.dir/engine.cc.o.d"
+  "/root/repo/src/inca/functional.cc" "src/inca/CMakeFiles/inca_core.dir/functional.cc.o" "gcc" "src/inca/CMakeFiles/inca_core.dir/functional.cc.o.d"
+  "/root/repo/src/inca/inference.cc" "src/inca/CMakeFiles/inca_core.dir/inference.cc.o" "gcc" "src/inca/CMakeFiles/inca_core.dir/inference.cc.o.d"
+  "/root/repo/src/inca/mapping.cc" "src/inca/CMakeFiles/inca_core.dir/mapping.cc.o" "gcc" "src/inca/CMakeFiles/inca_core.dir/mapping.cc.o.d"
+  "/root/repo/src/inca/plane.cc" "src/inca/CMakeFiles/inca_core.dir/plane.cc.o" "gcc" "src/inca/CMakeFiles/inca_core.dir/plane.cc.o.d"
+  "/root/repo/src/inca/stack3d.cc" "src/inca/CMakeFiles/inca_core.dir/stack3d.cc.o" "gcc" "src/inca/CMakeFiles/inca_core.dir/stack3d.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/inca_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/inca_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataflow/CMakeFiles/inca_dataflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/inca_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/inca_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/memory/CMakeFiles/inca_memory.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/inca_nn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inca_core.dir/engine.cc.o"
+  "CMakeFiles/inca_core.dir/engine.cc.o.d"
+  "CMakeFiles/inca_core.dir/functional.cc.o"
+  "CMakeFiles/inca_core.dir/functional.cc.o.d"
+  "CMakeFiles/inca_core.dir/inference.cc.o"
+  "CMakeFiles/inca_core.dir/inference.cc.o.d"
+  "CMakeFiles/inca_core.dir/mapping.cc.o"
+  "CMakeFiles/inca_core.dir/mapping.cc.o.d"
+  "CMakeFiles/inca_core.dir/plane.cc.o"
+  "CMakeFiles/inca_core.dir/plane.cc.o.d"
+  "CMakeFiles/inca_core.dir/stack3d.cc.o"
+  "CMakeFiles/inca_core.dir/stack3d.cc.o.d"
+  "libinca_core.a"
+  "libinca_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inca_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inca_memory.dir/bus.cc.o"
+  "CMakeFiles/inca_memory.dir/bus.cc.o.d"
+  "CMakeFiles/inca_memory.dir/dram.cc.o"
+  "CMakeFiles/inca_memory.dir/dram.cc.o.d"
+  "CMakeFiles/inca_memory.dir/interconnect.cc.o"
+  "CMakeFiles/inca_memory.dir/interconnect.cc.o.d"
+  "CMakeFiles/inca_memory.dir/sram.cc.o"
+  "CMakeFiles/inca_memory.dir/sram.cc.o.d"
+  "libinca_memory.a"
+  "libinca_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inca_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inca_nn.dir/dataset.cc.o"
+  "CMakeFiles/inca_nn.dir/dataset.cc.o.d"
+  "CMakeFiles/inca_nn.dir/layer.cc.o"
+  "CMakeFiles/inca_nn.dir/layer.cc.o.d"
+  "CMakeFiles/inca_nn.dir/model_zoo.cc.o"
+  "CMakeFiles/inca_nn.dir/model_zoo.cc.o.d"
+  "CMakeFiles/inca_nn.dir/module.cc.o"
+  "CMakeFiles/inca_nn.dir/module.cc.o.d"
+  "CMakeFiles/inca_nn.dir/network.cc.o"
+  "CMakeFiles/inca_nn.dir/network.cc.o.d"
+  "CMakeFiles/inca_nn.dir/noise.cc.o"
+  "CMakeFiles/inca_nn.dir/noise.cc.o.d"
+  "CMakeFiles/inca_nn.dir/trainer.cc.o"
+  "CMakeFiles/inca_nn.dir/trainer.cc.o.d"
+  "libinca_nn.a"
+  "libinca_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inca_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

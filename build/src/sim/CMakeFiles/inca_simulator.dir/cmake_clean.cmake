@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inca_simulator.dir/export.cc.o"
+  "CMakeFiles/inca_simulator.dir/export.cc.o.d"
+  "CMakeFiles/inca_simulator.dir/plot.cc.o"
+  "CMakeFiles/inca_simulator.dir/plot.cc.o.d"
+  "CMakeFiles/inca_simulator.dir/report.cc.o"
+  "CMakeFiles/inca_simulator.dir/report.cc.o.d"
+  "CMakeFiles/inca_simulator.dir/schedule.cc.o"
+  "CMakeFiles/inca_simulator.dir/schedule.cc.o.d"
+  "libinca_simulator.a"
+  "libinca_simulator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inca_simulator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

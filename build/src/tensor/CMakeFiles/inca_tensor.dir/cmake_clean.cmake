@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inca_tensor.dir/ops.cc.o"
+  "CMakeFiles/inca_tensor.dir/ops.cc.o.d"
+  "CMakeFiles/inca_tensor.dir/tensor.cc.o"
+  "CMakeFiles/inca_tensor.dir/tensor.cc.o.d"
+  "libinca_tensor.a"
+  "libinca_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inca_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

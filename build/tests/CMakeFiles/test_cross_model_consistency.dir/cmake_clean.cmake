@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cross_model_consistency.dir/test_cross_model_consistency.cc.o"
+  "CMakeFiles/test_cross_model_consistency.dir/test_cross_model_consistency.cc.o.d"
+  "test_cross_model_consistency"
+  "test_cross_model_consistency.pdb"
+  "test_cross_model_consistency[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cross_model_consistency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

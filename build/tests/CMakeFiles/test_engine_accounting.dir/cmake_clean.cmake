@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_engine_accounting.dir/test_engine_accounting.cc.o"
+  "CMakeFiles/test_engine_accounting.dir/test_engine_accounting.cc.o.d"
+  "test_engine_accounting"
+  "test_engine_accounting.pdb"
+  "test_engine_accounting[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_engine_accounting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

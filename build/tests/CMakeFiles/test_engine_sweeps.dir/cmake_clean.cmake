@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_engine_sweeps.dir/test_engine_sweeps.cc.o"
+  "CMakeFiles/test_engine_sweeps.dir/test_engine_sweeps.cc.o.d"
+  "test_engine_sweeps"
+  "test_engine_sweeps.pdb"
+  "test_engine_sweeps[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_engine_sweeps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_inca_functional.dir/test_inca_functional.cc.o"
+  "CMakeFiles/test_inca_functional.dir/test_inca_functional.cc.o.d"
+  "test_inca_functional"
+  "test_inca_functional.pdb"
+  "test_inca_functional[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_inca_functional.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

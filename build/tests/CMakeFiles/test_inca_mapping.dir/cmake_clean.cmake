@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_inca_mapping.dir/test_inca_mapping.cc.o"
+  "CMakeFiles/test_inca_mapping.dir/test_inca_mapping.cc.o.d"
+  "test_inca_mapping"
+  "test_inca_mapping.pdb"
+  "test_inca_mapping[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_inca_mapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_onchip_inference.dir/test_onchip_inference.cc.o"
+  "CMakeFiles/test_onchip_inference.dir/test_onchip_inference.cc.o.d"
+  "test_onchip_inference"
+  "test_onchip_inference.pdb"
+  "test_onchip_inference[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_onchip_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

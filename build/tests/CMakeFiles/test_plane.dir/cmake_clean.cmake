@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_plane.dir/test_plane.cc.o"
+  "CMakeFiles/test_plane.dir/test_plane.cc.o.d"
+  "test_plane"
+  "test_plane.pdb"
+  "test_plane[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_plane.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sneak.dir/test_sneak.cc.o"
+  "CMakeFiles/test_sneak.dir/test_sneak.cc.o.d"
+  "test_sneak"
+  "test_sneak.pdb"
+  "test_sneak[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sneak.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stack3d.dir/test_stack3d.cc.o"
+  "CMakeFiles/test_stack3d.dir/test_stack3d.cc.o.d"
+  "test_stack3d"
+  "test_stack3d.pdb"
+  "test_stack3d[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stack3d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tensor_ops.dir/test_tensor_ops.cc.o"
+  "CMakeFiles/test_tensor_ops.dir/test_tensor_ops.cc.o.d"
+  "test_tensor_ops"
+  "test_tensor_ops.pdb"
+  "test_tensor_ops[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tensor_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

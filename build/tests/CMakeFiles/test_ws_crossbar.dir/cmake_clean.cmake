@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ws_crossbar.dir/test_ws_crossbar.cc.o"
+  "CMakeFiles/test_ws_crossbar.dir/test_ws_crossbar.cc.o.d"
+  "test_ws_crossbar"
+  "test_ws_crossbar.pdb"
+  "test_ws_crossbar[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ws_crossbar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ws_mapping.dir/test_ws_mapping.cc.o"
+  "CMakeFiles/test_ws_mapping.dir/test_ws_mapping.cc.o.d"
+  "test_ws_mapping"
+  "test_ws_mapping.pdb"
+  "test_ws_mapping[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ws_mapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

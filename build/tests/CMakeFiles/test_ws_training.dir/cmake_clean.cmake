@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ws_training.dir/test_ws_training.cc.o"
+  "CMakeFiles/test_ws_training.dir/test_ws_training.cc.o.d"
+  "test_ws_training"
+  "test_ws_training.pdb"
+  "test_ws_training[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ws_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
