@@ -10,7 +10,10 @@
 
 #include "bench_common.hh"
 
+#include <vector>
+
 #include "common/table.hh"
+#include "common/thread_pool.hh"
 #include "common/units.hh"
 #include "nn/model_zoo.hh"
 #include "sim/report.hh"
@@ -27,18 +30,33 @@ report()
     baseline::BaselineEngine base(arch::paperBaseline());
     const auto net = nn::resnet18();
 
+    // Each batch size is an independent design point: fan them across
+    // the pool, each writing its own pre-sized slot so the table is
+    // identical at any thread count.
     TextTable t({"batch", "INCA E/img", "INCA t/img", "energy gain",
                  "speedup"});
-    for (int batch : {1, 4, 16, 64, 128, 256}) {
-        const auto c =
-            sim::compare(inca, base, net, batch,
-                         arch::Phase::Training);
-        t.addRow({std::to_string(batch),
-                  formatSi(c.inca.energyPerImage(), "J"),
-                  formatSi(c.inca.latencyPerImage(), "s"),
-                  TextTable::ratio(c.energyEfficiencyGain()),
-                  TextTable::ratio(c.speedup())});
+    const std::vector<int> batches = {1, 4, 16, 64, 128, 256};
+    std::vector<std::vector<std::string>> rows(batches.size());
+    {
+        sim::ScopedPhaseTimer timer("batch-size sweep");
+        parallel_for(
+            std::int64_t(batches.size()), 1,
+            [&](std::int64_t lo, std::int64_t hi) {
+                for (std::int64_t i = lo; i < hi; ++i) {
+                    const int batch = batches[size_t(i)];
+                    const auto c = sim::compare(
+                        inca, base, net, batch, arch::Phase::Training);
+                    rows[size_t(i)] = {
+                        std::to_string(batch),
+                        formatSi(c.inca.energyPerImage(), "J"),
+                        formatSi(c.inca.latencyPerImage(), "s"),
+                        TextTable::ratio(c.energyEfficiencyGain()),
+                        TextTable::ratio(c.speedup())};
+                }
+            });
     }
+    for (const auto &row : rows)
+        t.addRow(row);
     t.print();
     std::printf("the gains climb until the batch fills the 64 planes "
                 "of each 3D stack, then flatten (batches beyond 64 "
@@ -47,20 +65,35 @@ report()
     bench::banner("Ablation: stacked-plane count (VGG16, training, "
                   "batch 64)");
     TextTable tp({"planes", "energy gain", "speedup"});
-    for (int planes : {8, 16, 32, 64}) {
-        arch::IncaConfig cfg = arch::paperInca();
-        cfg.stackedPlanes = planes;
-        core::IncaEngine engine(cfg);
-        const auto c = sim::compare(engine, base, nn::vgg16(), 64,
-                                    arch::Phase::Training);
-        tp.addRow({std::to_string(planes),
-                   TextTable::ratio(c.energyEfficiencyGain()),
-                   TextTable::ratio(c.speedup())});
+    const std::vector<int> planeCounts = {8, 16, 32, 64};
+    std::vector<std::vector<std::string>> planeRows(planeCounts.size());
+    {
+        sim::ScopedPhaseTimer timer("stacked-plane sweep");
+        parallel_for(
+            std::int64_t(planeCounts.size()), 1,
+            [&](std::int64_t lo, std::int64_t hi) {
+                for (std::int64_t i = lo; i < hi; ++i) {
+                    arch::IncaConfig cfg = arch::paperInca();
+                    cfg.stackedPlanes = planeCounts[size_t(i)];
+                    core::IncaEngine engine(cfg);
+                    const auto c = sim::compare(
+                        engine, base, nn::vgg16(), 64,
+                        arch::Phase::Training);
+                    planeRows[size_t(i)] = {
+                        std::to_string(planeCounts[size_t(i)]),
+                        TextTable::ratio(c.energyEfficiencyGain()),
+                        TextTable::ratio(c.speedup())};
+                }
+            });
     }
+    for (const auto &row : planeRows)
+        tp.addRow(row);
     tp.print();
     std::printf("fewer planes -> more batch waves -> the training "
                 "advantage shrinks; Table II's 64 planes match the "
                 "batch size for a reason.\n");
+
+    sim::printPhaseTimes();
 }
 
 void

@@ -7,20 +7,28 @@
  * maps (Fig. 16a) and force higher-resolution conversions, while the
  * 4-bit ADC is the smallest that digitizes a 3x3 window losslessly.
  *
+ * The design points are independent, so each sweep fans them across
+ * the shared thread pool (INCA_NUM_THREADS); every point builds its
+ * own engine and writes a pre-sized row slot, so the printed table is
+ * identical at any thread count.
+ *
  *   $ ./build/examples/design_space [network]
  */
 
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <vector>
 
 #include "arch/area.hh"
 #include "arch/config.hh"
 #include "arch/utilization.hh"
 #include "common/table.hh"
+#include "common/thread_pool.hh"
 #include "common/units.hh"
 #include "inca/engine.hh"
 #include "nn/model_zoo.hh"
+#include "sim/report.hh"
 
 int
 main(int argc, char **argv)
@@ -29,8 +37,8 @@ main(int argc, char **argv)
 
     const std::string name = argc > 1 ? argv[1] : "resnet18";
     const nn::NetworkDesc net = nn::byName(name);
-    std::printf("design-space sweep on %s, batch 64\n\n",
-                net.name.c_str());
+    std::printf("design-space sweep on %s, batch 64 (%d threads)\n\n",
+                net.name.c_str(), ThreadPool::globalThreadCount());
 
     // ------------------------------------------------------------
     // 1. Plane-size sweep at iso-capacity: scale the stack count so
@@ -38,25 +46,39 @@ main(int argc, char **argv)
     std::printf("plane-size sweep (iso-capacity, 4-bit ADC):\n");
     TextTable t({"plane", "utilization", "chip area", "E/batch",
                  "t/batch"});
-    for (int s : {8, 16, 32, 64}) {
-        arch::IncaConfig cfg = arch::paperInca();
-        const std::int64_t cellsBefore = cfg.totalCells();
-        cfg.subarraySize = s;
-        // Restore capacity by scaling the tile count.
-        const double scale =
-            double(cellsBefore) / double(cfg.totalCells());
-        cfg.org.numTiles =
-            std::max(1, int(cfg.org.numTiles * scale + 0.5));
-        core::IncaEngine engine(cfg);
-        const auto run = engine.inference(net, 64);
-        t.addRow({std::to_string(s) + "x" + std::to_string(s),
-                  TextTable::num(
-                      100.0 * arch::incaNetworkUtilization(net, s),
-                      1) + " %",
-                  formatAreaMm2(arch::incaArea(cfg).total()),
-                  formatSi(run.energy(), "J"),
-                  formatSi(run.latency, "s")});
+    const std::vector<int> planeSizes = {8, 16, 32, 64};
+    std::vector<std::vector<std::string>> planeRows(planeSizes.size());
+    {
+        sim::ScopedPhaseTimer timer("plane-size sweep");
+        parallel_for(
+            std::int64_t(planeSizes.size()), 1,
+            [&](std::int64_t lo, std::int64_t hi) {
+                for (std::int64_t i = lo; i < hi; ++i) {
+                    const int s = planeSizes[size_t(i)];
+                    arch::IncaConfig cfg = arch::paperInca();
+                    const std::int64_t cellsBefore = cfg.totalCells();
+                    cfg.subarraySize = s;
+                    // Restore capacity by scaling the tile count.
+                    const double scale =
+                        double(cellsBefore) / double(cfg.totalCells());
+                    cfg.org.numTiles =
+                        std::max(1, int(cfg.org.numTiles * scale + 0.5));
+                    core::IncaEngine engine(cfg);
+                    const auto run = engine.inference(net, 64);
+                    planeRows[size_t(i)] = {
+                        std::to_string(s) + "x" + std::to_string(s),
+                        TextTable::num(
+                            100.0 *
+                                arch::incaNetworkUtilization(net, s),
+                            1) + " %",
+                        formatAreaMm2(arch::incaArea(cfg).total()),
+                        formatSi(run.energy(), "J"),
+                        formatSi(run.latency, "s")};
+                }
+            });
     }
+    for (const auto &row : planeRows)
+        t.addRow(row);
     t.print();
     std::printf("(16x16 keeps utilization high with the smallest "
                 "windows a 4-bit ADC digitizes losslessly)\n\n");
@@ -66,21 +88,37 @@ main(int argc, char **argv)
     std::printf("ADC-resolution sweep (16x16 planes):\n");
     TextTable ta({"ADC", "E/conversion", "ADC area (chip)",
                   "E/batch", "t/batch"});
-    for (int bits : {3, 4, 6, 8}) {
-        arch::IncaConfig cfg = arch::paperInca();
-        cfg.adcBits = bits;
-        core::IncaEngine engine(cfg);
-        const auto run = engine.inference(net, 64);
-        ta.addRow({std::to_string(bits) + "-bit",
-                   formatSi(cfg.adc().energyPerConversion, "J"),
-                   formatAreaMm2(cfg.adc().area *
-                                 double(cfg.org.totalSubarrays())),
-                   formatSi(run.energy(), "J"),
-                   formatSi(run.latency, "s")});
+    const std::vector<int> adcBits = {3, 4, 6, 8};
+    std::vector<std::vector<std::string>> adcRows(adcBits.size());
+    {
+        sim::ScopedPhaseTimer timer("ADC-resolution sweep");
+        parallel_for(
+            std::int64_t(adcBits.size()), 1,
+            [&](std::int64_t lo, std::int64_t hi) {
+                for (std::int64_t i = lo; i < hi; ++i) {
+                    const int bits = adcBits[size_t(i)];
+                    arch::IncaConfig cfg = arch::paperInca();
+                    cfg.adcBits = bits;
+                    core::IncaEngine engine(cfg);
+                    const auto run = engine.inference(net, 64);
+                    adcRows[size_t(i)] = {
+                        std::to_string(bits) + "-bit",
+                        formatSi(cfg.adc().energyPerConversion, "J"),
+                        formatAreaMm2(
+                            cfg.adc().area *
+                            double(cfg.org.totalSubarrays())),
+                        formatSi(run.energy(), "J"),
+                        formatSi(run.latency, "s")};
+                }
+            });
     }
+    for (const auto &row : adcRows)
+        ta.addRow(row);
     ta.print();
     std::printf("(3 bits would clip a full 3x3 window -- 9 > 7; 4 "
                 "bits is the paper's sweet spot; every extra bit "
                 "costs ~2x conversion energy)\n");
+
+    sim::printPhaseTimes();
     return 0;
 }

@@ -5,6 +5,7 @@
 
 #include "common/logging.hh"
 #include "common/random.hh"
+#include "common/thread_pool.hh"
 
 namespace inca {
 namespace nn {
@@ -13,6 +14,21 @@ using tensor::ConvSpec;
 using tensor::Tensor;
 
 namespace {
+
+/**
+ * Plain SGD update, parallel over disjoint weight ranges. The noise
+ * application stays serial in the caller: it consumes the layer RNG
+ * stream in element order, which must not depend on the thread count.
+ */
+void
+sgdUpdate(Tensor &w, const Tensor &dw, float lr)
+{
+    parallel_for(w.size(), 16384,
+                 [&](std::int64_t lo, std::int64_t hi) {
+                     for (std::int64_t i = lo; i < hi; ++i)
+                         w[i] -= lr * dw[i];
+                 });
+}
 
 /**
  * Produce the effective parameter tensor for this forward pass: apply
@@ -126,8 +142,7 @@ Conv2d::backward(const Tensor &dy)
 void
 Conv2d::step(float lr)
 {
-    for (std::int64_t i = 0; i < w_.size(); ++i)
-        w_[i] -= lr * dw_[i];
+    sgdUpdate(w_, dw_, lr);
     dw_.fill(0.0f);
     applyWriteNoise(w_, writeNoiseSigma_, writeNoiseRng_, clampLimit_);
 }
@@ -174,8 +189,7 @@ DepthwiseConv2d::backward(const Tensor &dy)
 void
 DepthwiseConv2d::step(float lr)
 {
-    for (std::int64_t i = 0; i < w_.size(); ++i)
-        w_[i] -= lr * dw_[i];
+    sgdUpdate(w_, dw_, lr);
     dw_.fill(0.0f);
     applyWriteNoise(w_, writeNoiseSigma_, writeNoiseRng_, clampLimit_);
 }
@@ -220,8 +234,7 @@ Linear::backward(const Tensor &dy)
 void
 Linear::step(float lr)
 {
-    for (std::int64_t i = 0; i < w_.size(); ++i)
-        w_[i] -= lr * dw_[i];
+    sgdUpdate(w_, dw_, lr);
     for (std::int64_t i = 0; i < b_.size(); ++i)
         b_[i] -= lr * db_[i];
     dw_.fill(0.0f);

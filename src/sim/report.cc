@@ -1,9 +1,73 @@
 #include "sim/report.hh"
 
+#include <cstdio>
+#include <mutex>
+
 #include "common/logging.hh"
+#include "common/thread_pool.hh"
 
 namespace inca {
 namespace sim {
+
+namespace {
+
+/** Process-wide registry ScopedPhaseTimer records into. */
+std::mutex gPhaseMutex;
+std::vector<PhaseTime> gPhases;
+
+double
+elapsedSeconds(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+} // namespace
+
+ScopedPhaseTimer::ScopedPhaseTimer(std::string phase)
+    : phase_(std::move(phase)),
+      start_(std::chrono::steady_clock::now())
+{
+}
+
+ScopedPhaseTimer::~ScopedPhaseTimer()
+{
+    const double seconds = elapsedSeconds(start_);
+    std::lock_guard<std::mutex> lock(gPhaseMutex);
+    gPhases.push_back({phase_, seconds});
+}
+
+std::vector<PhaseTime>
+phaseTimes()
+{
+    std::lock_guard<std::mutex> lock(gPhaseMutex);
+    return gPhases;
+}
+
+void
+clearPhaseTimes()
+{
+    std::lock_guard<std::mutex> lock(gPhaseMutex);
+    gPhases.clear();
+}
+
+void
+printPhaseTimes()
+{
+    const auto phases = phaseTimes();
+    if (phases.empty())
+        return;
+    std::printf("\nwall-clock per phase (%d threads):\n",
+                ThreadPool::globalThreadCount());
+    double total = 0.0;
+    for (const auto &p : phases) {
+        std::printf("  %-40s %8.1f ms\n", p.phase.c_str(),
+                    1e3 * p.seconds);
+        total += p.seconds;
+    }
+    std::printf("  %-40s %8.1f ms\n", "total", 1e3 * total);
+}
 
 Comparison
 compare(const core::IncaEngine &incaEngine,
@@ -12,13 +76,18 @@ compare(const core::IncaEngine &incaEngine,
 {
     Comparison c;
     c.network = net.name;
-    if (phase == arch::Phase::Inference) {
+    const auto t0 = std::chrono::steady_clock::now();
+    if (phase == arch::Phase::Inference)
         c.inca = incaEngine.inference(net, batchSize);
-        c.baseline = baseEngine.inference(net, batchSize);
-    } else {
+    else
         c.inca = incaEngine.training(net, batchSize);
+    const auto t1 = std::chrono::steady_clock::now();
+    if (phase == arch::Phase::Inference)
+        c.baseline = baseEngine.inference(net, batchSize);
+    else
         c.baseline = baseEngine.training(net, batchSize);
-    }
+    c.incaSeconds = std::chrono::duration<double>(t1 - t0).count();
+    c.baselineSeconds = elapsedSeconds(t1);
     return c;
 }
 
@@ -28,11 +97,17 @@ compareSuite(const core::IncaEngine &incaEngine,
              const std::vector<nn::NetworkDesc> &nets, int batchSize,
              arch::Phase phase)
 {
-    std::vector<Comparison> out;
-    out.reserve(nets.size());
-    for (const auto &net : nets)
-        out.push_back(
-            compare(incaEngine, baseEngine, net, batchSize, phase));
+    // Networks are independent design points: fan them across the
+    // pool, each writing its own pre-sized slot so the output order
+    // (and every number in it) is identical at any thread count.
+    std::vector<Comparison> out(nets.size());
+    parallel_for(std::int64_t(nets.size()), 1,
+                 [&](std::int64_t lo, std::int64_t hi) {
+                     for (std::int64_t i = lo; i < hi; ++i)
+                         out[size_t(i)] =
+                             compare(incaEngine, baseEngine,
+                                     nets[size_t(i)], batchSize, phase);
+                 });
     return out;
 }
 

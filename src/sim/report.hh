@@ -12,6 +12,7 @@
 #ifndef INCA_SIM_REPORT_HH
 #define INCA_SIM_REPORT_HH
 
+#include <chrono>
 #include <map>
 #include <string>
 #include <vector>
@@ -24,12 +25,51 @@
 namespace inca {
 namespace sim {
 
+/** Wall-clock seconds one named phase of a driver run took. */
+struct PhaseTime
+{
+    std::string phase;
+    double seconds = 0.0;
+};
+
+/**
+ * RAII wall-clock timer: measures from construction to destruction
+ * and records the result in the process-wide phase registry. Drivers
+ * wrap each sweep in one of these so the thread-pool speedup is
+ * visible in output. Thread-safe; phases appear in completion order.
+ */
+class ScopedPhaseTimer
+{
+  public:
+    explicit ScopedPhaseTimer(std::string phase);
+    ~ScopedPhaseTimer();
+
+    ScopedPhaseTimer(const ScopedPhaseTimer &) = delete;
+    ScopedPhaseTimer &operator=(const ScopedPhaseTimer &) = delete;
+
+  private:
+    std::string phase_;
+    std::chrono::steady_clock::time_point start_;
+};
+
+/** Snapshot of all phases recorded so far. */
+std::vector<PhaseTime> phaseTimes();
+
+/** Drop all recorded phases (test isolation). */
+void clearPhaseTimes();
+
+/** Print the recorded phases and the pool size to stdout. */
+void printPhaseTimes();
+
 /** One network's INCA-vs-baseline result. */
 struct Comparison
 {
     std::string network;
     arch::RunCost inca;
     arch::RunCost baseline;
+    /** Wall-clock seconds spent simulating each engine. */
+    double incaSeconds = 0.0;
+    double baselineSeconds = 0.0;
 
     /** Paper Fig. 11 metric: baseline energy / INCA energy. */
     double

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <vector>
 
 #include "common/logging.hh"
+#include "common/thread_pool.hh"
 
 namespace inca {
 namespace tensor {
@@ -18,8 +20,172 @@ convOutDim(std::int64_t in, int k, const ConvSpec &spec)
     return (padded - k) / spec.stride + 1;
 }
 
+namespace {
+
+/**
+ * Deterministic blocked GEMM over a row range of C: C[i][j] +=
+ * sum_k A[i][k] * B[k][j] for i in [i0, i1).
+ *
+ * Every C element is accumulated strictly in ascending k order, so the
+ * result is independent of how callers partition rows across tasks --
+ * the property the cross-thread-count bit-identity rests on. The
+ * 4-row micro-kernel only changes which rows are computed together
+ * (B is streamed once per row quad), never the per-element order.
+ */
+void
+gemmRowRange(const float *a, std::int64_t lda, const float *b,
+             std::int64_t ldb, float *c, std::int64_t ldc,
+             std::int64_t i0, std::int64_t i1, std::int64_t depth,
+             std::int64_t n)
+{
+    std::int64_t i = i0;
+    for (; i + 4 <= i1; i += 4) {
+        const float *a0 = a + i * lda;
+        const float *a1 = a0 + lda;
+        const float *a2 = a1 + lda;
+        const float *a3 = a2 + lda;
+        float *c0 = c + i * ldc;
+        float *c1 = c0 + ldc;
+        float *c2 = c1 + ldc;
+        float *c3 = c2 + ldc;
+        for (std::int64_t k = 0; k < depth; ++k) {
+            const float *br = b + k * ldb;
+            const float v0 = a0[k], v1 = a1[k], v2 = a2[k], v3 = a3[k];
+            for (std::int64_t j = 0; j < n; ++j) {
+                const float bj = br[j];
+                c0[j] += v0 * bj;
+                c1[j] += v1 * bj;
+                c2[j] += v2 * bj;
+                c3[j] += v3 * bj;
+            }
+        }
+    }
+    for (; i < i1; ++i) {
+        const float *ar = a + i * lda;
+        float *cr = c + i * ldc;
+        for (std::int64_t k = 0; k < depth; ++k) {
+            const float v = ar[k];
+            const float *br = b + k * ldb;
+            for (std::int64_t j = 0; j < n; ++j)
+                cr[j] += v * br[j];
+        }
+    }
+}
+
+/** Filters handled per GEMM task (batch x filter-block fan-out). */
+constexpr std::int64_t kFilterBlock = 16;
+
+/**
+ * Shared convolution engine: y[in][of][pix] = sum_k wFlat[of][k] *
+ * colsT[in][k][pix], where colsT is the transposed im2col of one
+ * image (k = (ic, kr, kc) ascending -- the naive accumulation order)
+ * and wFlat is the [F, C*KH*KW] row-major view of the kernels.
+ *
+ * Phase 1 packs colsT for all images in parallel (disjoint rows);
+ * phase 2 fans the GEMM over batch x filter blocks (disjoint output
+ * slices). Out-of-window taps stay exact zeros, reproducing the
+ * naive loops' skipped contributions.
+ *
+ * @p oh / @p ow are passed in rather than derived so callers can
+ * request asymmetric overhang (transposed convolution needs up to
+ * stride-1 extra rows at the bottom/right -- "output padding"); the
+ * bounds checks treat any overhang as zeros.
+ */
 Tensor
-conv2d(const Tensor &x, const Tensor &w, const ConvSpec &spec)
+convViaGemm(const Tensor &x, const float *wFlat, std::int64_t f,
+            std::int64_t kh, std::int64_t kw, int stride, int padH,
+            int padW, std::int64_t oh, std::int64_t ow)
+{
+    const std::int64_t n = x.dim(0), c = x.dim(1), h = x.dim(2),
+                       wd = x.dim(3);
+    const std::int64_t depth = c * kh * kw;
+    const std::int64_t pix = oh * ow;
+
+    std::vector<float> colsT(size_t(n * depth * pix), 0.0f);
+    parallel_for(n * depth, 8, [&](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t idx = lo; idx < hi; ++idx) {
+            const std::int64_t in = idx / depth;
+            const std::int64_t k = idx % depth;
+            const std::int64_t ic = k / (kh * kw);
+            const std::int64_t kr = (k / kw) % kh;
+            const std::int64_t kc = k % kw;
+            const float *xp = x.data() + ((in * c + ic) * h) * wd;
+            float *dst = colsT.data() + idx * pix;
+            for (std::int64_t orow = 0; orow < oh; ++orow) {
+                const std::int64_t ir = orow * stride + kr - padH;
+                if (ir < 0 || ir >= h)
+                    continue;
+                const float *xrow = xp + ir * wd;
+                float *drow = dst + orow * ow;
+                for (std::int64_t ocol = 0; ocol < ow; ++ocol) {
+                    const std::int64_t icl = ocol * stride + kc - padW;
+                    if (icl >= 0 && icl < wd)
+                        drow[ocol] = xrow[icl];
+                }
+            }
+        }
+    });
+
+    Tensor y({n, f, oh, ow});
+    const std::int64_t nfb = (f + kFilterBlock - 1) / kFilterBlock;
+    parallel_for(n * nfb, 1, [&](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t t = lo; t < hi; ++t) {
+            const std::int64_t in = t / nfb;
+            const std::int64_t f0 = (t % nfb) * kFilterBlock;
+            const std::int64_t f1 = std::min(f0 + kFilterBlock, f);
+            gemmRowRange(wFlat, depth,
+                         colsT.data() + in * depth * pix, pix,
+                         y.data() + in * f * pix, pix, f0, f1, depth,
+                         pix);
+        }
+    });
+    return y;
+}
+
+/**
+ * Naive-order input gradient for ONE image: identical loops (and thus
+ * identical float accumulation order) to conv2dInputGradNaive, but
+ * scoped to the disjoint dx slice of image @p in so images can run in
+ * parallel.
+ */
+void
+inputGradImage(Tensor &dx, const Tensor &dy, const Tensor &w,
+               std::int64_t in, const ConvSpec &spec)
+{
+    const std::int64_t f = dy.dim(1), oh = dy.dim(2), ow = dy.dim(3);
+    const std::int64_t c = dx.dim(1), h = dx.dim(2), wd = dx.dim(3);
+    const std::int64_t kh = w.dim(2), kw = w.dim(3);
+    for (std::int64_t of = 0; of < f; ++of) {
+        for (std::int64_t orow = 0; orow < oh; ++orow) {
+            for (std::int64_t ocol = 0; ocol < ow; ++ocol) {
+                const float g = dy.at(in, of, orow, ocol);
+                if (g == 0.0f)
+                    continue;
+                for (std::int64_t ic = 0; ic < c; ++ic) {
+                    for (std::int64_t kr = 0; kr < kh; ++kr) {
+                        const std::int64_t ir =
+                            orow * spec.stride + kr - spec.pad;
+                        if (ir < 0 || ir >= h)
+                            continue;
+                        for (std::int64_t kc = 0; kc < kw; ++kc) {
+                            const std::int64_t icl =
+                                ocol * spec.stride + kc - spec.pad;
+                            if (icl < 0 || icl >= wd)
+                                continue;
+                            dx.at(in, ic, ir, icl) +=
+                                g * w.at(of, ic, kr, kc);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+} // namespace
+
+Tensor
+conv2dNaive(const Tensor &x, const Tensor &w, const ConvSpec &spec)
 {
     inca_assert(x.rank() == 4 && w.rank() == 4, "conv2d expects 4-D x/w");
     const std::int64_t n = x.dim(0), c = x.dim(1), h = x.dim(2),
@@ -61,6 +227,40 @@ conv2d(const Tensor &x, const Tensor &w, const ConvSpec &spec)
 }
 
 Tensor
+conv2d(const Tensor &x, const Tensor &w, const ConvSpec &spec)
+{
+    inca_assert(x.rank() == 4 && w.rank() == 4, "conv2d expects 4-D x/w");
+    inca_assert(w.dim(1) == x.dim(1),
+                "channel mismatch: x has %lld, w has %lld",
+                (long long)x.dim(1), (long long)w.dim(1));
+    // w is [F, C, KH, KW] row-major, i.e. already the [F, C*KH*KW]
+    // weight matrix the GEMM wants -- one unrolled kernel per row,
+    // exactly how WS crossbars lay kernels out (one kernel per
+    // bitline).
+    return convViaGemm(x, w.data(), w.dim(0), w.dim(2), w.dim(3),
+                       spec.stride, spec.pad, spec.pad,
+                       convOutDim(x.dim(2), int(w.dim(2)), spec),
+                       convOutDim(x.dim(3), int(w.dim(3)), spec));
+}
+
+Tensor
+conv2dInputGradNaive(const Tensor &dy, const Tensor &w,
+                     const std::vector<std::int64_t> &xShape,
+                     const ConvSpec &spec)
+{
+    inca_assert(dy.rank() == 4 && w.rank() == 4 && xShape.size() == 4,
+                "conv2dInputGrad expects 4-D operands");
+    const std::int64_t n = dy.dim(0), f = dy.dim(1);
+    const std::int64_t c = xShape[1];
+    inca_assert(w.dim(0) == f && w.dim(1) == c, "shape mismatch");
+
+    Tensor dx(xShape);
+    for (std::int64_t in = 0; in < n; ++in)
+        inputGradImage(dx, dy, w, in, spec);
+    return dx;
+}
+
+Tensor
 conv2dInputGrad(const Tensor &dy, const Tensor &w,
                 const std::vector<std::int64_t> &xShape,
                 const ConvSpec &spec)
@@ -73,41 +273,69 @@ conv2dInputGrad(const Tensor &dy, const Tensor &w,
     const std::int64_t kh = w.dim(2), kw = w.dim(3);
     inca_assert(w.dim(0) == f && w.dim(1) == c, "shape mismatch");
 
-    Tensor dx(xShape);
-    for (std::int64_t in = 0; in < n; ++in) {
-        for (std::int64_t of = 0; of < f; ++of) {
-            for (std::int64_t orow = 0; orow < oh; ++orow) {
-                for (std::int64_t ocol = 0; ocol < ow; ++ocol) {
-                    const float g = dy.at(in, of, orow, ocol);
-                    if (g == 0.0f)
-                        continue;
-                    for (std::int64_t ic = 0; ic < c; ++ic) {
-                        for (std::int64_t kr = 0; kr < kh; ++kr) {
-                            const std::int64_t ir =
-                                orow * spec.stride + kr - spec.pad;
-                            if (ir < 0 || ir >= h)
-                                continue;
-                            for (std::int64_t kc = 0; kc < kw; ++kc) {
-                                const std::int64_t icl =
-                                    ocol * spec.stride + kc - spec.pad;
-                                if (icl < 0 || icl >= wd)
-                                    continue;
-                                dx.at(in, ic, ir, icl) +=
-                                    g * w.at(of, ic, kr, kc);
-                            }
-                        }
-                    }
-                }
-            }
-        }
+    // Transposed-convolution route: dilate dy by the stride, flip the
+    // kernel spatially, swap its filter/channel axes, and push it
+    // through the forward GEMM engine at stride 1, asking for exactly
+    // x's spatial dims (the engine zero-extends the bottom/right
+    // overhang a non-tiling stride leaves). The engine's column order
+    // (of ascending, then flipped taps ascending = orow, ocol
+    // ascending) reproduces the naive scatter's accumulation order
+    // exactly; the dilation/padding zeros contribute exact zeros.
+    // Padding beyond the kernel falls back to the naive-order
+    // per-image loops, parallel over the batch.
+    const int padH = int(kh) - 1 - spec.pad;
+    const int padW = int(kw) - 1 - spec.pad;
+    if (padH < 0 || padW < 0) {
+        Tensor dx(xShape);
+        parallel_for(n, 1, [&](std::int64_t lo, std::int64_t hi) {
+            for (std::int64_t in = lo; in < hi; ++in)
+                inputGradImage(dx, dy, w, in, spec);
+        });
+        return dx;
     }
-    return dx;
+
+    const Tensor *src = &dy;
+    Tensor dilated;
+    if (spec.stride > 1) {
+        const std::int64_t hd = (oh - 1) * spec.stride + 1;
+        const std::int64_t wdd = (ow - 1) * spec.stride + 1;
+        dilated = Tensor({n, f, hd, wdd});
+        parallel_for(n * f, 4, [&](std::int64_t lo, std::int64_t hi) {
+            for (std::int64_t plane = lo; plane < hi; ++plane) {
+                const float *s = dy.data() + plane * oh * ow;
+                float *d = dilated.data() + plane * hd * wdd;
+                for (std::int64_t orow = 0; orow < oh; ++orow)
+                    for (std::int64_t ocol = 0; ocol < ow; ++ocol)
+                        d[orow * spec.stride * wdd +
+                          ocol * spec.stride] = s[orow * ow + ocol];
+            }
+        });
+        src = &dilated;
+    }
+
+    // wT[ic][of][a][b] = w[of][ic][kh-1-a][kw-1-b]
+    std::vector<float> wT(size_t(c * f * kh * kw));
+    parallel_for(c * f, 16, [&](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t cf = lo; cf < hi; ++cf) {
+            const std::int64_t ic = cf / f;
+            const std::int64_t of = cf % f;
+            const float *wsrc = w.data() + (of * c + ic) * kh * kw;
+            float *wdst = wT.data() + cf * kh * kw;
+            for (std::int64_t a = 0; a < kh; ++a)
+                for (std::int64_t b = 0; b < kw; ++b)
+                    wdst[a * kw + b] =
+                        wsrc[(kh - 1 - a) * kw + (kw - 1 - b)];
+        }
+    });
+
+    return convViaGemm(*src, wT.data(), c, kh, kw, 1, padH, padW, h,
+                       wd);
 }
 
 Tensor
-conv2dWeightGrad(const Tensor &dy, const Tensor &x,
-                 const std::vector<std::int64_t> &wShape,
-                 const ConvSpec &spec)
+conv2dWeightGradNaive(const Tensor &dy, const Tensor &x,
+                      const std::vector<std::int64_t> &wShape,
+                      const ConvSpec &spec)
 {
     inca_assert(dy.rank() == 4 && x.rank() == 4 && wShape.size() == 4,
                 "conv2dWeightGrad expects 4-D operands");
@@ -149,6 +377,54 @@ conv2dWeightGrad(const Tensor &dy, const Tensor &x,
 }
 
 Tensor
+conv2dWeightGrad(const Tensor &dy, const Tensor &x,
+                 const std::vector<std::int64_t> &wShape,
+                 const ConvSpec &spec)
+{
+    inca_assert(dy.rank() == 4 && x.rank() == 4 && wShape.size() == 4,
+                "conv2dWeightGrad expects 4-D operands");
+    const std::int64_t n = dy.dim(0), f = dy.dim(1), oh = dy.dim(2),
+                       ow = dy.dim(3);
+    const std::int64_t c = x.dim(1);
+    const std::int64_t kh = wShape[2], kw = wShape[3];
+    inca_assert(wShape[0] == f && wShape[1] == c, "shape mismatch");
+
+    // dw[of][k] = sum_row dyT[of][row] * cols[row][k], rows ascending
+    // in (image, orow, ocol) -- the naive loops' contribution order
+    // for every dw element (the of loop sits between in and orow
+    // there, which cannot reorder a fixed of's contributions).
+    const std::int64_t pix = oh * ow;
+    const std::int64_t rows = n * pix;
+    const std::int64_t depth = c * kh * kw;
+
+    const Tensor cols = im2col(x, int(kh), int(kw), spec); // [rows, depth]
+
+    // dyT[of][row]: gather the NCHW dy into filter-major order.
+    std::vector<float> dyT(size_t(f * rows));
+    parallel_for(f, 1, [&](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t of = lo; of < hi; ++of) {
+            float *dst = dyT.data() + of * rows;
+            for (std::int64_t in = 0; in < n; ++in) {
+                const float *s = dy.data() + (in * f + of) * pix;
+                std::copy(s, s + pix, dst + in * pix);
+            }
+        }
+    });
+
+    Tensor dw(wShape); // [f][depth] row-major, zero-filled
+    const std::int64_t nfb = (f + kFilterBlock - 1) / kFilterBlock;
+    parallel_for(nfb, 1, [&](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t t = lo; t < hi; ++t) {
+            const std::int64_t f0 = t * kFilterBlock;
+            const std::int64_t f1 = std::min(f0 + kFilterBlock, f);
+            gemmRowRange(dyT.data(), rows, cols.data(), depth,
+                         dw.data(), depth, f0, f1, rows, depth);
+        }
+    });
+    return dw;
+}
+
+Tensor
 depthwiseConv2d(const Tensor &x, const Tensor &w, const ConvSpec &spec)
 {
     inca_assert(x.rank() == 4 && w.rank() == 3,
@@ -161,8 +437,10 @@ depthwiseConv2d(const Tensor &x, const Tensor &w, const ConvSpec &spec)
     const std::int64_t ow = convOutDim(wd, int(kw), spec);
 
     Tensor y({n, c, oh, ow});
-    for (std::int64_t in = 0; in < n; ++in) {
-        for (std::int64_t ic = 0; ic < c; ++ic) {
+    parallel_for(n * c, 2, [&](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t plane = lo; plane < hi; ++plane) {
+            const std::int64_t in = plane / c;
+            const std::int64_t ic = plane % c;
             for (std::int64_t orow = 0; orow < oh; ++orow) {
                 for (std::int64_t ocol = 0; ocol < ow; ++ocol) {
                     float acc = 0.0f;
@@ -184,7 +462,7 @@ depthwiseConv2d(const Tensor &x, const Tensor &w, const ConvSpec &spec)
                 }
             }
         }
-    }
+    });
     return y;
 }
 
@@ -199,8 +477,10 @@ depthwiseConv2dInputGrad(const Tensor &dy, const Tensor &w,
     const std::int64_t kh = w.dim(1), kw = w.dim(2);
 
     Tensor dx(xShape);
-    for (std::int64_t in = 0; in < n; ++in) {
-        for (std::int64_t ic = 0; ic < c; ++ic) {
+    parallel_for(n * c, 2, [&](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t plane = lo; plane < hi; ++plane) {
+            const std::int64_t in = plane / c;
+            const std::int64_t ic = plane % c;
             for (std::int64_t orow = 0; orow < oh; ++orow) {
                 for (std::int64_t ocol = 0; ocol < ow; ++ocol) {
                     const float g = dy.at(in, ic, orow, ocol);
@@ -222,7 +502,7 @@ depthwiseConv2dInputGrad(const Tensor &dy, const Tensor &w,
                 }
             }
         }
-    }
+    });
     return dx;
 }
 
@@ -237,30 +517,35 @@ depthwiseConv2dWeightGrad(const Tensor &dy, const Tensor &x,
     const std::int64_t kh = wShape[1], kw = wShape[2];
 
     Tensor dw(wShape);
-    for (std::int64_t in = 0; in < n; ++in) {
-        for (std::int64_t ic = 0; ic < c; ++ic) {
-            for (std::int64_t orow = 0; orow < oh; ++orow) {
-                for (std::int64_t ocol = 0; ocol < ow; ++ocol) {
-                    const float g = dy.at(in, ic, orow, ocol);
-                    if (g == 0.0f)
-                        continue;
-                    for (std::int64_t kr = 0; kr < kh; ++kr) {
-                        const std::int64_t ir =
-                            orow * spec.stride + kr - spec.pad;
-                        if (ir < 0 || ir >= h)
+    // Each channel's dw slice accumulates over (image, orow, ocol) in
+    // the original order; channels partition the output.
+    parallel_for(c, 1, [&](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t ic = lo; ic < hi; ++ic) {
+            for (std::int64_t in = 0; in < n; ++in) {
+                for (std::int64_t orow = 0; orow < oh; ++orow) {
+                    for (std::int64_t ocol = 0; ocol < ow; ++ocol) {
+                        const float g = dy.at(in, ic, orow, ocol);
+                        if (g == 0.0f)
                             continue;
-                        for (std::int64_t kc = 0; kc < kw; ++kc) {
-                            const std::int64_t icl =
-                                ocol * spec.stride + kc - spec.pad;
-                            if (icl < 0 || icl >= wd)
+                        for (std::int64_t kr = 0; kr < kh; ++kr) {
+                            const std::int64_t ir =
+                                orow * spec.stride + kr - spec.pad;
+                            if (ir < 0 || ir >= h)
                                 continue;
-                            dw.at(ic, kr, kc) += g * x.at(in, ic, ir, icl);
+                            for (std::int64_t kc = 0; kc < kw; ++kc) {
+                                const std::int64_t icl =
+                                    ocol * spec.stride + kc - spec.pad;
+                                if (icl < 0 || icl >= wd)
+                                    continue;
+                                dw.at(ic, kr, kc) +=
+                                    g * x.at(in, ic, ir, icl);
+                            }
                         }
                     }
                 }
             }
         }
-    }
+    });
     return dw;
 }
 
@@ -273,15 +558,10 @@ matmul(const Tensor &a, const Tensor &b)
                 (long long)k, (long long)b.dim(0));
 
     Tensor y({m, n});
-    for (std::int64_t i = 0; i < m; ++i) {
-        for (std::int64_t kk = 0; kk < k; ++kk) {
-            const float av = a.at(i, kk);
-            if (av == 0.0f)
-                continue;
-            for (std::int64_t j = 0; j < n; ++j)
-                y.at(i, j) += av * b.at(kk, j);
-        }
-    }
+    parallel_for(m, 4, [&](std::int64_t lo, std::int64_t hi) {
+        gemmRowRange(a.data(), k, b.data(), n, y.data(), n, lo, hi, k,
+                     n);
+    });
     return y;
 }
 
@@ -291,9 +571,11 @@ transpose(const Tensor &a)
     inca_assert(a.rank() == 2, "transpose expects rank 2");
     const std::int64_t m = a.dim(0), n = a.dim(1);
     Tensor t({n, m});
-    for (std::int64_t i = 0; i < m; ++i)
-        for (std::int64_t j = 0; j < n; ++j)
-            t.at(j, i) = a.at(i, j);
+    parallel_for(m, 64, [&](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t i = lo; i < hi; ++i)
+            for (std::int64_t j = 0; j < n; ++j)
+                t.at(j, i) = a.at(i, j);
+    });
     return t;
 }
 
@@ -305,62 +587,41 @@ im2col(const Tensor &x, int kh, int kw, const ConvSpec &spec)
                        wd = x.dim(3);
     const std::int64_t oh = convOutDim(h, kh, spec);
     const std::int64_t ow = convOutDim(wd, kw, spec);
+    const std::int64_t depth = c * std::int64_t(kh) * kw;
 
-    Tensor cols({n * oh * ow, c * kh * kw});
-    std::int64_t row = 0;
-    for (std::int64_t in = 0; in < n; ++in) {
-        for (std::int64_t orow = 0; orow < oh; ++orow) {
-            for (std::int64_t ocol = 0; ocol < ow; ++ocol, ++row) {
-                std::int64_t col = 0;
-                for (std::int64_t ic = 0; ic < c; ++ic) {
-                    for (std::int64_t kr = 0; kr < kh; ++kr) {
-                        for (std::int64_t kc = 0; kc < kw; ++kc, ++col) {
-                            const std::int64_t ir =
-                                orow * spec.stride + kr - spec.pad;
-                            const std::int64_t icl =
-                                ocol * spec.stride + kc - spec.pad;
-                            if (ir < 0 || ir >= h || icl < 0 || icl >= wd)
-                                continue;
-                            cols.at(row, col) = x.at(in, ic, ir, icl);
-                        }
+    Tensor cols({n * oh * ow, depth});
+    parallel_for(n * oh * ow, 32, [&](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t row = lo; row < hi; ++row) {
+            const std::int64_t in = row / (oh * ow);
+            const std::int64_t orow = (row / ow) % oh;
+            const std::int64_t ocol = row % ow;
+            float *dst = cols.data() + row * depth;
+            std::int64_t col = 0;
+            for (std::int64_t ic = 0; ic < c; ++ic) {
+                const float *xp = x.data() + ((in * c + ic) * h) * wd;
+                for (std::int64_t kr = 0; kr < kh; ++kr) {
+                    const std::int64_t ir =
+                        orow * spec.stride + kr - spec.pad;
+                    for (std::int64_t kc = 0; kc < kw; ++kc, ++col) {
+                        const std::int64_t icl =
+                            ocol * spec.stride + kc - spec.pad;
+                        if (ir < 0 || ir >= h || icl < 0 || icl >= wd)
+                            continue;
+                        dst[col] = xp[ir * wd + icl];
                     }
                 }
             }
         }
-    }
+    });
     return cols;
 }
 
 Tensor
 conv2dGemm(const Tensor &x, const Tensor &w, const ConvSpec &spec)
 {
-    const std::int64_t n = x.dim(0);
-    const std::int64_t f = w.dim(0), c = w.dim(1), kh = w.dim(2),
-                       kw = w.dim(3);
-    const std::int64_t oh = convOutDim(x.dim(2), int(kh), spec);
-    const std::int64_t ow = convOutDim(x.dim(3), int(kw), spec);
-
-    const Tensor cols = im2col(x, int(kh), int(kw), spec);
-    // Weight matrix: [C*KH*KW, F], one unrolled kernel per column --
-    // exactly how WS crossbars lay kernels out (one kernel per bitline).
-    Tensor wm({c * kh * kw, f});
-    for (std::int64_t of = 0; of < f; ++of) {
-        std::int64_t r = 0;
-        for (std::int64_t ic = 0; ic < c; ++ic)
-            for (std::int64_t kr = 0; kr < kh; ++kr)
-                for (std::int64_t kc = 0; kc < kw; ++kc, ++r)
-                    wm.at(r, of) = w.at(of, ic, kr, kc);
-    }
-
-    const Tensor prod = matmul(cols, wm); // [N*OH*OW, F]
-    Tensor y({n, f, oh, ow});
-    std::int64_t row = 0;
-    for (std::int64_t in = 0; in < n; ++in)
-        for (std::int64_t orow = 0; orow < oh; ++orow)
-            for (std::int64_t ocol = 0; ocol < ow; ++ocol, ++row)
-                for (std::int64_t of = 0; of < f; ++of)
-                    y.at(in, of, orow, ocol) = prod.at(row, of);
-    return y;
+    // The unrolled WS-crossbar dataflow IS the production path now;
+    // the name is kept for the paper-facing call sites and tests.
+    return conv2d(x, w, spec);
 }
 
 Tensor
@@ -399,12 +660,23 @@ fcBiasGrad(const Tensor &dy)
     return db;
 }
 
+namespace {
+
+/** Elementwise-map grain: below this size threads cost more than they
+ * save. */
+constexpr std::int64_t kMapGrain = 16384;
+
+} // namespace
+
 Tensor
 relu(const Tensor &x)
 {
     Tensor y(x.shape());
-    for (std::int64_t i = 0; i < x.size(); ++i)
-        y[i] = std::max(0.0f, x[i]);
+    parallel_for(x.size(), kMapGrain,
+                 [&](std::int64_t lo, std::int64_t hi) {
+                     for (std::int64_t i = lo; i < hi; ++i)
+                         y[i] = std::max(0.0f, x[i]);
+                 });
     return y;
 }
 
@@ -413,8 +685,11 @@ reluGrad(const Tensor &dy, const Tensor &x)
 {
     inca_assert(dy.shape() == x.shape(), "reluGrad shape mismatch");
     Tensor dx(x.shape());
-    for (std::int64_t i = 0; i < x.size(); ++i)
-        dx[i] = x[i] > 0.0f ? dy[i] : 0.0f;
+    parallel_for(x.size(), kMapGrain,
+                 [&](std::int64_t lo, std::int64_t hi) {
+                     for (std::int64_t i = lo; i < hi; ++i)
+                         dx[i] = x[i] > 0.0f ? dy[i] : 0.0f;
+                 });
     return dx;
 }
 
@@ -422,8 +697,11 @@ Tensor
 sigmoid(const Tensor &x)
 {
     Tensor y(x.shape());
-    for (std::int64_t i = 0; i < x.size(); ++i)
-        y[i] = 1.0f / (1.0f + std::exp(-x[i]));
+    parallel_for(x.size(), kMapGrain,
+                 [&](std::int64_t lo, std::int64_t hi) {
+                     for (std::int64_t i = lo; i < hi; ++i)
+                         y[i] = 1.0f / (1.0f + std::exp(-x[i]));
+                 });
     return y;
 }
 
@@ -432,8 +710,11 @@ sigmoidGrad(const Tensor &dy, const Tensor &y)
 {
     inca_assert(dy.shape() == y.shape(), "sigmoidGrad shape mismatch");
     Tensor dx(y.shape());
-    for (std::int64_t i = 0; i < y.size(); ++i)
-        dx[i] = dy[i] * y[i] * (1.0f - y[i]);
+    parallel_for(y.size(), kMapGrain,
+                 [&](std::int64_t lo, std::int64_t hi) {
+                     for (std::int64_t i = lo; i < hi; ++i)
+                         dx[i] = dy[i] * y[i] * (1.0f - y[i]);
+                 });
     return dx;
 }
 
@@ -441,8 +722,11 @@ Tensor
 tanhAct(const Tensor &x)
 {
     Tensor y(x.shape());
-    for (std::int64_t i = 0; i < x.size(); ++i)
-        y[i] = std::tanh(x[i]);
+    parallel_for(x.size(), kMapGrain,
+                 [&](std::int64_t lo, std::int64_t hi) {
+                     for (std::int64_t i = lo; i < hi; ++i)
+                         y[i] = std::tanh(x[i]);
+                 });
     return y;
 }
 
@@ -451,8 +735,11 @@ tanhGrad(const Tensor &dy, const Tensor &y)
 {
     inca_assert(dy.shape() == y.shape(), "tanhGrad shape mismatch");
     Tensor dx(y.shape());
-    for (std::int64_t i = 0; i < y.size(); ++i)
-        dx[i] = dy[i] * (1.0f - y[i] * y[i]);
+    parallel_for(y.size(), kMapGrain,
+                 [&](std::int64_t lo, std::int64_t hi) {
+                     for (std::int64_t i = lo; i < hi; ++i)
+                         dx[i] = dy[i] * (1.0f - y[i] * y[i]);
+                 });
     return dx;
 }
 
@@ -466,8 +753,10 @@ maxPool2d(const Tensor &x, int k, const ConvSpec &spec)
     const std::int64_t ow = convOutDim(wd, k, spec);
 
     PoolResult res{Tensor({n, c, oh, ow}), Tensor({n, c, oh, ow})};
-    for (std::int64_t in = 0; in < n; ++in) {
-        for (std::int64_t ic = 0; ic < c; ++ic) {
+    parallel_for(n * c, 2, [&](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t plane = lo; plane < hi; ++plane) {
+            const std::int64_t in = plane / c;
+            const std::int64_t ic = plane % c;
             for (std::int64_t orow = 0; orow < oh; ++orow) {
                 for (std::int64_t ocol = 0; ocol < ow; ++ocol) {
                     float best = -std::numeric_limits<float>::infinity();
@@ -495,7 +784,7 @@ maxPool2d(const Tensor &x, int k, const ConvSpec &spec)
                 }
             }
         }
-    }
+    });
     return res;
 }
 
@@ -513,8 +802,10 @@ maxPool2dGrad(const Tensor &dy, const Tensor &argmax,
     const std::int64_t wd = xShape[3];
 
     Tensor dx(xShape);
-    for (std::int64_t in = 0; in < n; ++in) {
-        for (std::int64_t ic = 0; ic < c; ++ic) {
+    parallel_for(n * c, 2, [&](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t plane = lo; plane < hi; ++plane) {
+            const std::int64_t in = plane / c;
+            const std::int64_t ic = plane % c;
             for (std::int64_t orow = 0; orow < oh; ++orow) {
                 for (std::int64_t ocol = 0; ocol < ow; ++ocol) {
                     const auto flat =
@@ -524,7 +815,7 @@ maxPool2dGrad(const Tensor &dy, const Tensor &argmax,
                 }
             }
         }
-    }
+    });
     return dx;
 }
 
@@ -536,15 +827,15 @@ globalAvgPool(const Tensor &x)
                        wd = x.dim(3);
     Tensor y({n, c});
     const float scale = 1.0f / float(h * wd);
-    for (std::int64_t in = 0; in < n; ++in) {
-        for (std::int64_t ic = 0; ic < c; ++ic) {
+    parallel_for(n * c, 8, [&](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t plane = lo; plane < hi; ++plane) {
+            const float *xp = x.data() + plane * h * wd;
             float acc = 0.0f;
-            for (std::int64_t r = 0; r < h; ++r)
-                for (std::int64_t cl = 0; cl < wd; ++cl)
-                    acc += x.at(in, ic, r, cl);
-            y.at(in, ic) = acc * scale;
+            for (std::int64_t i = 0; i < h * wd; ++i)
+                acc += xp[i];
+            y[plane] = acc * scale;
         }
-    }
+    });
     return y;
 }
 
@@ -555,11 +846,14 @@ globalAvgPoolGrad(const Tensor &dy, const std::vector<std::int64_t> &xShape)
                        wd = xShape[3];
     Tensor dx(xShape);
     const float scale = 1.0f / float(h * wd);
-    for (std::int64_t in = 0; in < n; ++in)
-        for (std::int64_t ic = 0; ic < c; ++ic)
-            for (std::int64_t r = 0; r < h; ++r)
-                for (std::int64_t cl = 0; cl < wd; ++cl)
-                    dx.at(in, ic, r, cl) = dy.at(in, ic) * scale;
+    parallel_for(n * c, 8, [&](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t plane = lo; plane < hi; ++plane) {
+            const float g = dy[plane] * scale;
+            float *d = dx.data() + plane * h * wd;
+            for (std::int64_t i = 0; i < h * wd; ++i)
+                d[i] = g;
+        }
+    });
     return dx;
 }
 

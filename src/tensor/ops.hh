@@ -3,13 +3,25 @@
  * Neural-network math on dense tensors.
  *
  * Two convolution paths are provided on purpose:
- *  - conv2d(): direct (mathematical) convolution, the dataflow INCA's
- *    2T1R planes execute in hardware;
- *  - conv2dGemm(): im2col + GEMM, the unrolled dataflow weight-stationary
- *    crossbar accelerators (the paper's baseline) execute.
- * Integration tests require both to agree bit-for-bit with each other,
- * which is the software analogue of the paper's claim that direct
- * convolution preserves the mathematical result without unrolling.
+ *  - conv2d(): the production path -- im2col packing + a cache-blocked
+ *    GEMM kernel, parallelized over the batch x filter dimension on
+ *    the shared ThreadPool (see common/thread_pool.hh);
+ *  - conv2dNaive() (and the *GradNaive() variants): the direct
+ *    scalar-loop convolution, the dataflow INCA's 2T1R planes execute
+ *    in hardware, retained as the differential-testing reference.
+ * conv2dGemm() aliases the production path; im2col + GEMM is the
+ * unrolled dataflow weight-stationary crossbar accelerators (the
+ * paper's baseline) execute. Integration tests require all paths to agree
+ * bit-for-bit, which is the software analogue of the paper's claim
+ * that direct convolution preserves the mathematical result without
+ * unrolling.
+ *
+ * Determinism contract: every element of every output is accumulated
+ * in a fixed serial order (ascending im2col column order, which is
+ * exactly the naive loops' accumulation order), and parallel tasks
+ * own disjoint output slices -- no atomics on floats, no cross-task
+ * reductions. Results are therefore bit-identical at every thread
+ * count, including INCA_NUM_THREADS=1.
  *
  * Layouts: activations NCHW; convolution weights (F out, C in, KH, KW);
  * depthwise weights (C, KH, KW); FC weights (D in, F out).
@@ -37,7 +49,9 @@ struct ConvSpec
 std::int64_t convOutDim(std::int64_t in, int k, const ConvSpec &spec);
 
 /**
- * Direct 2-D convolution (cross-correlation as in DNN frameworks).
+ * 2-D convolution (cross-correlation as in DNN frameworks), computed
+ * via im2col + blocked GEMM in parallel. Bit-identical to
+ * conv2dNaive() at every thread count.
  *
  * @param x input activations [N, C, H, W]
  * @param w kernels [F, C, KH, KW]
@@ -55,6 +69,25 @@ Tensor conv2dInputGrad(const Tensor &dy, const Tensor &w,
 Tensor conv2dWeightGrad(const Tensor &dy, const Tensor &x,
                         const std::vector<std::int64_t> &wShape,
                         const ConvSpec &spec = {});
+
+/**
+ * Reference implementations: the single-threaded 6-deep scalar loops,
+ * exactly the arithmetic INCA's planes execute in hardware. The
+ * differential tests require the production paths above to match
+ * these bit-for-bit.
+ */
+Tensor conv2dNaive(const Tensor &x, const Tensor &w,
+                   const ConvSpec &spec = {});
+
+/** Reference input gradient (scalar scatter loops). */
+Tensor conv2dInputGradNaive(const Tensor &dy, const Tensor &w,
+                            const std::vector<std::int64_t> &xShape,
+                            const ConvSpec &spec = {});
+
+/** Reference weight gradient (scalar scatter loops). */
+Tensor conv2dWeightGradNaive(const Tensor &dy, const Tensor &x,
+                             const std::vector<std::int64_t> &wShape,
+                             const ConvSpec &spec = {});
 
 /**
  * Depthwise 2-D convolution: channel c of the output depends only on
