@@ -29,15 +29,22 @@ main(int argc, char **argv)
 
     std::printf("INCA vs. WS baseline vs. GPU, batch %d\n\n", batch);
 
+    const auto nets = nn::evaluationSuite();
     for (const auto phase :
          {arch::Phase::Inference, arch::Phase::Training}) {
         const bool training = phase == arch::Phase::Training;
         std::printf("%s:\n", training ? "training" : "inference");
         TextTable t({"network", "INCA E/img", "WS gain", "GPU gain",
                      "INCA t/img", "WS speedup", "GPU speedup"});
-        for (const auto &net : nn::evaluationSuite()) {
-            const auto cmp =
-                sim::compare(inca, base, net, batch, phase);
+        std::vector<sim::Comparison> cmps;
+        {
+            sim::ScopedPhaseTimer timer(training ? "training suite"
+                                                 : "inference suite");
+            cmps = sim::compareSuite(inca, base, nets, batch, phase);
+        }
+        for (std::size_t i = 0; i < nets.size(); ++i) {
+            const auto &net = nets[i];
+            const auto &cmp = cmps[i];
             const auto g = training ? titan.training(net, batch)
                                     : titan.inference(net, batch);
             t.addRow({net.name,
@@ -56,5 +63,8 @@ main(int argc, char **argv)
     std::printf("gains are baseline/INCA (>1 means INCA wins). The "
                 "paper's Fig. 11/14/15 shapes: INCA ahead everywhere, "
                 "training >> inference, light models >> heavy.\n");
+    // Timing and cache stats go to stderr so stdout stays byte-equal
+    // between cached, uncached, and any-thread-count runs.
+    sim::printPhaseTimes(stderr);
     return 0;
 }

@@ -1,0 +1,14 @@
+#!/bin/sh
+# Regenerate tests/goldens_fig11_fig14.inc from the current analytic
+# models. Run from the repo root after a REVIEWED model change; the
+# paper-goldens test pins the output bit-for-bit.
+set -eu
+
+cd "$(dirname "$0")/.."
+cmake -B build -S . >/dev/null
+cmake --build build --target golden_gen -j >/dev/null
+# The goldens must not depend on cache or thread settings; generate
+# with the cache off and one thread to make that stance explicit.
+INCA_CACHE=0 INCA_NUM_THREADS=1 \
+    ./build/tests/golden_gen > tests/goldens_fig11_fig14.inc
+echo "wrote tests/goldens_fig11_fig14.inc"

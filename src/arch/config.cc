@@ -1,5 +1,6 @@
 #include "arch/config.hh"
 
+#include "common/cache.hh"
 #include "common/config.hh"
 #include "common/logging.hh"
 
@@ -91,6 +92,51 @@ baselineFromConfig(const Config &cfg)
     inca_assert(c.subarraySize > 0 && c.adcBits > 0,
                 "baseline geometry must be positive");
     return c;
+}
+
+void
+appendKey(CacheKey &key, const ChipOrganization &org)
+{
+    key.add("org").add(org.numTiles).add(org.tileSize).add(
+        org.macroSize);
+}
+
+void
+appendKey(CacheKey &key, const IncaConfig &c)
+{
+    key.add("inca-cfg");
+    appendKey(key, c.org);
+    key.add(c.subarraySize)
+        .add(c.stackedPlanes)
+        .add(c.cellBits)
+        .add(c.adcBits)
+        .add(c.subarraysPerAdc)
+        .add(c.weightBits)
+        .add(c.activationBits)
+        .add(c.batchSize);
+    memory::appendKey(key, c.buffer);
+    memory::appendKey(key, c.dram);
+    circuit::appendKey(key, c.device);
+    circuit::appendKey(key, c.cell);
+    circuit::appendKey(key, c.digital);
+}
+
+void
+appendKey(CacheKey &key, const BaselineConfig &c)
+{
+    key.add("ws-cfg");
+    appendKey(key, c.org);
+    key.add(c.subarraySize)
+        .add(c.cellBits)
+        .add(c.adcBits)
+        .add(c.weightBits)
+        .add(c.activationBits)
+        .add(c.batchSize);
+    memory::appendKey(key, c.buffer);
+    memory::appendKey(key, c.dram);
+    circuit::appendKey(key, c.device);
+    circuit::appendKey(key, c.cell);
+    circuit::appendKey(key, c.digital);
 }
 
 } // namespace arch

@@ -28,6 +28,9 @@
 #include "memory/sram.hh"
 
 namespace inca {
+
+class CacheKey;
+
 namespace arch {
 
 /** Organisation both chips share. */
@@ -147,6 +150,15 @@ IncaConfig incaFromConfig(const class Config &cfg);
 
 /** Table II baseline chip with "[baseline]" section overrides. */
 BaselineConfig baselineFromConfig(const class Config &cfg);
+
+/** Append every field of @p org to @p key (cache canonicalization). */
+void appendKey(CacheKey &key, const ChipOrganization &org);
+
+/** Append every field of @p c to @p key (cache canonicalization). */
+void appendKey(CacheKey &key, const IncaConfig &c);
+
+/** Append every field of @p c to @p key (cache canonicalization). */
+void appendKey(CacheKey &key, const BaselineConfig &c);
 
 } // namespace arch
 } // namespace inca

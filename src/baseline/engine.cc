@@ -17,9 +17,31 @@ using arch::RunCost;
 using nn::LayerDesc;
 using nn::LayerKind;
 
+namespace {
+
+/** Per-layer evaluations, shared by every BaselineEngine instance. */
+EvalCache<LayerCost> &
+wsLayerCache()
+{
+    static EvalCache<LayerCost> *c =
+        new EvalCache<LayerCost>("ws.layer");
+    return *c;
+}
+
+/** Whole-run evaluations (one network, phase, batch). */
+EvalCache<RunCost> &
+wsRunCache()
+{
+    static EvalCache<RunCost> *c = new EvalCache<RunCost>("ws.run");
+    return *c;
+}
+
+} // namespace
+
 BaselineEngine::BaselineEngine(arch::BaselineConfig cfg)
     : cfg_(std::move(cfg)), idlePower_(arch::baselineIdlePower(cfg_))
 {
+    arch::appendKey(cfgKey_, cfg_);
 }
 
 bool
@@ -51,6 +73,26 @@ BaselineEngine::bufferShare(const nn::NetworkDesc &net,
 LayerCost
 BaselineEngine::forwardLayer(const nn::NetworkDesc &net,
                              const LayerDesc &layer, int batchSize) const
+{
+    CacheKey key = cfgKey_;
+    key.add("F");
+    nn::appendKey(key, layer);
+    // The only way the network influences a layer's cost is through
+    // its buffer share; keying on that value keeps the cache shared
+    // across networks that grant the same share.
+    key.add(batchSize).add(bufferShare(net, layer));
+    LayerCost cost = wsLayerCache().getOrCompute(key, [&] {
+        return computeForwardLayer(net, layer, batchSize);
+    });
+    cost.name = layer.name;
+    cost.kind = layer.kind;
+    return cost;
+}
+
+LayerCost
+BaselineEngine::computeForwardLayer(const nn::NetworkDesc &net,
+                                    const LayerDesc &layer,
+                                    int batchSize) const
 {
     LayerCost cost;
     cost.name = layer.name;
@@ -140,6 +182,21 @@ BaselineEngine::forwardLayer(const nn::NetworkDesc &net,
 LayerCost
 BaselineEngine::auxLayer(const LayerDesc &layer, int batchSize) const
 {
+    CacheKey key = cfgKey_;
+    key.add("A");
+    nn::appendKey(key, layer);
+    key.add(batchSize);
+    LayerCost cost = wsLayerCache().getOrCompute(
+        key, [&] { return computeAuxLayer(layer, batchSize); });
+    cost.name = layer.name;
+    cost.kind = layer.kind;
+    return cost;
+}
+
+LayerCost
+BaselineEngine::computeAuxLayer(const LayerDesc &layer,
+                                int batchSize) const
+{
     LayerCost cost;
     cost.name = layer.name;
     cost.kind = layer.kind;
@@ -172,6 +229,18 @@ BaselineEngine::inference(const nn::NetworkDesc &net,
                           int batchSize) const
 {
     inca_assert(batchSize > 0, "batch size must be positive");
+    CacheKey key = cfgKey_;
+    key.add("run-inference");
+    nn::appendKey(key, net);
+    key.add(batchSize);
+    return wsRunCache().getOrCompute(
+        key, [&] { return computeInference(net, batchSize); });
+}
+
+RunCost
+BaselineEngine::computeInference(const nn::NetworkDesc &net,
+                                 int batchSize) const
+{
     RunCost run;
     run.network = net.name;
     run.phase = Phase::Inference;
@@ -237,6 +306,18 @@ RunCost
 BaselineEngine::training(const nn::NetworkDesc &net, int batchSize) const
 {
     inca_assert(batchSize > 0, "batch size must be positive");
+    CacheKey key = cfgKey_;
+    key.add("run-training");
+    nn::appendKey(key, net);
+    key.add(batchSize);
+    return wsRunCache().getOrCompute(
+        key, [&] { return computeTraining(net, batchSize); });
+}
+
+RunCost
+BaselineEngine::computeTraining(const nn::NetworkDesc &net,
+                                int batchSize) const
+{
     RunCost run;
     run.network = net.name;
     run.phase = Phase::Training;

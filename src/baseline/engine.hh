@@ -24,6 +24,7 @@
 
 #include "arch/config.hh"
 #include "arch/cost.hh"
+#include "common/cache.hh"
 #include "nn/network.hh"
 
 namespace inca {
@@ -57,14 +58,30 @@ class BaselineEngine
     double bufferShare(const nn::NetworkDesc &net,
                        const nn::LayerDesc &layer) const;
 
+    // Cached per-layer entry points; keys exclude the layer name (the
+    // forward key embeds the layer's bufferShare to capture the
+    // network dependence), and the wrappers restore presentation
+    // fields on the returned copy.
     arch::LayerCost forwardLayer(const nn::NetworkDesc &net,
                                  const nn::LayerDesc &layer,
                                  int batchSize) const;
     arch::LayerCost auxLayer(const nn::LayerDesc &layer,
                              int batchSize) const;
 
+    // Uncached analytic bodies.
+    arch::LayerCost computeForwardLayer(const nn::NetworkDesc &net,
+                                        const nn::LayerDesc &layer,
+                                        int batchSize) const;
+    arch::LayerCost computeAuxLayer(const nn::LayerDesc &layer,
+                                    int batchSize) const;
+    arch::RunCost computeInference(const nn::NetworkDesc &net,
+                                   int batchSize) const;
+    arch::RunCost computeTraining(const nn::NetworkDesc &net,
+                                  int batchSize) const;
+
     arch::BaselineConfig cfg_;
     Watts idlePower_;
+    CacheKey cfgKey_; ///< canonical key prefix for cfg_
 };
 
 } // namespace baseline

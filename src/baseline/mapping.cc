@@ -1,5 +1,6 @@
 #include "baseline/mapping.hh"
 
+#include "common/cache.hh"
 #include "common/logging.hh"
 #include "common/units.hh"
 
@@ -40,12 +41,20 @@ std::int64_t
 arraysForNetwork(const nn::NetworkDesc &net,
                  const arch::BaselineConfig &cfg)
 {
-    std::int64_t total = 0;
-    for (const auto &layer : net.layers) {
-        if (layer.isConvLike())
-            total += mapLayer(layer, cfg).arrays();
-    }
-    return total;
+    static EvalCache<std::int64_t> *cache =
+        new EvalCache<std::int64_t>("ws.arrays");
+    CacheKey key;
+    key.add("arrays");
+    nn::appendKey(key, net);
+    arch::appendKey(key, cfg);
+    return cache->getOrCompute(key, [&] {
+        std::int64_t total = 0;
+        for (const auto &layer : net.layers) {
+            if (layer.isConvLike())
+                total += mapLayer(layer, cfg).arrays();
+        }
+        return total;
+    });
 }
 
 } // namespace baseline

@@ -1,9 +1,23 @@
 #include "circuit/cells.hh"
 
-// Geometry models are header-only computations; this translation unit
-// exists so the library has a home for future cell variants.
+#include "common/cache.hh"
 
 namespace inca {
 namespace circuit {
+
+void
+appendKey(CacheKey &key, const Cell1T1R &c)
+{
+    key.add("1t1r").add(c.width).add(c.length);
+    appendKey(key, c.scaling);
+}
+
+void
+appendKey(CacheKey &key, const Cell2T1R &c)
+{
+    key.add("2t1r").add(c.width).add(c.length).add(c.verticalStack);
+    appendKey(key, c.scaling);
+}
+
 } // namespace circuit
 } // namespace inca

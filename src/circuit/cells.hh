@@ -16,6 +16,9 @@
 #include "common/units.hh"
 
 namespace inca {
+
+class CacheKey;
+
 namespace circuit {
 
 /** The standard 1T1R crossbar cell of the WS baseline. */
@@ -58,6 +61,12 @@ struct Cell2T1R
         return scaledArea() / double(verticalStack);
     }
 };
+
+/** Append every field of @p c to @p key (cache canonicalization). */
+void appendKey(CacheKey &key, const Cell1T1R &c);
+
+/** Append every field of @p c to @p key (cache canonicalization). */
+void appendKey(CacheKey &key, const Cell2T1R &c);
 
 } // namespace circuit
 } // namespace inca

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/cache.hh"
+
 namespace inca {
 namespace circuit {
 
@@ -16,6 +18,21 @@ adderTreeEnergy(const DigitalModel &m, double leaves, bool wide)
 {
     const double adds = std::max(0.0, leaves - 1.0);
     return adds * (wide ? m.adder16bit : m.adder8bit);
+}
+
+void
+appendKey(CacheKey &key, const DigitalModel &m)
+{
+    key.add("digital")
+        .add(m.adder8bit)
+        .add(m.adder16bit)
+        .add(m.shiftAccumulate)
+        .add(m.registerAccess)
+        .add(m.andGate)
+        .add(m.lutLookup)
+        .add(m.reluOp)
+        .add(m.maxPoolCompare)
+        .add(m.adderDelay);
 }
 
 } // namespace circuit

@@ -17,6 +17,9 @@
 #include "common/units.hh"
 
 namespace inca {
+
+class CacheKey;
+
 namespace circuit {
 
 /** Per-operation energy/latency constants for digital helpers. */
@@ -43,6 +46,9 @@ DigitalModel makeDigital();
  */
 Joules adderTreeEnergy(const DigitalModel &m, double leaves,
                        bool wide = true);
+
+/** Append every field of @p m to @p key (cache canonicalization). */
+void appendKey(CacheKey &key, const DigitalModel &m);
 
 } // namespace circuit
 } // namespace inca

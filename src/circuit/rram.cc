@@ -1,5 +1,6 @@
 #include "circuit/rram.hh"
 
+#include "common/cache.hh"
 #include "common/logging.hh"
 
 namespace inca {
@@ -27,6 +28,20 @@ RramDevice
 paperDevice()
 {
     return RramDevice{};
+}
+
+void
+appendKey(CacheKey &key, const RramDevice &d)
+{
+    key.add("rram")
+        .add(d.rOn)
+        .add(d.rOff)
+        .add(d.vRead)
+        .add(d.vWrite)
+        .add(d.tRead)
+        .add(d.tWrite)
+        .add(d.pOnCell)
+        .add(d.pOffCell);
 }
 
 } // namespace circuit

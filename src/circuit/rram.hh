@@ -16,6 +16,9 @@
 #include "common/units.hh"
 
 namespace inca {
+
+class CacheKey;
+
 namespace circuit {
 
 /** A binary (1-bit per cell, as configured in Table II) RRAM device. */
@@ -63,6 +66,9 @@ struct RramDevice
 
 /** The paper's Table II device. */
 RramDevice paperDevice();
+
+/** Append every field of @p d to @p key (cache canonicalization). */
+void appendKey(CacheKey &key, const RramDevice &d);
 
 } // namespace circuit
 } // namespace inca

@@ -1,5 +1,7 @@
 #include "circuit/tech.hh"
 
+#include "common/cache.hh"
+
 namespace inca {
 namespace circuit {
 
@@ -7,6 +9,15 @@ TechScaling
 paperScaling()
 {
     return TechScaling{65.0, 22.0, 0.34};
+}
+
+void
+appendKey(CacheKey &key, const TechScaling &t)
+{
+    key.add("tech")
+        .add(t.layoutNodeNm)
+        .add(t.targetNodeNm)
+        .add(t.linearFactor);
 }
 
 } // namespace circuit

@@ -15,6 +15,9 @@
 #include "common/units.hh"
 
 namespace inca {
+
+class CacheKey;
+
 namespace circuit {
 
 /** Linear scaling between a layout node and a target node. */
@@ -48,6 +51,9 @@ struct TechScaling
 
 /** The paper's 65 nm -> 22 nm configuration. */
 TechScaling paperScaling();
+
+/** Append every field of @p t to @p key (cache canonicalization). */
+void appendKey(CacheKey &key, const TechScaling &t);
 
 } // namespace circuit
 } // namespace inca

@@ -1,0 +1,100 @@
+#include "common/cache.hh"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace inca {
+
+namespace {
+
+/** Registry of live caches, in registration order. */
+struct Registry
+{
+    std::mutex mutex;
+    std::vector<CacheBase *> caches;
+};
+
+Registry &
+registry()
+{
+    // Leaked on purpose: caches are function-local statics in the
+    // modules that own them and may be touched during static
+    // destruction; the registry must outlive them all.
+    static Registry *r = new Registry;
+    return *r;
+}
+
+std::atomic<bool> &
+enabledFlag()
+{
+    static std::atomic<bool> *flag = new std::atomic<bool>(
+        cacheEnabledFromEnv(std::getenv("INCA_CACHE")));
+    return *flag;
+}
+
+} // namespace
+
+bool
+cacheEnabledFromEnv(const char *value)
+{
+    if (value == nullptr || *value == '\0')
+        return true;
+    std::string v;
+    for (const char *p = value; *p != '\0'; ++p)
+        v.push_back(char(std::tolower(static_cast<unsigned char>(*p))));
+    return !(v == "0" || v == "off" || v == "false" || v == "no");
+}
+
+bool
+cacheEnabled()
+{
+    return enabledFlag().load(std::memory_order_relaxed);
+}
+
+void
+setCacheEnabled(bool enabled)
+{
+    enabledFlag().store(enabled, std::memory_order_relaxed);
+}
+
+CacheBase::CacheBase(std::string name) : name_(std::move(name))
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    r.caches.push_back(this);
+}
+
+CacheBase::~CacheBase()
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    for (auto it = r.caches.begin(); it != r.caches.end(); ++it) {
+        if (*it == this) {
+            r.caches.erase(it);
+            break;
+        }
+    }
+}
+
+std::vector<CacheStatsSnapshot>
+cacheStats()
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    std::vector<CacheStatsSnapshot> out;
+    out.reserve(r.caches.size());
+    for (const CacheBase *cache : r.caches)
+        out.push_back(cache->stats());
+    return out;
+}
+
+void
+clearAllCaches()
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    for (CacheBase *cache : r.caches)
+        cache->clear();
+}
+
+} // namespace inca

@@ -17,9 +17,31 @@ using arch::RunCost;
 using nn::LayerDesc;
 using nn::LayerKind;
 
+namespace {
+
+/** Per-layer evaluations, shared by every IncaEngine instance. */
+EvalCache<LayerCost> &
+incaLayerCache()
+{
+    static EvalCache<LayerCost> *c =
+        new EvalCache<LayerCost>("inca.layer");
+    return *c;
+}
+
+/** Whole-run evaluations (one network, phase, batch). */
+EvalCache<RunCost> &
+incaRunCache()
+{
+    static EvalCache<RunCost> *c = new EvalCache<RunCost>("inca.run");
+    return *c;
+}
+
+} // namespace
+
 IncaEngine::IncaEngine(arch::IncaConfig cfg)
     : cfg_(std::move(cfg)), idlePower_(arch::incaIdlePower(cfg_))
 {
+    arch::appendKey(cfgKey_, cfg_);
 }
 
 Seconds
@@ -65,6 +87,23 @@ words(double values, int bits, const memory::Bus &bus)
 LayerCost
 IncaEngine::forwardLayer(const LayerDesc &layer, int batchSize,
                          bool firstConv, bool streamed) const
+{
+    CacheKey key = cfgKey_;
+    key.add("F");
+    nn::appendKey(key, layer);
+    key.add(batchSize).add(firstConv).add(streamed);
+    LayerCost cost = incaLayerCache().getOrCompute(key, [&] {
+        return computeForwardLayer(layer, batchSize, firstConv,
+                                   streamed);
+    });
+    cost.name = layer.name;
+    cost.kind = layer.kind;
+    return cost;
+}
+
+LayerCost
+IncaEngine::computeForwardLayer(const LayerDesc &layer, int batchSize,
+                                bool firstConv, bool streamed) const
 {
     LayerCost cost;
     cost.name = layer.name;
@@ -183,6 +222,22 @@ LayerCost
 IncaEngine::backwardLayer(const LayerDesc &layer, int batchSize,
                           bool streamed) const
 {
+    CacheKey key = cfgKey_;
+    key.add("B");
+    nn::appendKey(key, layer);
+    key.add(batchSize).add(streamed);
+    LayerCost cost = incaLayerCache().getOrCompute(key, [&] {
+        return computeBackwardLayer(layer, batchSize, streamed);
+    });
+    cost.name = layer.name + ".bwd";
+    cost.kind = layer.kind;
+    return cost;
+}
+
+LayerCost
+IncaEngine::computeBackwardLayer(const LayerDesc &layer, int batchSize,
+                                 bool streamed) const
+{
     // Error backpropagation: delta_{l+1} convolved with the transposed
     // kernels. The array work mirrors the forward pass with input and
     // output roles swapped; the transposed weights are a second fetch
@@ -209,6 +264,22 @@ IncaEngine::backwardLayer(const LayerDesc &layer, int batchSize,
 LayerCost
 IncaEngine::updateLayer(const LayerDesc &layer, int batchSize,
                         bool streamed) const
+{
+    CacheKey key = cfgKey_;
+    key.add("U");
+    nn::appendKey(key, layer);
+    key.add(batchSize).add(streamed);
+    LayerCost cost = incaLayerCache().getOrCompute(key, [&] {
+        return computeUpdateLayer(layer, batchSize, streamed);
+    });
+    cost.name = layer.name + ".upd";
+    cost.kind = layer.kind;
+    return cost;
+}
+
+LayerCost
+IncaEngine::computeUpdateLayer(const LayerDesc &layer, int batchSize,
+                               bool streamed) const
 {
     // Weight update: x_l convolved with delta_l. The number of
     // products equals the layer MACs per image; gradient partial sums
@@ -279,6 +350,22 @@ LayerCost
 IncaEngine::auxLayer(const LayerDesc &layer, int batchSize,
                      bool backward) const
 {
+    CacheKey key = cfgKey_;
+    key.add("A");
+    nn::appendKey(key, layer);
+    key.add(batchSize).add(backward);
+    LayerCost cost = incaLayerCache().getOrCompute(key, [&] {
+        return computeAuxLayer(layer, batchSize, backward);
+    });
+    cost.name = backward ? layer.name + ".bwd" : layer.name;
+    cost.kind = layer.kind;
+    return cost;
+}
+
+LayerCost
+IncaEngine::computeAuxLayer(const LayerDesc &layer, int batchSize,
+                            bool backward) const
+{
     LayerCost cost;
     cost.name = backward ? layer.name + ".bwd" : layer.name;
     cost.kind = layer.kind;
@@ -330,6 +417,18 @@ RunCost
 IncaEngine::inference(const nn::NetworkDesc &net, int batchSize) const
 {
     inca_assert(batchSize > 0, "batch size must be positive");
+    CacheKey key = cfgKey_;
+    key.add("run-inference");
+    nn::appendKey(key, net);
+    key.add(batchSize);
+    return incaRunCache().getOrCompute(
+        key, [&] { return computeInference(net, batchSize); });
+}
+
+RunCost
+IncaEngine::computeInference(const nn::NetworkDesc &net,
+                             int batchSize) const
+{
     RunCost run;
     run.network = net.name;
     run.phase = Phase::Inference;
@@ -355,6 +454,18 @@ RunCost
 IncaEngine::training(const nn::NetworkDesc &net, int batchSize) const
 {
     inca_assert(batchSize > 0, "batch size must be positive");
+    CacheKey key = cfgKey_;
+    key.add("run-training");
+    nn::appendKey(key, net);
+    key.add(batchSize);
+    return incaRunCache().getOrCompute(
+        key, [&] { return computeTraining(net, batchSize); });
+}
+
+RunCost
+IncaEngine::computeTraining(const nn::NetworkDesc &net,
+                            int batchSize) const
+{
     RunCost run;
     run.network = net.name;
     run.phase = Phase::Training;

@@ -25,6 +25,7 @@
 
 #include "arch/config.hh"
 #include "arch/cost.hh"
+#include "common/cache.hh"
 #include "nn/network.hh"
 
 namespace inca {
@@ -57,6 +58,10 @@ class IncaEngine
     /** True when the network's weights exceed total on-chip buffers. */
     bool weightsStreamed(const nn::NetworkDesc &net) const;
 
+    // Cached per-layer entry points. Keys exclude the layer name, so
+    // identically shaped layers share one cached evaluation; the
+    // wrappers restore the presentation fields (name, kind) on the
+    // returned copy.
     arch::LayerCost forwardLayer(const nn::LayerDesc &layer,
                                  int batchSize, bool firstConv,
                                  bool streamed) const;
@@ -67,8 +72,26 @@ class IncaEngine
     arch::LayerCost auxLayer(const nn::LayerDesc &layer, int batchSize,
                              bool backward) const;
 
+    // Uncached analytic bodies.
+    arch::LayerCost computeForwardLayer(const nn::LayerDesc &layer,
+                                        int batchSize, bool firstConv,
+                                        bool streamed) const;
+    arch::LayerCost computeBackwardLayer(const nn::LayerDesc &layer,
+                                         int batchSize,
+                                         bool streamed) const;
+    arch::LayerCost computeUpdateLayer(const nn::LayerDesc &layer,
+                                       int batchSize,
+                                       bool streamed) const;
+    arch::LayerCost computeAuxLayer(const nn::LayerDesc &layer,
+                                    int batchSize, bool backward) const;
+    arch::RunCost computeInference(const nn::NetworkDesc &net,
+                                   int batchSize) const;
+    arch::RunCost computeTraining(const nn::NetworkDesc &net,
+                                  int batchSize) const;
+
     arch::IncaConfig cfg_;
     Watts idlePower_;
+    CacheKey cfgKey_; ///< canonical key prefix for cfg_
 };
 
 } // namespace core

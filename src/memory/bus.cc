@@ -1,9 +1,15 @@
 #include "memory/bus.hh"
 
-// Bus arithmetic is header-only; translation unit reserved for future
-// interconnect models (NoC, H-tree).
+#include "common/cache.hh"
 
 namespace inca {
 namespace memory {
+
+void
+appendKey(CacheKey &key, const Bus &b)
+{
+    key.add("bus").add(b.widthBits);
+}
+
 } // namespace memory
 } // namespace inca

@@ -16,6 +16,9 @@
 #include "common/units.hh"
 
 namespace inca {
+
+class CacheKey;
+
 namespace memory {
 
 /** A fixed-width data bus. */
@@ -31,6 +34,9 @@ struct Bus
                        std::uint64_t(widthBits));
     }
 };
+
+/** Append every field of @p b to @p key (cache canonicalization). */
+void appendKey(CacheKey &key, const Bus &b);
 
 } // namespace memory
 } // namespace inca

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/cache.hh"
 #include "common/logging.hh"
 
 namespace inca {
@@ -29,6 +30,17 @@ Dram
 paperDram()
 {
     return Dram{};
+}
+
+void
+appendKey(CacheKey &key, const Dram &d)
+{
+    key.add("dram")
+        .add(d.capacity)
+        .add(d.peakBandwidth)
+        .add(d.energyPerByte)
+        .add(d.unloadedLatency)
+        .add(d.kneeUtilization);
 }
 
 } // namespace memory

@@ -17,6 +17,9 @@
 #include "common/units.hh"
 
 namespace inca {
+
+class CacheKey;
+
 namespace memory {
 
 /** HBM2 stack model. */
@@ -49,6 +52,9 @@ struct Dram
 
 /** Table II DRAM. */
 Dram paperDram();
+
+/** Append every field of @p d to @p key (cache canonicalization). */
+void appendKey(CacheKey &key, const Dram &d);
 
 } // namespace memory
 } // namespace inca

@@ -1,5 +1,7 @@
 #include "memory/sram.hh"
 
+#include "common/cache.hh"
+
 namespace inca {
 namespace memory {
 
@@ -7,6 +9,16 @@ SramBuffer
 paperBuffer()
 {
     return SramBuffer{};
+}
+
+void
+appendKey(CacheKey &key, const SramBuffer &b)
+{
+    key.add("sram").add(b.capacity);
+    appendKey(key, b.port);
+    key.add(b.readEnergyPerBit)
+        .add(b.writeEnergyPerBit)
+        .add(b.accessLatency);
 }
 
 } // namespace memory

@@ -17,6 +17,9 @@
 #include "memory/bus.hh"
 
 namespace inca {
+
+class CacheKey;
+
 namespace memory {
 
 /** A single-ported on-chip SRAM buffer. */
@@ -61,6 +64,9 @@ struct SramBuffer
 
 /** Table II buffer. */
 SramBuffer paperBuffer();
+
+/** Append every field of @p b to @p key (cache canonicalization). */
+void appendKey(CacheKey &key, const SramBuffer &b);
 
 } // namespace memory
 } // namespace inca

@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <mutex>
 
+#include "common/cache.hh"
 #include "common/logging.hh"
 #include "common/thread_pool.hh"
 
@@ -53,20 +54,64 @@ clearPhaseTimes()
 }
 
 void
-printPhaseTimes()
+printCacheStats(std::FILE *out)
+{
+    const auto stats = cacheStats();
+    bool any = false;
+    for (const auto &s : stats)
+        any = any || s.hits + s.misses > 0;
+    if (!any)
+        return;
+    std::fprintf(out, "\nevaluation caches (INCA_CACHE %s):\n",
+                 cacheEnabled() ? "on" : "off");
+    std::uint64_t hits = 0, misses = 0;
+    double saved = 0.0;
+    for (const auto &s : stats) {
+        if (s.hits + s.misses == 0)
+            continue;
+        std::fprintf(out,
+                     "  %-20s %9llu hits %9llu misses  %5.1f%% hit "
+                     "rate  %7llu entries  %6llu evicted\n",
+                     s.name.c_str(), (unsigned long long)s.hits,
+                     (unsigned long long)s.misses, 100.0 * s.hitRate(),
+                     (unsigned long long)s.entries,
+                     (unsigned long long)s.evictions);
+        hits += s.hits;
+        misses += s.misses;
+        saved += s.estimatedSavedSeconds();
+    }
+    const double total = double(hits + misses);
+    std::fprintf(out,
+                 "  %-20s %9llu hits %9llu misses  %5.1f%% hit rate  "
+                 "~%.1f ms recompute time saved\n",
+                 "total", (unsigned long long)hits,
+                 (unsigned long long)misses,
+                 total == 0.0 ? 0.0 : 100.0 * double(hits) / total,
+                 1e3 * saved);
+}
+
+void
+printPhaseTimes(std::FILE *out)
 {
     const auto phases = phaseTimes();
-    if (phases.empty())
-        return;
-    std::printf("\nwall-clock per phase (%d threads):\n",
-                ThreadPool::globalThreadCount());
-    double total = 0.0;
-    for (const auto &p : phases) {
-        std::printf("  %-40s %8.1f ms\n", p.phase.c_str(),
-                    1e3 * p.seconds);
-        total += p.seconds;
+    if (!phases.empty()) {
+        std::fprintf(out, "\nwall-clock per phase (%d threads):\n",
+                     ThreadPool::globalThreadCount());
+        double total = 0.0;
+        for (const auto &p : phases) {
+            std::fprintf(out, "  %-40s %8.1f ms\n", p.phase.c_str(),
+                         1e3 * p.seconds);
+            total += p.seconds;
+        }
+        std::fprintf(out, "  %-40s %8.1f ms\n", "total", 1e3 * total);
     }
-    std::printf("  %-40s %8.1f ms\n", "total", 1e3 * total);
+    printCacheStats(out);
+}
+
+void
+printPhaseTimes()
+{
+    printPhaseTimes(stdout);
 }
 
 Comparison

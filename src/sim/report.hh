@@ -13,6 +13,7 @@
 #define INCA_SIM_REPORT_HH
 
 #include <chrono>
+#include <cstdio>
 #include <map>
 #include <string>
 #include <vector>
@@ -58,8 +59,19 @@ std::vector<PhaseTime> phaseTimes();
 /** Drop all recorded phases (test isolation). */
 void clearPhaseTimes();
 
-/** Print the recorded phases and the pool size to stdout. */
+/**
+ * Print the recorded phases, the pool size, and the evaluation-cache
+ * statistics (hit rates, entries, estimated time saved) to @p out.
+ * Drivers that must keep stdout byte-identical between cached and
+ * uncached runs pass stderr.
+ */
+void printPhaseTimes(std::FILE *out);
+
+/** printPhaseTimes(stdout). */
 void printPhaseTimes();
+
+/** Print only the evaluation-cache statistics to @p out. */
+void printCacheStats(std::FILE *out);
 
 /** One network's INCA-vs-baseline result. */
 struct Comparison

@@ -15,20 +15,16 @@
 #include "baseline/engine.hh"
 #include "inca/engine.hh"
 #include "nn/model_zoo.hh"
+#include "test_fixtures.hh"
 
 namespace inca {
 namespace {
 
+using inca::testing::IncaPoint;
+using inca::testing::incaPointConfig;
+
 // -------------------------------------------------------------------
 // Sweep 1: INCA design points.
-
-struct IncaPoint
-{
-    int subarraySize;
-    int planes;
-    int adcBits;
-    int batch;
-};
 
 class IncaDesignSweep : public ::testing::TestWithParam<IncaPoint>
 {
@@ -37,11 +33,7 @@ class IncaDesignSweep : public ::testing::TestWithParam<IncaPoint>
 TEST_P(IncaDesignSweep, RunCostsAreSane)
 {
     const auto p = GetParam();
-    arch::IncaConfig cfg = arch::paperInca();
-    cfg.subarraySize = p.subarraySize;
-    cfg.stackedPlanes = p.planes;
-    cfg.adcBits = p.adcBits;
-    core::IncaEngine engine(cfg);
+    core::IncaEngine engine(incaPointConfig(p));
     const auto net = nn::resnet18();
 
     const auto inf = engine.inference(net, p.batch);
@@ -57,11 +49,7 @@ TEST_P(IncaDesignSweep, RunCostsAreSane)
 TEST_P(IncaDesignSweep, EnergyMonotoneInBatch)
 {
     const auto p = GetParam();
-    arch::IncaConfig cfg = arch::paperInca();
-    cfg.subarraySize = p.subarraySize;
-    cfg.stackedPlanes = p.planes;
-    cfg.adcBits = p.adcBits;
-    core::IncaEngine engine(cfg);
+    core::IncaEngine engine(incaPointConfig(p));
     const auto net = nn::mnasnet();
     EXPECT_GT(engine.inference(net, 2 * p.batch).energy(),
               engine.inference(net, p.batch).energy());

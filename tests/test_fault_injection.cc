@@ -10,9 +10,9 @@
 
 #include <cmath>
 
-#include "common/random.hh"
 #include "inca/plane.hh"
 #include "inca/stack3d.hh"
+#include "test_fixtures.hh"
 
 namespace inca {
 namespace core {
@@ -68,20 +68,11 @@ TEST(FaultInjection, SingleBitFaultErrorIsBounded)
     // |w| * 2^b -- errors stay bounded and local, which is why
     // endurance wear degrades accuracy gracefully rather than
     // catastrophically.
-    Rng rng(7);
-    IncaMacro clean(8, 1, 8);
-    IncaMacro faulty(8, 1, 8);
-    int values[3][3];
-    for (int r = 0; r < 3; ++r) {
-        for (int c = 0; c < 3; ++c) {
-            values[r][c] = int(rng.below(256));
-            clean.writeValue(0, r, c, std::uint32_t(values[r][c]));
-            faulty.writeValue(0, r, c, std::uint32_t(values[r][c]));
-        }
-    }
-    std::vector<int> kernel(9);
-    for (auto &k : kernel)
-        k = int(rng.below(255)) - 127;
+    inca::testing::SeededMacroPair pair(7);
+    IncaMacro &clean = pair.clean;
+    IncaMacro &faulty = pair.faulty;
+    const auto &values = pair.values;
+    const auto &kernel = pair.kernel;
 
     const auto before = faulty.convolveWindow(0, 0, 3, 3, kernel, 8, 4);
     const auto ref = clean.convolveWindow(0, 0, 3, 3, kernel, 8, 4);
