@@ -37,6 +37,9 @@ report()
                  "speedup"});
     const std::vector<int> batches = {1, 4, 16, 64, 128, 256};
     std::vector<std::vector<std::string>> rows(batches.size());
+    // Pre-sized per-batch slots: pool threads write only their own
+    // entries; the JSON points are registered serially afterwards.
+    std::vector<double> gains(batches.size()), speedups(batches.size());
     {
         sim::ScopedPhaseTimer timer("batch-size sweep");
         parallel_for(
@@ -46,6 +49,8 @@ report()
                     const int batch = batches[size_t(i)];
                     const auto c = sim::compare(
                         inca, base, net, batch, arch::Phase::Training);
+                    gains[size_t(i)] = c.energyEfficiencyGain();
+                    speedups[size_t(i)] = c.speedup();
                     rows[size_t(i)] = {
                         std::to_string(batch),
                         formatSi(c.inca.energyPerImage(), "J"),
@@ -54,6 +59,14 @@ report()
                         TextTable::ratio(c.speedup())};
                 }
             });
+    }
+    for (size_t i = 0; i < batches.size(); ++i) {
+        bench::JsonReport::instance().addPoint(
+            "training_energy_gain", std::to_string(batches[i]),
+            gains[i]);
+        bench::JsonReport::instance().addPoint(
+            "training_speedup", std::to_string(batches[i]),
+            speedups[i]);
     }
     for (const auto &row : rows)
         t.addRow(row);

@@ -17,6 +17,8 @@
 #include <cstdio>
 #include <string>
 
+#include "bench_json.hh"
+
 namespace inca {
 namespace bench {
 
@@ -27,11 +29,19 @@ banner(const std::string &title)
     std::printf("\n=== %s ===\n", title.c_str());
 }
 
-/** Standard main: print the report once, then run the benchmarks. */
+/**
+ * Standard main: print the report once, write the JSON report when
+ * `--json <path>` was given, then run the benchmarks (the flag is
+ * stripped before google-benchmark parses argv).
+ */
 #define INCA_BENCH_MAIN(reportFn)                                        \
     int main(int argc, char **argv)                                      \
     {                                                                    \
+        const std::string jsonPath =                                     \
+            ::inca::bench::extractJsonPath(argc, argv);                  \
         reportFn();                                                      \
+        if (!jsonPath.empty())                                           \
+            ::inca::bench::JsonReport::instance().write(jsonPath);       \
         ::benchmark::Initialize(&argc, argv);                            \
         if (::benchmark::ReportUnrecognizedArguments(argc, argv))        \
             return 1;                                                    \

@@ -39,6 +39,9 @@ report()
     for (int u = 0; u <= 99; ++u) {
         series.push_back({double(u) / 100.0,
                           dram.loadedLatency(double(u) / 100.0) * 1e9});
+        bench::JsonReport::instance().addPoint(
+            "loaded_latency_ns", TextTable::num(series.back().x, 2),
+            series.back().y);
     }
     sim::LineOptions lopt;
     lopt.logY = true;

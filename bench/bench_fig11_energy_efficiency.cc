@@ -60,6 +60,12 @@ report()
                                     arch::Phase::Training)
                            .energyEfficiencyGain()});
     }
+    for (const auto &bar : infBars)
+        bench::JsonReport::instance().addPoint(
+            "inference_energy_gain", bar.label, bar.value);
+    for (const auto &bar : trnBars)
+        bench::JsonReport::instance().addPoint(
+            "training_energy_gain", bar.label, bar.value);
     sim::BarOptions bopt;
     bopt.logScale = true;
     bopt.unit = "x";

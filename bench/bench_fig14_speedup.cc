@@ -59,6 +59,12 @@ report()
                                     arch::Phase::Training)
                            .speedup()});
     }
+    for (const auto &bar : infBars)
+        bench::JsonReport::instance().addPoint(
+            "inference_speedup", bar.label, bar.value);
+    for (const auto &bar : trnBars)
+        bench::JsonReport::instance().addPoint(
+            "training_speedup", bar.label, bar.value);
     sim::BarOptions bopt;
     bopt.logScale = true;
     bopt.unit = "x";

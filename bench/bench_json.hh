@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Machine-readable bench output.
+ *
+ * Every bench binary accepts `--json <path>` (or `--json=<path>`):
+ * after the report runs, the named series of (label, value) points it
+ * registered via JsonReport::addPoint, the full process metrics
+ * registry, and a small provenance block are written to the path as
+ * one JSON object. The flag is stripped from argv before
+ * google-benchmark parses it, and nothing extra is printed, so the
+ * human-readable stdout is unchanged whether or not JSON is requested.
+ */
+
+#ifndef INCA_BENCH_BENCH_JSON_HH
+#define INCA_BENCH_BENCH_JSON_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/cache.hh"
+#include "common/logging.hh"
+#include "common/metrics.hh"
+#include "common/thread_pool.hh"
+
+namespace inca {
+namespace bench {
+
+/** Collects named series of (label, value) points for --json output. */
+class JsonReport
+{
+  public:
+    /** Process-wide collector used by the INCA_BENCH_MAIN harness. */
+    static JsonReport &
+    instance()
+    {
+        static JsonReport *report = new JsonReport;
+        return *report;
+    }
+
+    /** Append one point to the series named @p series. */
+    void
+    addPoint(const std::string &series, const std::string &label,
+             double value)
+    {
+        for (auto &s : series_) {
+            if (s.name == series) {
+                s.points.emplace_back(label, value);
+                return;
+            }
+        }
+        series_.push_back({series, {{label, value}}});
+    }
+
+    /** Serialize series + metrics + provenance as one JSON object. */
+    std::string
+    toJson() const
+    {
+        std::string out = "{\n  \"series\": {";
+        bool firstSeries = true;
+        for (const auto &s : series_) {
+            if (!firstSeries)
+                out += ",";
+            firstSeries = false;
+            out += "\n    \"" + escape(s.name) + "\": [";
+            bool firstPoint = true;
+            for (const auto &[label, value] : s.points) {
+                if (!firstPoint)
+                    out += ",";
+                firstPoint = false;
+                out += "\n      {\"label\": \"" + escape(label) +
+                       "\", \"value\": " + num(value) + "}";
+            }
+            out += "\n    ]";
+        }
+        out += "\n  },\n";
+        out += "  \"provenance\": {\"threads\": " +
+               std::to_string(ThreadPool::globalThreadCount()) +
+               ", \"cache\": " +
+               (cacheEnabled() ? "true" : "false") + ", \"env\": {" +
+               envEntries() + "}},\n";
+        out += "  \"metrics\": " + metrics::toJson() + "\n}\n";
+        return out;
+    }
+
+    /** Write toJson() to @p path; fatal() when the file cannot open. */
+    void
+    write(const std::string &path) const
+    {
+        std::ofstream out(path);
+        if (!out)
+            fatal("cannot write '%s'", path.c_str());
+        out << toJson();
+    }
+
+  private:
+    struct Series
+    {
+        std::string name;
+        std::vector<std::pair<std::string, double>> points;
+    };
+
+    static std::string
+    num(double v)
+    {
+        char buf[48];
+        std::snprintf(buf, sizeof(buf), "%.9g", v);
+        return buf;
+    }
+
+    static std::string
+    escape(const std::string &s)
+    {
+        std::string out;
+        for (char c : s) {
+            if (c == '"' || c == '\\')
+                out.push_back('\\');
+            out.push_back(c);
+        }
+        return out;
+    }
+
+    static std::string
+    envEntries()
+    {
+        std::string out;
+        bool first = true;
+        for (const char *name : {"INCA_TRACE", "INCA_METRICS",
+                                 "INCA_NUM_THREADS", "INCA_CACHE"}) {
+            if (!first)
+                out += ", ";
+            first = false;
+            const char *v = std::getenv(name);
+            out += '"';
+            out += name;
+            out += "\": ";
+            if (v) {
+                out += '"';
+                out += escape(v);
+                out += '"';
+            } else {
+                out += "null";
+            }
+        }
+        return out;
+    }
+
+    std::vector<Series> series_;
+};
+
+/**
+ * Remove `--json <path>` / `--json=<path>` from argv (so
+ * benchmark::Initialize never sees it) and return the path, or ""
+ * when the flag is absent.
+ */
+inline std::string
+extractJsonPath(int &argc, char **argv)
+{
+    std::string path;
+    int out = 1;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+            path = argv[++i];
+        } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+            path = argv[i] + 7;
+        } else {
+            argv[out++] = argv[i];
+        }
+    }
+    argc = out;
+    argv[argc] = nullptr;
+    return path;
+}
+
+} // namespace bench
+} // namespace inca
+
+#endif // INCA_BENCH_BENCH_JSON_HH

@@ -12,6 +12,7 @@
 #ifndef INCA_ARCH_COST_HH
 #define INCA_ARCH_COST_HH
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -57,6 +58,12 @@ struct RunCost
     std::vector<LayerCost> layers;
     Seconds latency = 0.0;     ///< batch makespan
     Joules staticEnergy = 0.0; ///< leakage/idle over the makespan
+    /**
+     * FNV-1a hash of the producing engine's canonical config key
+     * (arch::appendKey); ties an exported run back to the exact
+     * design point in sim::toJson's provenance manifest.
+     */
+    std::uint64_t configKeyHash = 0;
 
     /** Sum of a stat across layers. */
     double

@@ -6,6 +6,8 @@
 #include "arch/power.hh"
 #include "baseline/mapping.hh"
 #include "common/logging.hh"
+#include "common/metrics.hh"
+#include "common/trace.hh"
 #include "dataflow/access_model.hh"
 
 namespace inca {
@@ -34,6 +36,24 @@ wsRunCache()
 {
     static EvalCache<RunCost> *c = new EvalCache<RunCost>("ws.run");
     return *c;
+}
+
+/** Wall clock of one cached layer-cost lookup (hit or miss). */
+metrics::Histogram &
+layerEvalHistogram()
+{
+    static metrics::Histogram *h =
+        &metrics::histogram("engine.layer_eval_us");
+    return *h;
+}
+
+/** Wall clock of one cached whole-run evaluation. */
+metrics::Histogram &
+runEvalHistogram()
+{
+    static metrics::Histogram *h =
+        &metrics::histogram("engine.run_eval_us");
+    return *h;
 }
 
 } // namespace
@@ -74,6 +94,8 @@ LayerCost
 BaselineEngine::forwardLayer(const nn::NetworkDesc &net,
                              const LayerDesc &layer, int batchSize) const
 {
+    trace::Span span(trace::spanName("ws.fwd ", layer.name));
+    metrics::ScopedTimer timer(layerEvalHistogram());
     CacheKey key = cfgKey_;
     key.add("F");
     nn::appendKey(key, layer);
@@ -182,6 +204,8 @@ BaselineEngine::computeForwardLayer(const nn::NetworkDesc &net,
 LayerCost
 BaselineEngine::auxLayer(const LayerDesc &layer, int batchSize) const
 {
+    trace::Span span(trace::spanName("ws.aux ", layer.name));
+    metrics::ScopedTimer timer(layerEvalHistogram());
     CacheKey key = cfgKey_;
     key.add("A");
     nn::appendKey(key, layer);
@@ -229,6 +253,8 @@ BaselineEngine::inference(const nn::NetworkDesc &net,
                           int batchSize) const
 {
     inca_assert(batchSize > 0, "batch size must be positive");
+    trace::Span span(trace::spanName("ws.inference ", net.name));
+    metrics::ScopedTimer timer(runEvalHistogram());
     CacheKey key = cfgKey_;
     key.add("run-inference");
     nn::appendKey(key, net);
@@ -245,6 +271,7 @@ BaselineEngine::computeInference(const nn::NetworkDesc &net,
     run.network = net.name;
     run.phase = Phase::Inference;
     run.batchSize = batchSize;
+    run.configKeyHash = cfgKey_.hash();
 
     Seconds fill = 0.0;
     Seconds slowest = 0.0;
@@ -306,6 +333,8 @@ RunCost
 BaselineEngine::training(const nn::NetworkDesc &net, int batchSize) const
 {
     inca_assert(batchSize > 0, "batch size must be positive");
+    trace::Span span(trace::spanName("ws.training ", net.name));
+    metrics::ScopedTimer timer(runEvalHistogram());
     CacheKey key = cfgKey_;
     key.add("run-training");
     nn::appendKey(key, net);
@@ -322,6 +351,7 @@ BaselineEngine::computeTraining(const nn::NetworkDesc &net,
     run.network = net.name;
     run.phase = Phase::Training;
     run.batchSize = batchSize;
+    run.configKeyHash = cfgKey_.hash();
 
     // Forward, error backpropagation, and weight-gradient passes all
     // run on the crossbars with comparable window/bit-cycle structure.

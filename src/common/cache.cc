@@ -3,6 +3,8 @@
 #include <cctype>
 #include <cstdlib>
 
+#include "common/trace.hh"
+
 namespace inca {
 
 namespace {
@@ -57,11 +59,53 @@ setCacheEnabled(bool enabled)
     enabledFlag().store(enabled, std::memory_order_relaxed);
 }
 
-CacheBase::CacheBase(std::string name) : name_(std::move(name))
+CacheBase::CacheBase(std::string name)
+    : name_(std::move(name)),
+      hits_(metrics::counter("cache." + name_ + ".hit")),
+      misses_(metrics::counter("cache." + name_ + ".miss")),
+      evictions_(metrics::counter("cache." + name_ + ".eviction")),
+      missUs_(metrics::histogram("cache." + name_ + ".miss_us")),
+      traceHits_("cache." + name_ + ".hits"),
+      traceMisses_("cache." + name_ + ".misses")
 {
+    // A fresh cache starts from zero even if an earlier same-named
+    // cache already registered these metrics (test isolation).
+    resetCounters();
     Registry &r = registry();
     std::lock_guard<std::mutex> lock(r.mutex);
     r.caches.push_back(this);
+}
+
+void
+CacheBase::recordHit()
+{
+    hits_.inc();
+    if (trace::enabled())
+        trace::counter(traceHits_, double(hits_.value()));
+}
+
+void
+CacheBase::recordMiss(double seconds)
+{
+    misses_.inc();
+    missUs_.observe(seconds * 1e6);
+    if (trace::enabled())
+        trace::counter(traceMisses_, double(misses_.value()));
+}
+
+void
+CacheBase::recordEviction()
+{
+    evictions_.inc();
+}
+
+void
+CacheBase::resetCounters()
+{
+    hits_.reset();
+    misses_.reset();
+    evictions_.reset();
+    missUs_.reset();
 }
 
 CacheBase::~CacheBase()

@@ -33,7 +33,6 @@
 #ifndef INCA_COMMON_CACHE_HH
 #define INCA_COMMON_CACHE_HH
 
-#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <cstring>
@@ -42,6 +41,8 @@
 #include <string>
 #include <unordered_map>
 #include <vector>
+
+#include "common/metrics.hh"
 
 namespace inca {
 
@@ -157,7 +158,16 @@ struct CacheStatsSnapshot
     }
 };
 
-/** Registry interface every EvalCache implements. */
+/**
+ * Registry interface every EvalCache implements. The hit/miss/
+ * eviction counters and the miss-latency histogram live in the
+ * process-wide metrics registry ("cache.<name>.hit" etc.), so
+ * metrics::toJson() exports them alongside everything else; this base
+ * keeps references and mirrors them into CacheStatsSnapshot for the
+ * existing reports. When tracing is on, every hit/miss also samples a
+ * trace counter series so cache efficiency is visible on the
+ * timeline.
+ */
 class CacheBase
 {
   public:
@@ -174,8 +184,25 @@ class CacheBase
     /** Drop every entry and reset counters (test isolation). */
     virtual void clear() = 0;
 
+  protected:
+    void recordHit();
+    void recordMiss(double seconds);
+    void recordEviction();
+    void resetCounters();
+
+    std::uint64_t hitCount() const { return hits_.value(); }
+    std::uint64_t missCount() const { return misses_.value(); }
+    std::uint64_t evictionCount() const { return evictions_.value(); }
+    double missSecondsTotal() const { return missUs_.sum() / 1e6; }
+
   private:
     std::string name_;
+    metrics::Counter &hits_;
+    metrics::Counter &misses_;
+    metrics::Counter &evictions_;
+    metrics::Histogram &missUs_; ///< per-miss compute time [us]
+    std::string traceHits_;      ///< trace counter-series names
+    std::string traceMisses_;
 };
 
 /** Stats of every registered cache, in registration order. */
@@ -221,18 +248,17 @@ class EvalCache : public CacheBase
             std::lock_guard<std::mutex> lock(shard.mutex);
             auto it = shard.map.find(key.bytes());
             if (it != shard.map.end()) {
-                hits_.fetch_add(1, std::memory_order_relaxed);
+                recordHit();
                 return it->second;
             }
         }
-        misses_.fetch_add(1, std::memory_order_relaxed);
         const auto t0 = std::chrono::steady_clock::now();
         V value = compute();
         const double seconds =
             std::chrono::duration<double>(
                 std::chrono::steady_clock::now() - t0)
                 .count();
-        missSeconds_.fetch_add(seconds, std::memory_order_relaxed);
+        recordMiss(seconds);
         {
             std::lock_guard<std::mutex> lock(shard.mutex);
             auto [it, inserted] = shard.map.emplace(key.bytes(), value);
@@ -242,8 +268,7 @@ class EvalCache : public CacheBase
                 while (shard.map.size() > maxPerShard_) {
                     shard.map.erase(shard.order.front());
                     shard.order.pop_front();
-                    evictions_.fetch_add(1,
-                                         std::memory_order_relaxed);
+                    recordEviction();
                 }
             }
         }
@@ -254,10 +279,10 @@ class EvalCache : public CacheBase
     {
         CacheStatsSnapshot s;
         s.name = name();
-        s.hits = hits_.load(std::memory_order_relaxed);
-        s.misses = misses_.load(std::memory_order_relaxed);
-        s.evictions = evictions_.load(std::memory_order_relaxed);
-        s.missSeconds = missSeconds_.load(std::memory_order_relaxed);
+        s.hits = hitCount();
+        s.misses = missCount();
+        s.evictions = evictionCount();
+        s.missSeconds = missSecondsTotal();
         for (const Shard &shard : shards_) {
             std::lock_guard<std::mutex> lock(shard.mutex);
             s.entries += shard.map.size();
@@ -272,10 +297,7 @@ class EvalCache : public CacheBase
             shard.map.clear();
             shard.order.clear();
         }
-        hits_.store(0, std::memory_order_relaxed);
-        misses_.store(0, std::memory_order_relaxed);
-        evictions_.store(0, std::memory_order_relaxed);
-        missSeconds_.store(0.0, std::memory_order_relaxed);
+        resetCounters();
     }
 
   private:
@@ -288,10 +310,6 @@ class EvalCache : public CacheBase
 
     std::vector<Shard> shards_;
     std::size_t maxPerShard_;
-    std::atomic<std::uint64_t> hits_{0};
-    std::atomic<std::uint64_t> misses_{0};
-    std::atomic<std::uint64_t> evictions_{0};
-    std::atomic<double> missSeconds_{0.0};
 };
 
 } // namespace inca

@@ -1,11 +1,18 @@
 #include "common/thread_pool.hh"
 
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <exception>
 #include <memory>
 
+#ifdef __linux__
+#include <pthread.h>
+#endif
+
 #include "common/logging.hh"
+#include "common/metrics.hh"
+#include "common/trace.hh"
 
 namespace inca {
 
@@ -30,6 +37,23 @@ threadsFromEnv()
 std::mutex gPoolMutex;
 std::unique_ptr<ThreadPool> gPool;
 
+/** Seconds a claimed job waited between submission and first pickup. */
+metrics::Histogram &
+taskWaitHistogram()
+{
+    static metrics::Histogram *h =
+        &metrics::histogram("pool.task_wait_us");
+    return *h;
+}
+
+/** Index-range chunks executed by the pool (caller lane included). */
+metrics::Counter &
+taskCounter()
+{
+    static metrics::Counter *c = &metrics::counter("pool.tasks");
+    return *c;
+}
+
 } // namespace
 
 /** One parallelFor invocation: a chunk cursor plus retirement state. */
@@ -41,6 +65,7 @@ struct ThreadPool::Job
     std::atomic<std::int64_t> cursor{0};  ///< next unclaimed index
     std::atomic<std::int64_t> retired{0}; ///< indices fully processed
     int entered = 0;                      ///< workers holding the job
+    std::chrono::steady_clock::time_point submitted; ///< wait metric
     std::exception_ptr error;
     std::mutex errorMutex;
 };
@@ -51,7 +76,7 @@ ThreadPool::ThreadPool(int threads)
         threads = 1;
     workers_.reserve(size_t(threads - 1));
     for (int i = 0; i < threads - 1; ++i)
-        workers_.emplace_back([this] { workerLoop(); });
+        workers_.emplace_back([this, i] { workerLoop(i + 1); });
 }
 
 ThreadPool::~ThreadPool()
@@ -66,8 +91,14 @@ ThreadPool::~ThreadPool()
 }
 
 void
-ThreadPool::workerLoop()
+ThreadPool::workerLoop(int index)
 {
+    const std::string name = "pool-worker-" + std::to_string(index);
+    trace::nameThread(name);
+#ifdef __linux__
+    pthread_setname_np(pthread_self(),
+                       name.substr(0, 15).c_str());
+#endif
     std::uint64_t seen = 0;
     for (;;) {
         Job *job = nullptr;
@@ -85,6 +116,10 @@ ThreadPool::workerLoop()
         }
         if (job == nullptr)
             continue;
+        taskWaitHistogram().observe(
+            std::chrono::duration<double, std::micro>(
+                std::chrono::steady_clock::now() - job->submitted)
+                .count());
         tlsInsidePool = true;
         runJob(*job);
         tlsInsidePool = false;
@@ -105,6 +140,8 @@ ThreadPool::runJob(Job &job)
         if (lo >= job.n)
             return;
         const std::int64_t hi = std::min(lo + job.chunk, job.n);
+        taskCounter().inc();
+        trace::Span span("pool.task");
         try {
             (*job.body)(lo, hi);
         } catch (...) {
@@ -137,6 +174,7 @@ ThreadPool::parallelFor(std::int64_t n, std::int64_t grain,
     Job job;
     job.body = &body;
     job.n = n;
+    job.submitted = std::chrono::steady_clock::now();
     // Aim for a few chunks per lane so uneven ranges load-balance,
     // but never split below the caller's grain.
     const std::int64_t lanes = threadCount();

@@ -83,7 +83,7 @@ class ThreadPool
   private:
     struct Job;
 
-    void workerLoop();
+    void workerLoop(int index);
     void runJob(Job &job);
 
     std::vector<std::thread> workers_;

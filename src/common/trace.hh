@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Chrome trace-event recorder: RAII spans, counter series, and thread
+ * naming, serialized as the JSON array `chrome://tracing` and Perfetto
+ * load directly.
+ *
+ * Design constraints (and why):
+ *  - Near-zero cost when disabled: every entry point first reads one
+ *    process-wide atomic flag; a disarmed Span stores nothing and
+ *    never reads the clock. Tracing is OFF unless INCA_TRACE=<path>
+ *    is set in the environment or start() is called.
+ *  - Lock-sharded, per-thread-buffered: each thread appends events to
+ *    its own buffer under its own (uncontended) mutex, so recording
+ *    from inside ThreadPool tasks never serializes the workers. The
+ *    per-buffer locks exist only so a flush from another thread is
+ *    race-free (TSan-clean), not for throughput.
+ *  - Thread names are sticky state on the buffer, not buffered
+ *    events, so a pool worker named before tracing starts still
+ *    appears named in the flushed trace.
+ *
+ * With INCA_TRACE set, the trace is flushed to the given path by an
+ * atexit handler -- drivers need no explicit shutdown call, and
+ * nothing is ever written to stdout/stderr, keeping driver stdout
+ * byte-identical between traced and untraced runs.
+ */
+
+#ifndef INCA_COMMON_TRACE_HH
+#define INCA_COMMON_TRACE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace inca {
+namespace trace {
+
+/** One buffered trace event (test/tooling view of the buffers). */
+struct Event
+{
+    std::string name; ///< span or counter series name
+    char ph = 'X';    ///< 'X' complete span, 'C' counter sample
+    std::uint32_t tid = 0;
+    std::int64_t tsUs = 0;  ///< microseconds since process start
+    std::int64_t durUs = 0; ///< span duration ('X' only)
+    double value = 0.0;     ///< counter sample ('C' only)
+};
+
+/** True when events are being recorded (INCA_TRACE or start()). */
+bool enabled();
+
+/**
+ * Enable recording programmatically (testing hook and the
+ * programmatic equivalent of INCA_TRACE=@p path). An empty path
+ * records to memory only; stop() then still returns the JSON.
+ */
+void start(const std::string &path);
+
+/**
+ * Disable recording, serialize everything buffered so far, write it
+ * to the start()/INCA_TRACE path (when non-empty), and return the
+ * JSON. Buffered events are kept until clear().
+ */
+std::string stop();
+
+/** Drop every buffered event (test isolation). Names persist. */
+void clear();
+
+/** Serialize the current buffers as Chrome trace-event JSON. */
+std::string toJson();
+
+/** Copy of every buffered event, in per-thread order (test hook). */
+std::vector<Event> snapshot();
+
+/** Total buffered events across all threads. */
+std::size_t eventCount();
+
+/** Record one sample of the counter series @p name. No-op when off. */
+void counter(const std::string &name, double value);
+
+/**
+ * Name the calling thread in the trace ("pool-worker-3"). Always
+ * recorded (sticky, not an event), so it survives start()/clear()
+ * and threads created before tracing was enabled stay named.
+ */
+void nameThread(const std::string &name);
+
+/**
+ * Build "prefix + suffix" only when tracing is on; otherwise return
+ * an empty string without allocating. The idiom for dynamic span
+ * names on hot paths: trace::Span s(trace::spanName("fwd ", name));
+ */
+std::string spanName(const char *prefix, const std::string &suffix);
+
+/**
+ * RAII span: construction arms it (when tracing is on), destruction
+ * emits one complete ('X') event covering the scope. A span armed
+ * while tracing stops mid-scope is dropped.
+ */
+class Span
+{
+  public:
+    explicit Span(const char *name);
+    explicit Span(std::string name);
+    ~Span();
+
+    Span(const Span &) = delete;
+    Span &operator=(const Span &) = delete;
+
+  private:
+    std::string name_;
+    std::int64_t startUs_ = -1; ///< -1 = disarmed
+};
+
+} // namespace trace
+} // namespace inca
+
+#endif // INCA_COMMON_TRACE_HH

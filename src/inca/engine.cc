@@ -5,6 +5,8 @@
 
 #include "arch/power.hh"
 #include "common/logging.hh"
+#include "common/metrics.hh"
+#include "common/trace.hh"
 #include "dataflow/access_model.hh"
 #include "inca/mapping.hh"
 
@@ -34,6 +36,24 @@ incaRunCache()
 {
     static EvalCache<RunCost> *c = new EvalCache<RunCost>("inca.run");
     return *c;
+}
+
+/** Wall clock of one cached layer-cost lookup (hit or miss). */
+metrics::Histogram &
+layerEvalHistogram()
+{
+    static metrics::Histogram *h =
+        &metrics::histogram("engine.layer_eval_us");
+    return *h;
+}
+
+/** Wall clock of one cached whole-run evaluation. */
+metrics::Histogram &
+runEvalHistogram()
+{
+    static metrics::Histogram *h =
+        &metrics::histogram("engine.run_eval_us");
+    return *h;
 }
 
 } // namespace
@@ -88,6 +108,8 @@ LayerCost
 IncaEngine::forwardLayer(const LayerDesc &layer, int batchSize,
                          bool firstConv, bool streamed) const
 {
+    trace::Span span(trace::spanName("inca.fwd ", layer.name));
+    metrics::ScopedTimer timer(layerEvalHistogram());
     CacheKey key = cfgKey_;
     key.add("F");
     nn::appendKey(key, layer);
@@ -222,6 +244,8 @@ LayerCost
 IncaEngine::backwardLayer(const LayerDesc &layer, int batchSize,
                           bool streamed) const
 {
+    trace::Span span(trace::spanName("inca.bwd ", layer.name));
+    metrics::ScopedTimer timer(layerEvalHistogram());
     CacheKey key = cfgKey_;
     key.add("B");
     nn::appendKey(key, layer);
@@ -265,6 +289,8 @@ LayerCost
 IncaEngine::updateLayer(const LayerDesc &layer, int batchSize,
                         bool streamed) const
 {
+    trace::Span span(trace::spanName("inca.upd ", layer.name));
+    metrics::ScopedTimer timer(layerEvalHistogram());
     CacheKey key = cfgKey_;
     key.add("U");
     nn::appendKey(key, layer);
@@ -350,6 +376,8 @@ LayerCost
 IncaEngine::auxLayer(const LayerDesc &layer, int batchSize,
                      bool backward) const
 {
+    trace::Span span(trace::spanName("inca.aux ", layer.name));
+    metrics::ScopedTimer timer(layerEvalHistogram());
     CacheKey key = cfgKey_;
     key.add("A");
     nn::appendKey(key, layer);
@@ -417,6 +445,8 @@ RunCost
 IncaEngine::inference(const nn::NetworkDesc &net, int batchSize) const
 {
     inca_assert(batchSize > 0, "batch size must be positive");
+    trace::Span span(trace::spanName("inca.inference ", net.name));
+    metrics::ScopedTimer timer(runEvalHistogram());
     CacheKey key = cfgKey_;
     key.add("run-inference");
     nn::appendKey(key, net);
@@ -433,6 +463,7 @@ IncaEngine::computeInference(const nn::NetworkDesc &net,
     run.network = net.name;
     run.phase = Phase::Inference;
     run.batchSize = batchSize;
+    run.configKeyHash = cfgKey_.hash();
 
     const bool streamed = weightsStreamed(net);
     bool first = true;
@@ -454,6 +485,8 @@ RunCost
 IncaEngine::training(const nn::NetworkDesc &net, int batchSize) const
 {
     inca_assert(batchSize > 0, "batch size must be positive");
+    trace::Span span(trace::spanName("inca.training ", net.name));
+    metrics::ScopedTimer timer(runEvalHistogram());
     CacheKey key = cfgKey_;
     key.add("run-training");
     nn::appendKey(key, net);
@@ -470,6 +503,7 @@ IncaEngine::computeTraining(const nn::NetworkDesc &net,
     run.network = net.name;
     run.phase = Phase::Training;
     run.batchSize = batchSize;
+    run.configKeyHash = cfgKey_.hash();
 
     const bool streamed = weightsStreamed(net);
 

@@ -22,9 +22,13 @@ barChart(const std::vector<Bar> &bars, const BarOptions &options)
     for (const auto &bar : bars) {
         labelWidth = std::max(labelWidth, bar.label.size());
         inca_assert(bar.value >= 0.0, "bars must be non-negative");
-        if (options.logScale)
-            inca_assert(bar.value >= 1.0,
-                        "log-scale bars must be >= 1");
+        // Sub-unity values have negative log10; rather than abort a
+        // whole report over one degenerate bar, pin it to the axis
+        // floor (one '#') and say so. Zero stays a zero-length bar.
+        if (options.logScale && bar.value > 0.0 && bar.value < 1.0)
+            warn("log-scale bar '%s' value %g < 1; clamping to axis "
+                 "floor",
+                 bar.label.c_str(), bar.value);
         maxValue = std::max(maxValue, bar.value);
     }
     if (maxValue <= 0.0)

@@ -5,7 +5,9 @@
 
 #include "common/cache.hh"
 #include "common/logging.hh"
+#include "common/metrics.hh"
 #include "common/thread_pool.hh"
+#include "common/trace.hh"
 
 namespace inca {
 namespace sim {
@@ -28,6 +30,7 @@ elapsedSeconds(std::chrono::steady_clock::time_point start)
 
 ScopedPhaseTimer::ScopedPhaseTimer(std::string phase)
     : phase_(std::move(phase)),
+      span_(trace::spanName("phase ", phase_)),
       start_(std::chrono::steady_clock::now())
 {
 }
@@ -106,6 +109,7 @@ printPhaseTimes(std::FILE *out)
         std::fprintf(out, "  %-40s %8.1f ms\n", "total", 1e3 * total);
     }
     printCacheStats(out);
+    metrics::printText(out);
 }
 
 void

@@ -20,6 +20,7 @@
 
 #include "arch/cost.hh"
 #include "baseline/engine.hh"
+#include "common/trace.hh"
 #include "inca/engine.hh"
 #include "nn/network.hh"
 
@@ -38,6 +39,9 @@ struct PhaseTime
  * and records the result in the process-wide phase registry. Drivers
  * wrap each sweep in one of these so the thread-pool speedup is
  * visible in output. Thread-safe; phases appear in completion order.
+ *
+ * Built on top of a trace::Span: with INCA_TRACE set, every phase
+ * also appears as a "phase <name>" span on the trace timeline.
  */
 class ScopedPhaseTimer
 {
@@ -50,6 +54,7 @@ class ScopedPhaseTimer
 
   private:
     std::string phase_;
+    trace::Span span_;
     std::chrono::steady_clock::time_point start_;
 };
 
@@ -60,10 +65,11 @@ std::vector<PhaseTime> phaseTimes();
 void clearPhaseTimes();
 
 /**
- * Print the recorded phases, the pool size, and the evaluation-cache
- * statistics (hit rates, entries, estimated time saved) to @p out.
- * Drivers that must keep stdout byte-identical between cached and
- * uncached runs pass stderr.
+ * Print the recorded phases, the pool size, the evaluation-cache
+ * statistics (hit rates, entries, estimated time saved), and the
+ * process metrics registry (metrics::printText) to @p out. Drivers
+ * that must keep stdout byte-identical between cached and uncached
+ * runs pass stderr.
  */
 void printPhaseTimes(std::FILE *out);
 

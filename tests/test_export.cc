@@ -9,6 +9,7 @@
 #include <fstream>
 
 #include "inca/engine.hh"
+#include "json_lint.hh"
 #include "nn/model_zoo.hh"
 #include "sim/export.hh"
 
@@ -62,6 +63,39 @@ TEST(ExportCsv, MentionsEveryLayer)
             << layer.name;
 }
 
+TEST(ExportCsv, QuotesHostileFieldsPerRfc4180)
+{
+    // A layer name with a comma, a quote, and a newline must not
+    // shift columns or break rows: the field is quoted, embedded
+    // quotes doubled.
+    arch::RunCost run;
+    arch::LayerCost layer;
+    layer.name = "conv,3x3 \"same\"\npad";
+    layer.stats.add("energy.dram", 1.0);
+    run.layers.push_back(layer);
+    const std::string csv = toCsv(run);
+    EXPECT_NE(csv.find("\"conv,3x3 \"\"same\"\"\npad\""),
+              std::string::npos)
+        << csv;
+    // Plain names stay unquoted (byte-compatible with old output).
+    arch::RunCost plain;
+    layer.name = "conv1";
+    plain.layers.push_back(layer);
+    EXPECT_EQ(toCsv(plain).find('"'), std::string::npos);
+}
+
+TEST(ExportCsv, QuotesHostileStatKeys)
+{
+    arch::RunCost run;
+    arch::LayerCost layer;
+    layer.name = "conv1";
+    layer.stats.add("energy.dram,extra", 1.0);
+    run.layers.push_back(layer);
+    const std::string csv = toCsv(run);
+    EXPECT_NE(csv.find("\"energy.dram,extra\""), std::string::npos)
+        << csv;
+}
+
 TEST(ExportJson, ContainsTotalsAndLayers)
 {
     const auto run = sampleRun();
@@ -97,6 +131,29 @@ TEST(ExportJson, BalancedBracesAndBrackets)
     EXPECT_EQ(braces, 0);
     EXPECT_EQ(brackets, 0);
     EXPECT_FALSE(inString);
+}
+
+TEST(ExportJson, ValidPerStrictParser)
+{
+    EXPECT_TRUE(testutil::jsonValid(toJson(sampleRun())));
+}
+
+TEST(ExportJson, ProvenanceManifest)
+{
+    const auto run = sampleRun();
+    const std::string json = toJson(run);
+    EXPECT_NE(json.find("\"provenance\""), std::string::npos);
+    EXPECT_NE(json.find("\"config_key_hash\": \"0x"),
+              std::string::npos);
+    // The engine stamps the design point's key hash; a real run is
+    // never the empty-key hash 0x0.
+    EXPECT_NE(run.configKeyHash, 0u);
+    EXPECT_NE(json.find("\"threads\": "), std::string::npos);
+    EXPECT_NE(json.find("\"cache\": "), std::string::npos);
+    EXPECT_NE(json.find("\"build_type\": "), std::string::npos);
+    for (const char *var : {"INCA_TRACE", "INCA_METRICS",
+                            "INCA_NUM_THREADS", "INCA_CACHE"})
+        EXPECT_NE(json.find(var), std::string::npos) << var;
 }
 
 TEST(ExportJson, TrainingPhaseLabel)

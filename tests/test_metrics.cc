@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Process metrics registry tests: counters, gauges, histograms,
+ * registration semantics, JSON rendering, and concurrent updates.
+ */
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "common/metrics.hh"
+#include "json_lint.hh"
+
+namespace inca {
+namespace metrics {
+namespace {
+
+TEST(Metrics, CounterAccumulatesAndResets)
+{
+    Counter &c = counter("test.counter.basic");
+    c.reset();
+    c.inc();
+    c.inc(41);
+    EXPECT_EQ(c.value(), 42u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Metrics, SameNameReturnsSameMetric)
+{
+    Counter &a = counter("test.counter.shared");
+    Counter &b = counter("test.counter.shared");
+    EXPECT_EQ(&a, &b);
+    a.reset();
+    a.inc();
+    EXPECT_EQ(b.value(), 1u);
+}
+
+TEST(Metrics, GaugeSetAndAdd)
+{
+    Gauge &g = gauge("test.gauge.basic");
+    g.reset();
+    g.set(2.5);
+    EXPECT_DOUBLE_EQ(g.value(), 2.5);
+    g.add(1.5);
+    EXPECT_DOUBLE_EQ(g.value(), 4.0);
+}
+
+TEST(Metrics, HistogramBucketsObservations)
+{
+    Histogram &h =
+        histogram("test.hist.explicit", {1.0, 10.0, 100.0});
+    h.reset();
+    h.observe(0.5);   // <= 1
+    h.observe(5.0);   // <= 10
+    h.observe(50.0);  // <= 100
+    h.observe(500.0); // overflow
+    EXPECT_EQ(h.count(), 4u);
+    EXPECT_DOUBLE_EQ(h.sum(), 555.5);
+    EXPECT_DOUBLE_EQ(h.mean(), 555.5 / 4.0);
+    const auto buckets = h.bucketCounts();
+    ASSERT_EQ(buckets.size(), 4u);
+    EXPECT_EQ(buckets[0], 1u);
+    EXPECT_EQ(buckets[1], 1u);
+    EXPECT_EQ(buckets[2], 1u);
+    EXPECT_EQ(buckets[3], 1u);
+}
+
+TEST(Metrics, BoundaryObservationLandsInLowerBucket)
+{
+    Histogram &h = histogram("test.hist.boundary", {1.0, 2.0});
+    h.reset();
+    h.observe(1.0); // inclusive upper bound
+    EXPECT_EQ(h.bucketCounts()[0], 1u);
+}
+
+TEST(Metrics, DefaultMicrosecondBuckets)
+{
+    Histogram &h = histogram("test.hist.default_us");
+    EXPECT_GE(h.bounds().size(), 16u);
+    EXPECT_DOUBLE_EQ(h.bounds().front(), 1.0);
+}
+
+TEST(MetricsDeath, KindMismatchPanics)
+{
+    counter("test.kind.clash");
+    EXPECT_DEATH(gauge("test.kind.clash"), "");
+}
+
+TEST(Metrics, ScopedTimerObservesLifetime)
+{
+    Histogram &h = histogram("test.hist.timer");
+    h.reset();
+    {
+        ScopedTimer t(h);
+    }
+    EXPECT_EQ(h.count(), 1u);
+    EXPECT_GE(h.sum(), 0.0);
+}
+
+TEST(Metrics, ConcurrentUpdatesLoseNothing)
+{
+    Counter &c = counter("test.counter.mt");
+    Histogram &h = histogram("test.hist.mt", {10.0, 1000.0});
+    c.reset();
+    h.reset();
+    constexpr int kThreads = 8, kEach = 1000;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&] {
+            for (int i = 0; i < kEach; ++i) {
+                c.inc();
+                h.observe(double(i));
+            }
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+    EXPECT_EQ(c.value(), std::uint64_t(kThreads) * kEach);
+    EXPECT_EQ(h.count(), std::uint64_t(kThreads) * kEach);
+}
+
+TEST(Metrics, ToJsonIsValidAndComplete)
+{
+    counter("test.json.counter").inc(7);
+    gauge("test.json.gauge").set(1.25);
+    histogram("test.json.hist", {1.0}).observe(0.5);
+    const std::string json = toJson();
+    EXPECT_TRUE(testutil::jsonValid(json)) << json;
+    EXPECT_NE(json.find("\"counters\""), std::string::npos);
+    EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+    EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+    EXPECT_NE(json.find("\"test.json.counter\""), std::string::npos);
+    EXPECT_NE(json.find("\"test.json.gauge\""), std::string::npos);
+    EXPECT_NE(json.find("\"test.json.hist\""), std::string::npos);
+    EXPECT_NE(json.find("\"+Inf\""), std::string::npos);
+}
+
+TEST(Metrics, ResetAllZeroesEverything)
+{
+    Counter &c = counter("test.reset.counter");
+    Histogram &h = histogram("test.reset.hist", {1.0});
+    c.inc(5);
+    h.observe(2.0);
+    resetAll();
+    EXPECT_EQ(c.value(), 0u);
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+}
+
+} // namespace
+} // namespace metrics
+} // namespace inca

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/logging.hh"
 #include "sim/plot.hh"
 
 namespace inca {
@@ -77,12 +78,24 @@ TEST(BarChart, LabelsAligned)
     EXPECT_EQ(bar1, bar2 - line2);
 }
 
-TEST(BarChartDeath, NegativeAndBadLog)
+TEST(BarChartDeath, NegativeValues)
 {
     EXPECT_DEATH(barChart({{"bad", -1.0}}), "non-negative");
+}
+
+TEST(BarChart, LogScaleClampsSubUnityToAxisFloor)
+{
+    // Sub-unity values no longer abort a log-scale chart: they pin to
+    // the axis floor (one '#') with a warning, and zeros stay empty.
     BarOptions log;
     log.logScale = true;
-    EXPECT_DEATH(barChart({{"bad", 0.5}}, log), "log-scale");
+    setQuiet(true);
+    const auto chart = barChart(
+        {{"big", 100.0}, {"sub", 0.5}, {"zero", 0.0}}, log);
+    setQuiet(false);
+    EXPECT_GT(hashesOnLine(chart, "big"), 1);
+    EXPECT_EQ(hashesOnLine(chart, "sub"), 1);
+    EXPECT_EQ(hashesOnLine(chart, "zero"), 0);
 }
 
 TEST(LineChart, EmptyAndSinglePoint)
