@@ -5,12 +5,13 @@
  * the GPU roofline, for inference and training, and print the
  * Fig. 11 / Fig. 14 / Fig. 15 comparison in one table.
  *
- *   $ ./build/examples/compare_dataflows [batch]
+ *   $ ./build/examples/compare_dataflows [batch] [--json <path>]
  */
 
 #include <cstdio>
 #include <cstdlib>
 
+#include "bench/bench_json.hh"
 #include "common/table.hh"
 #include "common/units.hh"
 #include "gpu/gpu_model.hh"
@@ -22,6 +23,7 @@ main(int argc, char **argv)
 {
     using namespace inca;
 
+    const std::string jsonPath = bench::extractJsonPath(argc, argv);
     const int batch = argc > 1 ? std::atoi(argv[1]) : 64;
     core::IncaEngine inca(arch::paperInca());
     baseline::BaselineEngine base(arch::paperBaseline());
@@ -55,6 +57,19 @@ main(int argc, char **argv)
                       formatSi(cmp.inca.latencyPerImage(), "s"),
                       TextTable::ratio(cmp.speedup()),
                       TextTable::ratio(g.latency / cmp.inca.latency)});
+            const std::string prefix =
+                training ? "training." : "inference.";
+            auto &report = bench::JsonReport::instance();
+            report.addPoint(prefix + "inca_energy_per_image_j",
+                            net.name, cmp.inca.energyPerImage());
+            report.addPoint(prefix + "ws_efficiency_gain", net.name,
+                            cmp.energyEfficiencyGain());
+            report.addPoint(prefix + "inca_latency_per_image_s",
+                            net.name, cmp.inca.latencyPerImage());
+            report.addPoint(prefix + "ws_speedup", net.name,
+                            cmp.speedup());
+            report.addPoint(prefix + "gpu_speedup", net.name,
+                            g.latency / cmp.inca.latency);
         }
         t.print();
         std::printf("\n");
@@ -66,5 +81,7 @@ main(int argc, char **argv)
     // Timing and cache stats go to stderr so stdout stays byte-equal
     // between cached, uncached, and any-thread-count runs.
     sim::printPhaseTimes(stderr);
+    if (!jsonPath.empty())
+        bench::JsonReport::instance().write(jsonPath);
     return 0;
 }

@@ -7,12 +7,15 @@
  * maps (Fig. 16a) and force higher-resolution conversions, while the
  * 4-bit ADC is the smallest that digitizes a 3x3 window losslessly.
  *
- * The design points are independent, so each sweep fans them across
- * the shared thread pool (INCA_NUM_THREADS); every point builds its
- * own engine and writes a pre-sized row slot, so the printed table is
- * identical at any thread count.
+ * Both sweeps ride on the dse subsystem: each is a one-axis grid
+ * exploration whose wave evaluation fans across the shared thread
+ * pool (INCA_NUM_THREADS) into pre-sized slots, so the printed table
+ * is identical at any thread count. The lossless-ADC bound runs as a
+ * soft constraint: a design point that clips (the 3-bit row -- 9 > 7)
+ * still prints, but the rejection reason goes to stderr instead of
+ * being silently ignored.
  *
- *   $ ./build/examples/design_space [network]
+ *   $ ./build/examples/design_space [network] [--json <path>]
  */
 
 #include <cstdio>
@@ -20,13 +23,11 @@
 #include <string>
 #include <vector>
 
-#include "arch/area.hh"
 #include "arch/config.hh"
-#include "arch/utilization.hh"
+#include "bench/bench_json.hh"
 #include "common/table.hh"
-#include "common/thread_pool.hh"
 #include "common/units.hh"
-#include "inca/engine.hh"
+#include "dse/explorer.hh"
 #include "nn/model_zoo.hh"
 #include "sim/report.hh"
 
@@ -35,8 +36,19 @@ main(int argc, char **argv)
 {
     using namespace inca;
 
+    const std::string jsonPath = bench::extractJsonPath(argc, argv);
     const std::string name = argc > 1 ? argv[1] : "resnet18";
     const nn::NetworkDesc net = nn::byName(name);
+
+    // Shared run options: grid order over one axis, constraints soft
+    // so every table row still prints (rejections warn on stderr).
+    dse::ExploreOptions opt;
+    opt.engine = dse::EngineKind::Inca;
+    opt.network = name;
+    opt.strategy = dse::StrategyKind::Grid;
+    opt.constraints.set("lossless_adc=1");
+    opt.softConstraints = true;
+
     std::printf("design-space sweep on %s, batch 64 (%d threads)\n\n",
                 net.name.c_str(), ThreadPool::globalThreadCount());
 
@@ -46,39 +58,32 @@ main(int argc, char **argv)
     std::printf("plane-size sweep (iso-capacity, 4-bit ADC):\n");
     TextTable t({"plane", "utilization", "chip area", "E/batch",
                  "t/batch"});
-    const std::vector<int> planeSizes = {8, 16, 32, 64};
-    std::vector<std::vector<std::string>> planeRows(planeSizes.size());
+    dse::SearchSpace planeSpace;
+    planeSpace.axis("plane", {8, 16, 32, 64});
+    dse::ExploreOptions planeOpt = opt;
+    planeOpt.isoCapacity = true;
+    dse::Explorer planeExplorer(planeSpace, planeOpt);
+    dse::ExploreResult planeResult;
     {
         sim::ScopedPhaseTimer timer("plane-size sweep");
-        parallel_for(
-            std::int64_t(planeSizes.size()), 1,
-            [&](std::int64_t lo, std::int64_t hi) {
-                for (std::int64_t i = lo; i < hi; ++i) {
-                    const int s = planeSizes[size_t(i)];
-                    arch::IncaConfig cfg = arch::paperInca();
-                    const std::int64_t cellsBefore = cfg.totalCells();
-                    cfg.subarraySize = s;
-                    // Restore capacity by scaling the tile count.
-                    const double scale =
-                        double(cellsBefore) / double(cfg.totalCells());
-                    cfg.org.numTiles =
-                        std::max(1, int(cfg.org.numTiles * scale + 0.5));
-                    core::IncaEngine engine(cfg);
-                    const auto run = engine.inference(net, 64);
-                    planeRows[size_t(i)] = {
-                        std::to_string(s) + "x" + std::to_string(s),
-                        TextTable::num(
-                            100.0 *
-                                arch::incaNetworkUtilization(net, s),
-                            1) + " %",
-                        formatAreaMm2(arch::incaArea(cfg).total()),
-                        formatSi(run.energy(), "J"),
-                        formatSi(run.latency, "s")};
-                }
-            });
+        planeResult = planeExplorer.run();
     }
-    for (const auto &row : planeRows)
-        t.addRow(row);
+    for (const auto &e : planeResult.evaluations) {
+        const int s = int(e.candidate.values[0]);
+        t.addRow({std::to_string(s) + "x" + std::to_string(s),
+                  TextTable::num(100.0 * e.utilization, 1) + " %",
+                  formatAreaMm2(e.areaM2),
+                  formatSi(e.energyJ, "J"),
+                  formatSi(e.latencyS, "s")});
+        const std::string label =
+            std::to_string(s) + "x" + std::to_string(s);
+        auto &report = bench::JsonReport::instance();
+        report.addPoint("plane_sweep.utilization", label,
+                        e.utilization);
+        report.addPoint("plane_sweep.area_m2", label, e.areaM2);
+        report.addPoint("plane_sweep.energy_j", label, e.energyJ);
+        report.addPoint("plane_sweep.latency_s", label, e.latencyS);
+    }
     t.print();
     std::printf("(16x16 keeps utilization high with the smallest "
                 "windows a 4-bit ADC digitizes losslessly)\n\n");
@@ -88,37 +93,39 @@ main(int argc, char **argv)
     std::printf("ADC-resolution sweep (16x16 planes):\n");
     TextTable ta({"ADC", "E/conversion", "ADC area (chip)",
                   "E/batch", "t/batch"});
-    const std::vector<int> adcBits = {3, 4, 6, 8};
-    std::vector<std::vector<std::string>> adcRows(adcBits.size());
+    dse::SearchSpace adcSpace;
+    adcSpace.axis("adc_bits", {3, 4, 6, 8});
+    dse::Explorer adcExplorer(adcSpace, opt);
+    dse::ExploreResult adcResult;
     {
         sim::ScopedPhaseTimer timer("ADC-resolution sweep");
-        parallel_for(
-            std::int64_t(adcBits.size()), 1,
-            [&](std::int64_t lo, std::int64_t hi) {
-                for (std::int64_t i = lo; i < hi; ++i) {
-                    const int bits = adcBits[size_t(i)];
-                    arch::IncaConfig cfg = arch::paperInca();
-                    cfg.adcBits = bits;
-                    core::IncaEngine engine(cfg);
-                    const auto run = engine.inference(net, 64);
-                    adcRows[size_t(i)] = {
-                        std::to_string(bits) + "-bit",
-                        formatSi(cfg.adc().energyPerConversion, "J"),
-                        formatAreaMm2(
-                            cfg.adc().area *
-                            double(cfg.org.totalSubarrays())),
-                        formatSi(run.energy(), "J"),
-                        formatSi(run.latency, "s")};
-                }
-            });
+        adcResult = adcExplorer.run();
     }
-    for (const auto &row : adcRows)
-        ta.addRow(row);
+    for (const auto &e : adcResult.evaluations) {
+        const int bits = int(e.candidate.values[0]);
+        const arch::IncaConfig cfg = dse::materializeInca(
+            adcExplorer.space(), e.candidate,
+            adcExplorer.options().baseInca, false);
+        ta.addRow({std::to_string(bits) + "-bit",
+                   formatSi(cfg.adc().energyPerConversion, "J"),
+                   formatAreaMm2(cfg.adc().area *
+                                 double(cfg.org.totalSubarrays())),
+                   formatSi(e.energyJ, "J"),
+                   formatSi(e.latencyS, "s")});
+        const std::string label = std::to_string(bits) + "-bit";
+        auto &report = bench::JsonReport::instance();
+        report.addPoint("adc_sweep.conversion_j", label,
+                        cfg.adc().energyPerConversion);
+        report.addPoint("adc_sweep.energy_j", label, e.energyJ);
+        report.addPoint("adc_sweep.latency_s", label, e.latencyS);
+    }
     ta.print();
     std::printf("(3 bits would clip a full 3x3 window -- 9 > 7; 4 "
                 "bits is the paper's sweet spot; every extra bit "
                 "costs ~2x conversion energy)\n");
 
     sim::printPhaseTimes();
+    if (!jsonPath.empty())
+        bench::JsonReport::instance().write(jsonPath);
     return 0;
 }

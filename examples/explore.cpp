@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Design-space exploration driver on top of src/dse.
+ *
+ * Enumerates (grid), samples (random), or anneals over a space of
+ * accelerator configurations, filters them through constraint bounds,
+ * scores survivors with the analytic engines in parallel, and reduces
+ * the results to a Pareto frontier over the chosen objectives. The
+ * frontier -- and every exported artifact -- is bit-identical at any
+ * thread count, and a run killed midway resumes from its journal to
+ * the same result as an uninterrupted one.
+ *
+ *   $ ./build/examples/explore --engine inca --network resnet18 \
+ *       --strategy random --seed 7 --budget 64 \
+ *       --objectives energy,latency,area \
+ *       --constraint max_area_mm2=200 \
+ *       --journal run.jsonl --csv frontier.csv
+ *   # ... killed ...
+ *   $ ./build/examples/explore ... --journal run.jsonl --resume
+ *
+ * Axes default to dse::defaultSpace(engine); override with repeated
+ * --axis name=v1,v2,... flags (see dse/space.hh for the axis names).
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/table.hh"
+#include "common/units.hh"
+#include "dse/explorer.hh"
+#include "sim/export.hh"
+#include "sim/report.hh"
+
+namespace {
+
+void
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [options]\n"
+        "  --engine inca|ws        engine to score (default inca)\n"
+        "  --phase inference|training\n"
+        "  --network <name>        model-zoo network (default "
+        "resnet18)\n"
+        "  --strategy grid|random|anneal\n"
+        "  --seed <n>              strategy RNG seed (default 1)\n"
+        "  --budget <n>            max candidates (0 = whole space)\n"
+        "  --objectives a,b,...    energy,latency,area,edp,"
+        "idle_power,utilization,accuracy\n"
+        "  --constraint k=v        repeatable; max_area_mm2, "
+        "max_idle_w,\n"
+        "                          min_utilization, min_accuracy, "
+        "lossless_adc\n"
+        "  --soft                  constraints warn but still score\n"
+        "  --axis name=v1,v2,...   repeatable; replaces the default "
+        "space\n"
+        "  --iso-capacity          rescale tiles to keep base cell "
+        "count\n"
+        "  --sigma <x>             device-noise level for the "
+        "accuracy proxy\n"
+        "  --eval-batch <n>        candidates per parallel wave\n"
+        "  --journal <path>        JSONL checkpoint journal\n"
+        "  --resume                reuse the journal's evaluations\n"
+        "  --csv <path>            write the frontier as CSV\n"
+        "  --json <path>           write the frontier JSON report\n"
+        "  --export-runs <prefix>  per-frontier-point run "
+        "CSV/JSON\n",
+        argv0);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace inca;
+
+    dse::ExploreOptions opt;
+    std::vector<std::pair<std::string, std::vector<std::int64_t>>>
+        axes;
+    std::string csvPath, jsonPath, exportPrefix;
+
+    const auto value = [&](int &i) -> const char * {
+        if (i + 1 >= argc)
+            fatal("%s needs a value", argv[i]);
+        return argv[++i];
+    };
+    for (int i = 1; i < argc; ++i) {
+        const char *a = argv[i];
+        if (std::strcmp(a, "--engine") == 0) {
+            opt.engine = dse::engineKindByName(value(i));
+        } else if (std::strcmp(a, "--phase") == 0) {
+            const std::string p = value(i);
+            if (p == "inference")
+                opt.phase = arch::Phase::Inference;
+            else if (p == "training")
+                opt.phase = arch::Phase::Training;
+            else
+                fatal("unknown phase '%s'", p.c_str());
+        } else if (std::strcmp(a, "--network") == 0) {
+            opt.network = value(i);
+        } else if (std::strcmp(a, "--strategy") == 0) {
+            opt.strategy = dse::strategyKindByName(value(i));
+        } else if (std::strcmp(a, "--seed") == 0) {
+            opt.seed = std::strtoull(value(i), nullptr, 10);
+        } else if (std::strcmp(a, "--budget") == 0) {
+            opt.budget = std::strtoull(value(i), nullptr, 10);
+        } else if (std::strcmp(a, "--objectives") == 0) {
+            opt.objectives = dse::objectivesByNames(value(i));
+        } else if (std::strcmp(a, "--constraint") == 0) {
+            opt.constraints.set(value(i));
+        } else if (std::strcmp(a, "--soft") == 0) {
+            opt.softConstraints = true;
+        } else if (std::strcmp(a, "--axis") == 0) {
+            const std::string spec = value(i);
+            const std::size_t eq = spec.find('=');
+            if (eq == std::string::npos)
+                fatal("--axis '%s' is not name=v1,v2,...",
+                      spec.c_str());
+            std::vector<std::int64_t> values;
+            std::size_t pos = eq + 1;
+            while (pos <= spec.size()) {
+                std::size_t comma = spec.find(',', pos);
+                if (comma == std::string::npos)
+                    comma = spec.size();
+                values.push_back(std::strtoll(
+                    spec.substr(pos, comma - pos).c_str(), nullptr,
+                    10));
+                pos = comma + 1;
+            }
+            axes.emplace_back(spec.substr(0, eq), std::move(values));
+        } else if (std::strcmp(a, "--iso-capacity") == 0) {
+            opt.isoCapacity = true;
+        } else if (std::strcmp(a, "--sigma") == 0) {
+            opt.noiseSigma = std::strtod(value(i), nullptr);
+        } else if (std::strcmp(a, "--eval-batch") == 0) {
+            opt.evalBatch =
+                std::size_t(std::strtoull(value(i), nullptr, 10));
+        } else if (std::strcmp(a, "--journal") == 0) {
+            opt.journalPath = value(i);
+        } else if (std::strcmp(a, "--resume") == 0) {
+            opt.resume = true;
+        } else if (std::strcmp(a, "--csv") == 0) {
+            csvPath = value(i);
+        } else if (std::strcmp(a, "--json") == 0) {
+            jsonPath = value(i);
+        } else if (std::strcmp(a, "--export-runs") == 0) {
+            exportPrefix = value(i);
+        } else if (std::strcmp(a, "--help") == 0 ||
+                   std::strcmp(a, "-h") == 0) {
+            usage(argv[0]);
+            return 0;
+        } else {
+            usage(argv[0]);
+            fatal("unknown flag '%s'", a);
+        }
+    }
+
+    dse::SearchSpace space;
+    if (axes.empty()) {
+        space = dse::defaultSpace(opt.engine);
+    } else {
+        for (auto &[name, values] : axes)
+            space.axis(name, std::move(values));
+    }
+
+    dse::Explorer explorer(std::move(space), std::move(opt));
+    const dse::ExploreOptions &options = explorer.options();
+
+    std::printf("exploring %s/%s on %s, strategy %s, seed %llu\n",
+                dse::engineKindName(options.engine),
+                options.phase == arch::Phase::Training ? "training"
+                                                       : "inference",
+                options.network.c_str(),
+                dse::strategyKindName(options.strategy),
+                static_cast<unsigned long long>(options.seed));
+    std::printf("space:");
+    for (const auto &axis : explorer.space().axes()) {
+        std::printf(" %s{", axis.name.c_str());
+        for (std::size_t i = 0; i < axis.values.size(); ++i)
+            std::printf("%s%lld", i ? "," : "",
+                        static_cast<long long>(axis.values[i]));
+        std::printf("}");
+    }
+    std::printf(" -> %llu candidates\n\n",
+                static_cast<unsigned long long>(
+                    explorer.space().size()));
+
+    dse::ExploreResult result;
+    {
+        sim::ScopedPhaseTimer timer("explore");
+        result = explorer.run();
+    }
+
+    std::printf("evaluated %zu (scored %llu, filtered %llu, reused "
+                "%llu); frontier %zu of %llu\n\n",
+                result.evaluations.size(),
+                static_cast<unsigned long long>(result.scored),
+                static_cast<unsigned long long>(result.filtered),
+                static_cast<unsigned long long>(result.reused),
+                result.frontier.size(),
+                static_cast<unsigned long long>(result.spaceSize));
+
+    TextTable table({"point", "E/batch", "t/batch", "area", "util",
+                     "accuracy"});
+    for (const auto &e : result.frontier) {
+        table.addRow({explorer.space().describe(e.candidate),
+                      formatSi(e.energyJ, "J"),
+                      formatSi(e.latencyS, "s"),
+                      formatAreaMm2(e.areaM2),
+                      TextTable::num(100.0 * e.utilization, 1) + " %",
+                      TextTable::num(100.0 * e.accuracy, 1) + " %"});
+    }
+    table.print();
+
+    if (!csvPath.empty())
+        sim::writeFile(csvPath,
+                       dse::frontierCsv(explorer.space(),
+                                        result.frontier,
+                                        options.objectives));
+    if (!jsonPath.empty())
+        sim::writeFile(jsonPath, dse::frontierJson(explorer, result));
+    if (!exportPrefix.empty())
+        dse::exportFrontierRuns(explorer, result, exportPrefix);
+
+    sim::printPhaseTimes();
+    return 0;
+}

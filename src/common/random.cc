@@ -26,6 +26,25 @@ rotl(std::uint64_t x, int k)
 
 } // namespace
 
+std::uint64_t
+SplitMix64::next()
+{
+    return splitmix64(state_);
+}
+
+double
+SplitMix64::uniform()
+{
+    return double(next() >> 11) * 0x1.0p-53;
+}
+
+std::uint64_t
+SplitMix64::below(std::uint64_t n)
+{
+    inca_assert(n > 0, "below(0) is undefined");
+    return next() % n;
+}
+
 Rng::Rng(std::uint64_t seed)
 {
     std::uint64_t sm = seed;

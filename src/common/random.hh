@@ -17,6 +17,39 @@ namespace inca {
 /** Default seed used when none is supplied. */
 inline constexpr std::uint64_t kDefaultSeed = 0x1234abcd5678ef01ULL;
 
+/**
+ * splitmix64: the minimal 64-bit generator used to expand seeds (and
+ * by the DSE strategies, which need many cheap independent streams
+ * that are trivially reproducible from a single integer). One
+ * uint64_t of state, one add + two xor-shift-multiplies per draw;
+ * passes BigCrush. Identical to the expander Rng uses internally, so
+ * SplitMix64(seed).next() is also the documented seeding path of the
+ * simulator's xoshiro256** streams.
+ */
+class SplitMix64
+{
+  public:
+    explicit SplitMix64(std::uint64_t seed = kDefaultSeed)
+        : state_(seed)
+    {
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform integer in [0, n). @p n must be > 0. */
+    std::uint64_t below(std::uint64_t n);
+
+    /** A child generator seeded from this stream (stream splitting). */
+    SplitMix64 split() { return SplitMix64(next()); }
+
+  private:
+    std::uint64_t state_;
+};
+
 /** xoshiro256** with splitmix64 seeding; fast and deterministic. */
 class Rng
 {

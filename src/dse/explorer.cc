@@ -1,0 +1,433 @@
+#include "dse/explorer.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <unordered_map>
+
+#include "arch/area.hh"
+#include "arch/power.hh"
+#include "arch/utilization.hh"
+#include "baseline/engine.hh"
+#include "common/cache.hh"
+#include "common/logging.hh"
+#include "common/metrics.hh"
+#include "common/thread_pool.hh"
+#include "common/trace.hh"
+#include "dse/journal.hh"
+#include "dse/pareto.hh"
+#include "inca/engine.hh"
+#include "nn/model_zoo.hh"
+#include "sim/export.hh"
+
+namespace inca {
+namespace dse {
+
+namespace {
+
+std::string
+num17(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    for (const char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        out += c;
+    }
+    return out;
+}
+
+std::string
+envJson(const char *name)
+{
+    const char *v = std::getenv(name);
+    if (!v)
+        return "null";
+    std::string out = "\"";
+    out += jsonEscape(v);
+    out += '"';
+    return out;
+}
+
+} // namespace
+
+Explorer::Explorer(SearchSpace space, ExploreOptions options)
+    : space_(std::move(space)), options_(std::move(options)),
+      net_(nn::byName(options_.network))
+{
+    inca_assert(!options_.objectives.empty(),
+                "exploration needs at least one objective");
+    maxWindow_ = maxConvWindow(net_);
+}
+
+std::string
+Explorer::signature() const
+{
+    // Everything that determines the evaluation stream, in a fixed
+    // spelling. Budget is deliberately excluded: resuming with a
+    // larger budget continues the same stream further.
+    std::ostringstream os;
+    os << "v1 engine=" << engineKindName(options_.engine);
+    os << " phase="
+       << (options_.phase == arch::Phase::Training ? "training"
+                                                   : "inference");
+    os << " network=" << options_.network;
+    os << " strategy=" << strategyKindName(options_.strategy);
+    os << " seed=" << options_.seed;
+    os << " eval_batch=" << options_.evalBatch;
+    os << " objectives=";
+    for (std::size_t i = 0; i < options_.objectives.size(); ++i) {
+        if (i > 0)
+            os << ',';
+        os << objectiveName(options_.objectives[i]);
+    }
+    os << " constraints=[" << options_.constraints.str() << "]";
+    os << " soft=" << (options_.softConstraints ? 1 : 0);
+    os << " iso=" << (options_.isoCapacity ? 1 : 0);
+    os << " sigma=" << num17(options_.noiseSigma);
+    CacheKey baseKey;
+    if (options_.engine == EngineKind::Inca)
+        arch::appendKey(baseKey, options_.baseInca);
+    else
+        arch::appendKey(baseKey, options_.baseWs);
+    char hex[32];
+    std::snprintf(hex, sizeof(hex), "0x%llx",
+                  static_cast<unsigned long long>(baseKey.hash()));
+    os << " base=" << hex;
+    os << " space=";
+    for (const auto &axis : space_.axes()) {
+        os << axis.name << "{";
+        for (std::size_t i = 0; i < axis.values.size(); ++i) {
+            if (i > 0)
+                os << ',';
+            os << axis.values[i];
+        }
+        os << "}";
+    }
+    return os.str();
+}
+
+Evaluation
+Explorer::evaluate(std::uint64_t flatIndex) const
+{
+    Evaluation e;
+    e.candidate = space_.candidate(flatIndex);
+
+    int adcBits = 0;
+    if (options_.engine == EngineKind::Inca) {
+        const arch::IncaConfig cfg = materializeInca(
+            space_, e.candidate, options_.baseInca,
+            options_.isoCapacity);
+        adcBits = cfg.adcBits;
+        e.areaM2 = arch::incaArea(cfg).total();
+        e.idlePowerW = arch::incaIdlePower(cfg);
+        e.utilization =
+            arch::incaNetworkUtilization(net_, cfg.subarraySize);
+        e.accuracy = accuracyProxy(EngineKind::Inca, adcBits,
+                                   maxWindow_, options_.noiseSigma);
+        const ConstraintCheck check =
+            checkConstraints(options_.constraints, e,
+                             EngineKind::Inca, adcBits, maxWindow_);
+        if (!check.ok) {
+            e.feasible = false;
+            e.rejectedBy = check.reason;
+            if (!options_.softConstraints)
+                return e;
+        }
+        const core::IncaEngine engine(cfg);
+        e.run = options_.phase == arch::Phase::Training
+                    ? engine.training(net_, cfg.batchSize)
+                    : engine.inference(net_, cfg.batchSize);
+    } else {
+        const arch::BaselineConfig cfg = materializeWs(
+            space_, e.candidate, options_.baseWs,
+            options_.isoCapacity);
+        adcBits = cfg.adcBits;
+        e.areaM2 = arch::baselineArea(cfg).total();
+        e.idlePowerW = arch::baselineIdlePower(cfg);
+        e.utilization =
+            arch::wsNetworkUtilization(net_, cfg.subarraySize);
+        e.accuracy = accuracyProxy(EngineKind::Ws, adcBits,
+                                   maxWindow_, options_.noiseSigma);
+        const ConstraintCheck check = checkConstraints(
+            options_.constraints, e, EngineKind::Ws, adcBits,
+            maxWindow_);
+        if (!check.ok) {
+            e.feasible = false;
+            e.rejectedBy = check.reason;
+            if (!options_.softConstraints)
+                return e;
+        }
+        const baseline::BaselineEngine engine(cfg);
+        e.run = options_.phase == arch::Phase::Training
+                    ? engine.training(net_, cfg.batchSize)
+                    : engine.inference(net_, cfg.batchSize);
+    }
+
+    e.scored = true;
+    e.energyJ = e.run.energy();
+    e.latencyS = e.run.latency;
+    e.configKeyHash = e.run.configKeyHash;
+    orientObjectives(e, options_.objectives);
+    return e;
+}
+
+ExploreResult
+Explorer::run()
+{
+    if (options_.strategy == StrategyKind::Anneal &&
+        options_.budget == 0)
+        fatal("the anneal strategy needs --budget (it never "
+              "exhausts the space on its own)");
+
+    ExploreResult result;
+    result.spaceSize = space_.size();
+
+    // Resume: recover journaled evaluations keyed by index. The
+    // strategy stream below is replayed identically either way; a
+    // journal hit just skips the engine run.
+    std::unordered_map<std::uint64_t, Evaluation> replay;
+    JournalWriter writer;
+    if (!options_.journalPath.empty()) {
+        JournalHeader header;
+        header.signature = signature();
+        header.spaceSize = space_.size();
+        bool append = false;
+        JournalContents contents;
+        if (options_.resume &&
+            readJournal(options_.journalPath, contents)) {
+            if (contents.header.signature != header.signature)
+                fatal("journal '%s' belongs to a different run:\n"
+                      "  journal: %s\n  requested: %s",
+                      options_.journalPath.c_str(),
+                      contents.header.signature.c_str(),
+                      header.signature.c_str());
+            replay = std::move(contents.evals);
+            append = true;
+        }
+        writer.open(options_.journalPath, header, append);
+    }
+
+    const auto strategy =
+        makeStrategy(options_.strategy, space_, options_.seed,
+                     options_.objectives);
+    ParetoFrontier frontier(options_.objectives.size());
+
+    auto &scoredCtr = metrics::counter("dse.scored");
+    auto &filteredCtr = metrics::counter("dse.filtered");
+    auto &reusedCtr = metrics::counter("dse.reused");
+    auto &frontierGauge = metrics::gauge("dse.frontier");
+    auto &evalHist = metrics::histogram("dse.eval_us");
+
+    std::uint64_t remaining =
+        options_.budget ? options_.budget : ~std::uint64_t(0);
+    while (remaining > 0) {
+        const std::size_t want = std::size_t(
+            std::min<std::uint64_t>(options_.evalBatch, remaining));
+        const std::vector<std::uint64_t> wave =
+            strategy->nextBatch(want);
+        if (wave.empty())
+            break;
+
+        // Fan the wave out; each slot is a pure function of its
+        // candidate index, so contents are scheduling-independent.
+        std::vector<Evaluation> evals(wave.size());
+        parallel_for_each(
+            std::int64_t(wave.size()), 1, [&](std::int64_t i) {
+                const std::uint64_t idx = wave[std::size_t(i)];
+                const auto it = replay.find(idx);
+                if (it != replay.end()) {
+                    Evaluation e = it->second;
+                    e.candidate = space_.candidate(idx);
+                    e.reused = true;
+                    evals[std::size_t(i)] = std::move(e);
+                    return;
+                }
+                trace::Span span(trace::spanName(
+                    "dse.eval ",
+                    space_.describe(space_.candidate(idx))));
+                metrics::ScopedTimer timer(evalHist);
+                evals[std::size_t(i)] = evaluate(idx);
+            });
+
+        // Everything order-sensitive happens serially, in proposal
+        // order: journal, counters, frontier, strategy feedback.
+        for (const Evaluation &e : evals) {
+            if (!e.feasible)
+                warn("dse: %s rejected by %s",
+                     space_.describe(e.candidate).c_str(),
+                     e.rejectedBy.c_str());
+            if (e.reused) {
+                ++result.reused;
+                reusedCtr.inc();
+            } else {
+                if (writer.isOpen())
+                    writer.append(e);
+                if (e.scored) {
+                    ++result.scored;
+                    scoredCtr.inc();
+                }
+            }
+            if (!e.scored) {
+                ++result.filtered;
+                filteredCtr.inc();
+            }
+            if (e.feasible && e.scored)
+                frontier.insert(e);
+            result.evaluations.push_back(e);
+        }
+        frontierGauge.set(double(frontier.size()));
+        strategy->observe(evals);
+        remaining -= std::min<std::uint64_t>(remaining, wave.size());
+    }
+
+    result.frontier = frontier.sorted();
+    return result;
+}
+
+std::string
+frontierCsv(const SearchSpace &space,
+            const std::vector<Evaluation> &frontier,
+            const std::vector<Objective> &objectives)
+{
+    (void)objectives; // columns are fixed; objectives pick the points
+    std::ostringstream os;
+    os << "index";
+    for (const auto &axis : space.axes())
+        os << "," << axis.name;
+    os << ",energy_j,latency_s,area_m2,idle_w,utilization,accuracy,"
+          "config_key_hash\n";
+    for (const Evaluation &e : frontier) {
+        os << e.candidate.index;
+        for (const std::int64_t v : e.candidate.values)
+            os << "," << v;
+        os << "," << num17(e.energyJ) << "," << num17(e.latencyS)
+           << "," << num17(e.areaM2) << "," << num17(e.idlePowerW)
+           << "," << num17(e.utilization) << ","
+           << num17(e.accuracy);
+        char hex[32];
+        std::snprintf(hex, sizeof(hex), "0x%llx",
+                      static_cast<unsigned long long>(
+                          e.configKeyHash));
+        os << "," << hex << "\n";
+    }
+    return os.str();
+}
+
+std::string
+frontierJson(const Explorer &explorer, const ExploreResult &result)
+{
+    const ExploreOptions &opt = explorer.options();
+    const SearchSpace &space = explorer.space();
+    std::ostringstream os;
+    os << "{\n";
+    os << "  \"kind\": \"dse.frontier\",\n";
+    os << "  \"engine\": \"" << engineKindName(opt.engine) << "\",\n";
+    os << "  \"network\": \"" << jsonEscape(opt.network) << "\",\n";
+    os << "  \"phase\": \""
+       << (opt.phase == arch::Phase::Training ? "training"
+                                              : "inference")
+       << "\",\n";
+    os << "  \"strategy\": \"" << strategyKindName(opt.strategy)
+       << "\",\n";
+    os << "  \"seed\": " << opt.seed << ",\n";
+    os << "  \"budget\": " << opt.budget << ",\n";
+    os << "  \"objectives\": [";
+    for (std::size_t i = 0; i < opt.objectives.size(); ++i) {
+        if (i > 0)
+            os << ", ";
+        os << "\"" << objectiveName(opt.objectives[i]) << "\"";
+    }
+    os << "],\n";
+    os << "  \"constraints\": \""
+       << jsonEscape(opt.constraints.str()) << "\",\n";
+    os << "  \"iso_capacity\": "
+       << (opt.isoCapacity ? "true" : "false") << ",\n";
+    os << "  \"noise_sigma\": " << num17(opt.noiseSigma) << ",\n";
+    os << "  \"space_size\": " << result.spaceSize << ",\n";
+    os << "  \"evaluated\": " << result.evaluations.size() << ",\n";
+    os << "  \"scored\": " << result.scored << ",\n";
+    os << "  \"filtered\": " << result.filtered << ",\n";
+    os << "  \"reused\": " << result.reused << ",\n";
+    // The same run-provenance manifest sim::toJson embeds, with the
+    // run signature in place of a single config hash (a frontier
+    // spans many design points).
+    os << "  \"provenance\": {\n";
+    os << "    \"signature\": \""
+       << jsonEscape(explorer.signature()) << "\",\n";
+    os << "    \"threads\": " << ThreadPool::globalThreadCount()
+       << ",\n";
+    os << "    \"cache\": " << (cacheEnabled() ? "true" : "false")
+       << ",\n";
+#ifdef INCA_BUILD_TYPE
+    os << "    \"build_type\": \"" << jsonEscape(INCA_BUILD_TYPE)
+       << "\",\n";
+#else
+    os << "    \"build_type\": \"unknown\",\n";
+#endif
+    os << "    \"env\": {";
+    bool firstEnv = true;
+    for (const char *name : {"INCA_TRACE", "INCA_METRICS",
+                             "INCA_NUM_THREADS", "INCA_CACHE"}) {
+        if (!firstEnv)
+            os << ", ";
+        firstEnv = false;
+        os << "\"" << name << "\": " << envJson(name);
+    }
+    os << "}\n";
+    os << "  },\n";
+    os << "  \"frontier\": [\n";
+    const std::vector<Evaluation> &points = result.frontier;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const Evaluation &e = points[i];
+        os << "    {\"index\": " << e.candidate.index
+           << ", \"point\": {";
+        const auto &axes = space.axes();
+        for (std::size_t a = 0; a < axes.size(); ++a) {
+            if (a > 0)
+                os << ", ";
+            os << "\"" << axes[a].name
+               << "\": " << e.candidate.values[a];
+        }
+        os << "}, \"energy_j\": " << num17(e.energyJ)
+           << ", \"latency_s\": " << num17(e.latencyS)
+           << ", \"area_m2\": " << num17(e.areaM2)
+           << ", \"idle_w\": " << num17(e.idlePowerW)
+           << ", \"utilization\": " << num17(e.utilization)
+           << ", \"accuracy\": " << num17(e.accuracy) << "}"
+           << (i + 1 < points.size() ? "," : "") << "\n";
+    }
+    os << "  ]\n}\n";
+    return os.str();
+}
+
+void
+exportFrontierRuns(const Explorer &explorer,
+                   const ExploreResult &result,
+                   const std::string &prefix)
+{
+    for (const Evaluation &point : result.frontier) {
+        // Re-score: pure and cache-backed, and it restores the full
+        // per-layer RunCost a journal-replayed point does not carry.
+        const Evaluation e = explorer.evaluate(point.candidate.index);
+        inca_assert(e.scored, "frontier member %llu failed to score",
+                    static_cast<unsigned long long>(
+                        point.candidate.index));
+        const std::string base =
+            prefix + "-" + std::to_string(point.candidate.index);
+        sim::writeFile(base + ".csv", sim::toCsv(e.run));
+        sim::writeFile(base + ".json", sim::toJson(e.run));
+    }
+}
+
+} // namespace dse
+} // namespace inca

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * The exploration driver: strategy stream -> parallel evaluation ->
+ * constraint filter -> Pareto reduction -> journal.
+ *
+ * Explorer::run() consumes candidate waves from the strategy. Inside
+ * a wave, evaluation fans out across the global ThreadPool into
+ * pre-sized result slots -- evaluation is a pure function of
+ * (space, options, candidate index), so slot contents never depend on
+ * scheduling. Everything order-sensitive (journal append, frontier
+ * insert, metrics, strategy feedback) runs serially in proposal
+ * order afterwards. The combination makes the full result, exports
+ * included, bit-identical at any thread count.
+ *
+ * Checkpoint/resume: every completed evaluation is appended to a
+ * JSONL journal (when a path is given). A resumed run replays the
+ * same deterministic strategy stream and substitutes journaled
+ * evaluations for engine runs, so killing a run at any point and
+ * resuming it yields the same frontier as never killing it.
+ */
+
+#ifndef INCA_DSE_EXPLORER_HH
+#define INCA_DSE_EXPLORER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "arch/config.hh"
+#include "arch/cost.hh"
+#include "dse/constraints.hh"
+#include "dse/objectives.hh"
+#include "dse/space.hh"
+#include "dse/strategy.hh"
+
+namespace inca {
+namespace dse {
+
+/** Everything that parameterizes an exploration run. */
+struct ExploreOptions
+{
+    EngineKind engine = EngineKind::Inca;
+    arch::Phase phase = arch::Phase::Inference;
+    std::string network = "resnet18";
+
+    StrategyKind strategy = StrategyKind::Grid;
+    std::uint64_t seed = 1;
+
+    /**
+     * Maximum candidates to evaluate; 0 means unbounded (grid/random
+     * stop when the space is exhausted; anneal requires a budget).
+     */
+    std::uint64_t budget = 0;
+
+    std::vector<Objective> objectives = {Objective::Energy,
+                                         Objective::Latency,
+                                         Objective::Area};
+    Constraints constraints;
+    /**
+     * Soft constraints warn and mark the point infeasible but still
+     * score it (design_space uses this so every table row prints);
+     * hard constraints skip scoring entirely.
+     */
+    bool softConstraints = false;
+
+    /** Rescale tiles to keep base cell capacity (plane sweeps). */
+    bool isoCapacity = false;
+
+    /** Device-noise level for the accuracy proxy. */
+    double noiseSigma = 0.05;
+
+    /** Candidates proposed per wave (the parallel fan-out width). */
+    std::size_t evalBatch = 64;
+
+    /** Journal path; empty disables checkpointing. */
+    std::string journalPath;
+    /** Reuse an existing journal instead of overwriting it. */
+    bool resume = false;
+
+    /** Base design points the candidate axes perturb. */
+    arch::IncaConfig baseInca = arch::paperInca();
+    arch::BaselineConfig baseWs = arch::paperBaseline();
+};
+
+/** Outcome of Explorer::run(). */
+struct ExploreResult
+{
+    /** Every evaluation, in strategy proposal order. */
+    std::vector<Evaluation> evaluations;
+    /** Non-dominated feasible points, sorted by candidate index. */
+    std::vector<Evaluation> frontier;
+
+    std::uint64_t spaceSize = 0;
+    std::uint64_t scored = 0;   ///< engine runs performed
+    std::uint64_t filtered = 0; ///< hard-constraint rejections
+    std::uint64_t reused = 0;   ///< journal replays
+};
+
+/** Runs one exploration over a space. */
+class Explorer
+{
+  public:
+    Explorer(SearchSpace space, ExploreOptions options);
+
+    /** Execute the exploration (see file comment). */
+    ExploreResult run();
+
+    /**
+     * Canonical run signature: everything that determines the
+     * evaluation stream. Journal compatibility is signature equality.
+     */
+    std::string signature() const;
+
+    const SearchSpace &space() const { return space_; }
+
+    const ExploreOptions &options() const { return options_; }
+
+    /**
+     * Evaluate one candidate index (pure; what run() fans out).
+     * Exposed for tests and for re-scoring frontier members.
+     */
+    Evaluation evaluate(std::uint64_t flatIndex) const;
+
+  private:
+    SearchSpace space_;
+    ExploreOptions options_;
+    nn::NetworkDesc net_;
+    int maxWindow_ = 0;
+};
+
+/**
+ * Frontier CSV: one row per point with the candidate's axis values,
+ * the objective scalars, and the config-key hash. %.17g numbers, so
+ * two byte-identical CSVs mean two bit-identical frontiers.
+ */
+std::string frontierCsv(const SearchSpace &space,
+                        const std::vector<Evaluation> &frontier,
+                        const std::vector<Objective> &objectives);
+
+/**
+ * Frontier JSON report: run parameters, counters, the frontier with
+ * per-point axis values and scalars, and the same run-provenance
+ * manifest sim::toJson embeds (threads, cache, build, INCA_* env).
+ */
+std::string frontierJson(const Explorer &explorer,
+                         const ExploreResult &result);
+
+/**
+ * Re-score every frontier member and write per-run sim::toCsv /
+ * sim::toJson files named <prefix>-<index>.{csv,json}. Re-scoring is
+ * pure (and cache-backed), so this works identically for resumed
+ * runs whose journal carried only scalars.
+ */
+void exportFrontierRuns(const Explorer &explorer,
+                        const ExploreResult &result,
+                        const std::string &prefix);
+
+} // namespace dse
+} // namespace inca
+
+#endif // INCA_DSE_EXPLORER_HH

@@ -1,0 +1,149 @@
+#include "dse/objectives.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "nn/layer.hh"
+
+namespace inca {
+namespace dse {
+
+const char *
+objectiveName(Objective o)
+{
+    switch (o) {
+      case Objective::Energy:
+        return "energy";
+      case Objective::Latency:
+        return "latency";
+      case Objective::Area:
+        return "area";
+      case Objective::Edp:
+        return "edp";
+      case Objective::IdlePower:
+        return "idle_power";
+      case Objective::Utilization:
+        return "utilization";
+      case Objective::Accuracy:
+        return "accuracy";
+    }
+    panic("unreachable objective %d", int(o));
+}
+
+Objective
+objectiveByName(const std::string &name)
+{
+    for (const Objective o :
+         {Objective::Energy, Objective::Latency, Objective::Area,
+          Objective::Edp, Objective::IdlePower,
+          Objective::Utilization, Objective::Accuracy}) {
+        if (name == objectiveName(o))
+            return o;
+    }
+    fatal("unknown objective '%s'", name.c_str());
+}
+
+std::vector<Objective>
+objectivesByNames(const std::string &list)
+{
+    std::vector<Objective> out;
+    std::string token;
+    for (std::size_t i = 0; i <= list.size(); ++i) {
+        if (i == list.size() || list[i] == ',') {
+            if (!token.empty())
+                out.push_back(objectiveByName(token));
+            token.clear();
+        } else {
+            token.push_back(list[i]);
+        }
+    }
+    if (out.empty())
+        fatal("objective list '%s' names no objectives",
+              list.c_str());
+    return out;
+}
+
+bool
+objectiveMaximized(Objective o)
+{
+    return o == Objective::Utilization || o == Objective::Accuracy;
+}
+
+double
+Evaluation::value(Objective o) const
+{
+    switch (o) {
+      case Objective::Energy:
+        return energyJ;
+      case Objective::Latency:
+        return latencyS;
+      case Objective::Area:
+        return areaM2;
+      case Objective::Edp:
+        return energyJ * latencyS;
+      case Objective::IdlePower:
+        return idlePowerW;
+      case Objective::Utilization:
+        return utilization;
+      case Objective::Accuracy:
+        return accuracy;
+    }
+    panic("unreachable objective %d", int(o));
+}
+
+void
+orientObjectives(Evaluation &e,
+                 const std::vector<Objective> &objectives)
+{
+    e.objectives.clear();
+    e.objectives.reserve(objectives.size());
+    for (const Objective o : objectives) {
+        const double v = e.value(o);
+        e.objectives.push_back(objectiveMaximized(o) ? -v : v);
+    }
+}
+
+int
+maxConvWindow(const nn::NetworkDesc &net)
+{
+    // The first conv reads off-chip inputs through the digital path
+    // (IncaEngine's firstConv special case), so its oversized stem
+    // window (7x7 in the ResNets) never reaches the in-array ADC;
+    // the lossless bound is over the remaining layers -- the paper's
+    // "4 bits digitize a 3x3 window, 3 bits clip it (9 > 7)".
+    int window = 1;
+    bool first = true;
+    for (const auto &layer : net.convLayers()) {
+        if (first) {
+            first = false;
+            continue;
+        }
+        window = std::max(window, layer.kh * layer.kw);
+    }
+    return window;
+}
+
+double
+accuracyProxy(EngineKind kind, int adcBits, int maxWindow,
+              double noiseSigma)
+{
+    inca_assert(adcBits > 0 && adcBits < 31,
+                "accuracyProxy needs a sane ADC resolution, got %d",
+                adcBits);
+    // Paper-calibrated float baseline (Table I: 8/8-bit keeps
+    // full-precision accuracy; the proxy's ceiling).
+    const double base = 0.95;
+    const double levels = double((1 << adcBits) - 1);
+    const double clip =
+        kind == EngineKind::Inca
+            ? std::min(1.0, levels / double(maxWindow))
+            : 1.0;
+    // Table VI endpoints at sigma = 0.05: WS 82.13 -> 15.17 %
+    // (accumulating write noise, ~13.4 fraction/unit-sigma), IS
+    // 89.21 -> 85.59 % (transient read noise, ~0.72).
+    const double slope = kind == EngineKind::Ws ? 13.4 : 0.72;
+    return std::max(0.0, base * clip - slope * noiseSigma);
+}
+
+} // namespace dse
+} // namespace inca

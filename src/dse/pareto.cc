@@ -1,0 +1,63 @@
+#include "dse/pareto.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace inca {
+namespace dse {
+
+bool
+dominates(const std::vector<double> &a, const std::vector<double> &b)
+{
+    inca_assert(a.size() == b.size(),
+                "dominance needs equal arity (%zu vs %zu)", a.size(),
+                b.size());
+    bool strictlyBetter = false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (a[i] > b[i])
+            return false;
+        if (a[i] < b[i])
+            strictlyBetter = true;
+    }
+    return strictlyBetter;
+}
+
+bool
+ParetoFrontier::insert(const Evaluation &e)
+{
+    inca_assert(e.objectives.size() == arity_,
+                "evaluation arity %zu != frontier arity %zu",
+                e.objectives.size(), arity_);
+    for (const auto &p : points_) {
+        // A strategy may revisit a candidate (annealing chains);
+        // identical points must not duplicate frontier rows.
+        if (p.candidate.index == e.candidate.index)
+            return false;
+        if (dominates(p.objectives, e.objectives))
+            return false;
+    }
+    points_.erase(
+        std::remove_if(points_.begin(), points_.end(),
+                       [&](const Evaluation &p) {
+                           return dominates(e.objectives,
+                                            p.objectives);
+                       }),
+        points_.end());
+    points_.push_back(e);
+    return true;
+}
+
+std::vector<Evaluation>
+ParetoFrontier::sorted() const
+{
+    std::vector<Evaluation> out = points_;
+    std::sort(out.begin(), out.end(),
+              [](const Evaluation &a, const Evaluation &b) {
+                  return a.candidate.index < b.candidate.index;
+              });
+    return out;
+}
+
+} // namespace dse
+} // namespace inca

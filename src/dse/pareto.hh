@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Incremental Pareto-frontier reduction.
+ *
+ * The frontier is maintained over minimized objective vectors (see
+ * orientObjectives): point a dominates b when a is no worse on every
+ * objective and strictly better on at least one. Points with equal
+ * vectors are incomparable and both kept, which makes the final
+ * frontier a pure function of the *set* of inserted points --
+ * insertion order never matters, so a frontier built from a parallel
+ * sweep is identical at every thread count, and a resumed run's
+ * frontier matches an uninterrupted one. sorted() additionally fixes
+ * the presentation order (by candidate index) so exports are
+ * byte-stable.
+ */
+
+#ifndef INCA_DSE_PARETO_HH
+#define INCA_DSE_PARETO_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "dse/objectives.hh"
+
+namespace inca {
+namespace dse {
+
+/**
+ * True when @p a dominates @p b (minimized orientation: <= on every
+ * entry, < on at least one). Vectors must share arity.
+ */
+bool dominates(const std::vector<double> &a,
+               const std::vector<double> &b);
+
+/** An incrementally maintained set of non-dominated Evaluations. */
+class ParetoFrontier
+{
+  public:
+    /** @p arity objective-vector length every insert must match. */
+    explicit ParetoFrontier(std::size_t arity) : arity_(arity) {}
+
+    /**
+     * Insert @p e (its objectives vector must be oriented). Returns
+     * true when the point joins the frontier; dominated incumbents
+     * are evicted.
+     */
+    bool insert(const Evaluation &e);
+
+    /** Current frontier, insertion-ordered. */
+    const std::vector<Evaluation> &points() const { return points_; }
+
+    /** Frontier sorted by candidate index (the export order). */
+    std::vector<Evaluation> sorted() const;
+
+    std::size_t size() const { return points_.size(); }
+
+    std::size_t arity() const { return arity_; }
+
+  private:
+    std::size_t arity_;
+    std::vector<Evaluation> points_;
+};
+
+} // namespace dse
+} // namespace inca
+
+#endif // INCA_DSE_PARETO_HH

@@ -1,0 +1,266 @@
+#include "dse/space.hh"
+
+#include <algorithm>
+
+#include "circuit/devices.hh"
+#include "common/logging.hh"
+
+namespace inca {
+namespace dse {
+
+const char *
+engineKindName(EngineKind kind)
+{
+    return kind == EngineKind::Ws ? "ws" : "inca";
+}
+
+EngineKind
+engineKindByName(const std::string &name)
+{
+    if (name == "inca")
+        return EngineKind::Inca;
+    if (name == "ws" || name == "baseline")
+        return EngineKind::Ws;
+    fatal("unknown engine '%s' (expected inca or ws)", name.c_str());
+}
+
+SearchSpace &
+SearchSpace::axis(const std::string &name,
+                  std::vector<std::int64_t> values)
+{
+    inca_assert(!values.empty(), "axis '%s' needs at least one value",
+                name.c_str());
+    inca_assert(axisIndex(name) < 0, "duplicate axis '%s'",
+                name.c_str());
+    axes_.push_back({name, std::move(values)});
+    return *this;
+}
+
+std::uint64_t
+SearchSpace::size() const
+{
+    std::uint64_t n = 1;
+    for (const auto &a : axes_)
+        n *= std::uint64_t(a.values.size());
+    return n;
+}
+
+Candidate
+SearchSpace::candidate(std::uint64_t flatIndex) const
+{
+    inca_assert(flatIndex < size(), "candidate %llu out of range",
+                static_cast<unsigned long long>(flatIndex));
+    Candidate cand;
+    cand.index = flatIndex;
+    cand.values.reserve(axes_.size());
+    std::uint64_t rest = flatIndex;
+    for (const auto &a : axes_) {
+        const std::uint64_t radix = a.values.size();
+        cand.values.push_back(a.values[std::size_t(rest % radix)]);
+        rest /= radix;
+    }
+    return cand;
+}
+
+std::uint64_t
+SearchSpace::flatIndex(
+    const std::vector<std::size_t> &valueIndices) const
+{
+    inca_assert(valueIndices.size() == axes_.size(),
+                "value-index arity %zu != axis count %zu",
+                valueIndices.size(), axes_.size());
+    std::uint64_t flat = 0;
+    std::uint64_t stride = 1;
+    for (std::size_t i = 0; i < axes_.size(); ++i) {
+        inca_assert(valueIndices[i] < axes_[i].values.size(),
+                    "value index out of range on axis '%s'",
+                    axes_[i].name.c_str());
+        flat += stride * std::uint64_t(valueIndices[i]);
+        stride *= std::uint64_t(axes_[i].values.size());
+    }
+    return flat;
+}
+
+int
+SearchSpace::axisIndex(const std::string &name) const
+{
+    for (std::size_t i = 0; i < axes_.size(); ++i)
+        if (axes_[i].name == name)
+            return int(i);
+    return -1;
+}
+
+std::int64_t
+SearchSpace::value(const Candidate &cand, const std::string &name,
+                   std::int64_t fallback) const
+{
+    const int i = axisIndex(name);
+    if (i < 0)
+        return fallback;
+    return cand.values[std::size_t(i)];
+}
+
+std::vector<std::uint64_t>
+SearchSpace::neighbors(std::uint64_t flat) const
+{
+    // Re-derive the per-axis value indices from the flat index.
+    std::vector<std::size_t> idx(axes_.size());
+    std::uint64_t rest = flat;
+    for (std::size_t i = 0; i < axes_.size(); ++i) {
+        const std::uint64_t radix = axes_[i].values.size();
+        idx[i] = std::size_t(rest % radix);
+        rest /= radix;
+    }
+    std::vector<std::uint64_t> out;
+    for (std::size_t i = 0; i < axes_.size(); ++i) {
+        auto moved = idx;
+        if (idx[i] > 0) {
+            moved[i] = idx[i] - 1;
+            out.push_back(flatIndex(moved));
+        }
+        moved = idx;
+        if (idx[i] + 1 < axes_[i].values.size()) {
+            moved[i] = idx[i] + 1;
+            out.push_back(flatIndex(moved));
+        }
+    }
+    return out;
+}
+
+std::string
+SearchSpace::describe(const Candidate &cand) const
+{
+    std::string out;
+    for (std::size_t i = 0; i < axes_.size(); ++i) {
+        if (!out.empty())
+            out += ' ';
+        out += axes_[i].name + "=" +
+               std::to_string(cand.values[i]);
+    }
+    return out;
+}
+
+namespace {
+
+void
+applyDevice(circuit::RramDevice &device, std::int64_t presetIndex)
+{
+    const auto presets = circuit::allDevicePresets();
+    inca_assert(presetIndex >= 0 &&
+                    std::size_t(presetIndex) < presets.size(),
+                "device preset index %lld out of range",
+                static_cast<long long>(presetIndex));
+    device = presets[std::size_t(presetIndex)].device;
+}
+
+/** Rescale the tile count so cfg keeps @p cellsBefore total cells. */
+template <typename Config>
+void
+rescaleTiles(Config &cfg, std::int64_t cellsBefore)
+{
+    const double scale =
+        double(cellsBefore) / double(cfg.totalCells());
+    cfg.org.numTiles =
+        std::max(1, int(cfg.org.numTiles * scale + 0.5));
+}
+
+} // namespace
+
+arch::IncaConfig
+materializeInca(const SearchSpace &space, const Candidate &cand,
+                const arch::IncaConfig &base, bool isoCapacity)
+{
+    arch::IncaConfig cfg = base;
+    const std::int64_t cellsBefore = cfg.totalCells();
+    const auto &axes = space.axes();
+    for (std::size_t i = 0; i < axes.size(); ++i) {
+        const std::int64_t v = cand.values[i];
+        const std::string &name = axes[i].name;
+        if (name == "plane")
+            cfg.subarraySize = int(v);
+        else if (name == "adc_bits")
+            cfg.adcBits = int(v);
+        else if (name == "tiles")
+            cfg.org.numTiles = int(v);
+        else if (name == "tile_size")
+            cfg.org.tileSize = int(v);
+        else if (name == "macro_size")
+            cfg.org.macroSize = int(v);
+        else if (name == "buffer_kib")
+            cfg.buffer.capacity = double(v) * 1024.0;
+        else if (name == "batch")
+            cfg.batchSize = int(v);
+        else if (name == "stacked_planes")
+            cfg.stackedPlanes = int(v);
+        else if (name == "subarrays_per_adc")
+            cfg.subarraysPerAdc = int(v);
+        else if (name == "device")
+            applyDevice(cfg.device, v);
+        else
+            fatal("unknown search axis '%s'", name.c_str());
+    }
+    if (isoCapacity)
+        rescaleTiles(cfg, cellsBefore);
+    inca_assert(cfg.subarraySize > 0 && cfg.stackedPlanes > 0 &&
+                    cfg.adcBits > 0 && cfg.batchSize > 0,
+                "materialized INCA geometry must be positive");
+    return cfg;
+}
+
+arch::BaselineConfig
+materializeWs(const SearchSpace &space, const Candidate &cand,
+              const arch::BaselineConfig &base, bool isoCapacity)
+{
+    arch::BaselineConfig cfg = base;
+    const std::int64_t cellsBefore = cfg.totalCells();
+    const auto &axes = space.axes();
+    for (std::size_t i = 0; i < axes.size(); ++i) {
+        const std::int64_t v = cand.values[i];
+        const std::string &name = axes[i].name;
+        if (name == "plane")
+            cfg.subarraySize = int(v);
+        else if (name == "adc_bits")
+            cfg.adcBits = int(v);
+        else if (name == "tiles")
+            cfg.org.numTiles = int(v);
+        else if (name == "tile_size")
+            cfg.org.tileSize = int(v);
+        else if (name == "macro_size")
+            cfg.org.macroSize = int(v);
+        else if (name == "buffer_kib")
+            cfg.buffer.capacity = double(v) * 1024.0;
+        else if (name == "batch")
+            cfg.batchSize = int(v);
+        else if (name == "device")
+            applyDevice(cfg.device, v);
+        else if (name == "stacked_planes" ||
+                 name == "subarrays_per_adc")
+            fatal("axis '%s' does not apply to the WS baseline",
+                  name.c_str());
+        else
+            fatal("unknown search axis '%s'", name.c_str());
+    }
+    if (isoCapacity)
+        rescaleTiles(cfg, cellsBefore);
+    inca_assert(cfg.subarraySize > 0 && cfg.adcBits > 0 &&
+                    cfg.batchSize > 0,
+                "materialized WS geometry must be positive");
+    return cfg;
+}
+
+SearchSpace
+defaultSpace(EngineKind kind)
+{
+    SearchSpace space;
+    if (kind == EngineKind::Inca)
+        space.axis("plane", {8, 16, 32, 64});
+    else
+        space.axis("plane", {64, 128, 256});
+    space.axis("adc_bits", {3, 4, 6, 8})
+        .axis("buffer_kib", {32, 64, 128})
+        .axis("batch", {16, 64});
+    return space;
+}
+
+} // namespace dse
+} // namespace inca

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Design-space description: named discrete axes over the accelerator
+ * configuration knobs the analytic engines can score.
+ *
+ * A SearchSpace is an ordered list of axes, each a name plus the
+ * discrete values it may take; the space is their cross product and a
+ * Candidate is one point of it, addressed by a flat index (mixed-radix
+ * over the axis sizes). Keeping candidates index-addressable is what
+ * makes every strategy, the journal, and resume deterministic: a
+ * candidate's identity is (space, index), independent of evaluation
+ * order, thread count, or which strategy produced it.
+ *
+ * Axis names are bound to arch::IncaConfig / arch::BaselineConfig
+ * fields by materializeInca()/materializeWs(); an unknown axis name is
+ * a fatal configuration error, so typos fail fast instead of silently
+ * sweeping nothing.
+ */
+
+#ifndef INCA_DSE_SPACE_HH
+#define INCA_DSE_SPACE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "arch/config.hh"
+
+namespace inca {
+namespace dse {
+
+/** Which analytic engine scores a candidate. */
+enum class EngineKind
+{
+    Inca, ///< IS dataflow (core::IncaEngine)
+    Ws,   ///< weight-stationary baseline (baseline::BaselineEngine)
+};
+
+/** "inca" / "ws". */
+const char *engineKindName(EngineKind kind);
+
+/** Parse "inca" / "ws"; fatal on anything else. */
+EngineKind engineKindByName(const std::string &name);
+
+/** One named discrete axis. */
+struct Axis
+{
+    std::string name;
+    std::vector<std::int64_t> values;
+};
+
+/** One design point: a value per axis, in axis order. */
+struct Candidate
+{
+    std::uint64_t index = 0; ///< flat index inside the SearchSpace
+    std::vector<std::int64_t> values;
+};
+
+/**
+ * An ordered cross product of discrete axes.
+ *
+ * Recognized axis names (see materializeInca / materializeWs):
+ *   plane            subarray/crossbar size (s x s)
+ *   adc_bits         ADC resolution
+ *   tiles            tiles per chip
+ *   tile_size        macros per tile
+ *   macro_size       subarrays per macro
+ *   buffer_kib       per-tile SRAM buffer capacity
+ *   batch            batch size (also forwarded to the engine run)
+ *   stacked_planes   planes per 3D stack (INCA only)
+ *   subarrays_per_adc ADC sharing inside a stack (INCA only)
+ *   device           index into circuit::allDevicePresets()
+ */
+class SearchSpace
+{
+  public:
+    /** Append an axis; values must be non-empty. Returns *this. */
+    SearchSpace &axis(const std::string &name,
+                      std::vector<std::int64_t> values);
+
+    const std::vector<Axis> &axes() const { return axes_; }
+
+    std::size_t numAxes() const { return axes_.size(); }
+
+    /** Cross-product cardinality (1 for an empty space). */
+    std::uint64_t size() const;
+
+    /** Decode a flat index (mixed-radix, first axis fastest). */
+    Candidate candidate(std::uint64_t flatIndex) const;
+
+    /** Flat index of a per-axis value-index vector. */
+    std::uint64_t flatIndex(
+        const std::vector<std::size_t> &valueIndices) const;
+
+    /** Index of the axis named @p name, or -1 when absent. */
+    int axisIndex(const std::string &name) const;
+
+    /** Candidate's value on the axis named @p name, or @p fallback. */
+    std::int64_t value(const Candidate &cand, const std::string &name,
+                       std::int64_t fallback) const;
+
+    /**
+     * Flat indices of every candidate differing from @p flatIndex by
+     * one step on exactly one axis (the annealing move set).
+     * Deterministically ordered: axis order, minus step before plus.
+     */
+    std::vector<std::uint64_t> neighbors(std::uint64_t flatIndex) const;
+
+    /** "plane=16 adc_bits=4" (axis order). */
+    std::string describe(const Candidate &cand) const;
+
+  private:
+    std::vector<Axis> axes_;
+};
+
+/**
+ * Apply a candidate's axes to a copy of @p base. With @p isoCapacity
+ * set, the tile count is rescaled after all axes are applied so the
+ * chip keeps @p base's total cell capacity (the paper's iso-capacity
+ * plane sweep); do not combine it with an explicit "tiles" axis.
+ */
+arch::IncaConfig materializeInca(const SearchSpace &space,
+                                 const Candidate &cand,
+                                 const arch::IncaConfig &base,
+                                 bool isoCapacity);
+
+/** Baseline counterpart of materializeInca(). */
+arch::BaselineConfig materializeWs(const SearchSpace &space,
+                                   const Candidate &cand,
+                                   const arch::BaselineConfig &base,
+                                   bool isoCapacity);
+
+/**
+ * The default exploration space around the paper's Table II design
+ * point: plane size, ADC bits, buffer capacity, and batch.
+ */
+SearchSpace defaultSpace(EngineKind kind);
+
+} // namespace dse
+} // namespace inca
+
+#endif // INCA_DSE_SPACE_HH

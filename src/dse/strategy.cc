@@ -1,0 +1,254 @@
+#include "dse/strategy.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <unordered_set>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+
+namespace inca {
+namespace dse {
+
+const char *
+strategyKindName(StrategyKind kind)
+{
+    switch (kind) {
+    case StrategyKind::Grid:
+        return "grid";
+    case StrategyKind::Random:
+        return "random";
+    case StrategyKind::Anneal:
+        return "anneal";
+    }
+    panic("bad StrategyKind %d", int(kind));
+}
+
+StrategyKind
+strategyKindByName(const std::string &name)
+{
+    if (name == "grid")
+        return StrategyKind::Grid;
+    if (name == "random")
+        return StrategyKind::Random;
+    if (name == "anneal")
+        return StrategyKind::Anneal;
+    fatal("unknown strategy '%s' (grid, random, anneal)",
+          name.c_str());
+}
+
+namespace {
+
+/** Flat-index order, start to finish. */
+class GridStrategy : public Strategy
+{
+  public:
+    explicit GridStrategy(const SearchSpace &space)
+        : size_(space.size())
+    {
+    }
+
+    std::vector<std::uint64_t> nextBatch(std::size_t n) override
+    {
+        std::vector<std::uint64_t> out;
+        while (out.size() < n && cursor_ < size_)
+            out.push_back(cursor_++);
+        return out;
+    }
+
+  private:
+    std::uint64_t size_;
+    std::uint64_t cursor_ = 0;
+};
+
+/**
+ * Uniform sampling without replacement. Spaces small enough to
+ * materialize get a Fisher-Yates permutation; larger ones fall back
+ * to rejection sampling against a seen-set, which is identical in
+ * distribution and still a single deterministic stream.
+ */
+class RandomStrategy : public Strategy
+{
+    /// Permutations beyond this many entries are not materialized.
+    static constexpr std::uint64_t kPermutationCap = 1u << 20;
+
+  public:
+    RandomStrategy(const SearchSpace &space, std::uint64_t seed)
+        : size_(space.size()), rng_(seed)
+    {
+        if (size_ <= kPermutationCap) {
+            perm_.resize(std::size_t(size_));
+            for (std::uint64_t i = 0; i < size_; ++i)
+                perm_[std::size_t(i)] = i;
+            for (std::uint64_t i = size_; i > 1; --i)
+                std::swap(perm_[std::size_t(i - 1)],
+                          perm_[std::size_t(rng_.below(i))]);
+        }
+    }
+
+    std::vector<std::uint64_t> nextBatch(std::size_t n) override
+    {
+        std::vector<std::uint64_t> out;
+        if (!perm_.empty()) {
+            while (out.size() < n && cursor_ < perm_.size())
+                out.push_back(perm_[cursor_++]);
+            return out;
+        }
+        while (out.size() < n && seen_.size() < size_) {
+            const std::uint64_t pick = rng_.below(size_);
+            if (seen_.insert(pick).second)
+                out.push_back(pick);
+        }
+        return out;
+    }
+
+  private:
+    std::uint64_t size_;
+    SplitMix64 rng_;
+    std::vector<std::uint64_t> perm_;
+    std::size_t cursor_ = 0;
+    std::unordered_set<std::uint64_t> seen_;
+};
+
+/**
+ * K independent simulated-annealing chains. Each batch is one
+ * neighbor proposal per chain (so a wave scores in parallel while
+ * each chain stays strictly sequential), and observe() runs the
+ * Metropolis accept/reject per chain before the next proposals.
+ */
+class AnnealStrategy : public Strategy
+{
+    static constexpr std::size_t kChains = 8;
+    static constexpr double kInitialTemp = 1.0;
+    static constexpr double kDecay = 0.97;
+
+    struct Chain
+    {
+        SplitMix64 rng{0};
+        std::uint64_t current = 0;
+        double score = std::numeric_limits<double>::infinity();
+        double temp = kInitialTemp;
+        bool seeded = false; ///< current has been scored once
+    };
+
+  public:
+    AnnealStrategy(const SearchSpace &space, std::uint64_t seed,
+                   std::vector<Objective> objectives)
+        : space_(space), objectives_(std::move(objectives))
+    {
+        inca_assert(!objectives_.empty(),
+                    "annealing needs at least one objective");
+        SplitMix64 root(seed);
+        const std::size_t chains = std::size_t(
+            std::min<std::uint64_t>(kChains, space_.size()));
+        chains_.resize(std::max<std::size_t>(1, chains));
+        for (auto &chain : chains_) {
+            chain.rng = root.split();
+            chain.current = chain.rng.below(space_.size());
+        }
+    }
+
+    std::vector<std::uint64_t> nextBatch(std::size_t n) override
+    {
+        pending_.clear();
+        std::vector<std::uint64_t> out;
+        const std::size_t count = std::min(n, chains_.size());
+        for (std::size_t i = 0; i < count; ++i) {
+            Chain &chain = chains_[i];
+            std::uint64_t proposal = chain.current;
+            if (chain.seeded) {
+                const auto moves = space_.neighbors(chain.current);
+                if (!moves.empty())
+                    proposal =
+                        moves[std::size_t(chain.rng.below(moves.size()))];
+            }
+            pending_.push_back(i);
+            out.push_back(proposal);
+        }
+        return out;
+    }
+
+    void observe(const std::vector<Evaluation> &wave) override
+    {
+        inca_assert(wave.size() == pending_.size(),
+                    "anneal wave size %zu != %zu proposals",
+                    wave.size(), pending_.size());
+        for (std::size_t i = 0; i < wave.size(); ++i) {
+            Chain &chain = chains_[pending_[i]];
+            const Evaluation &e = wave[i];
+            const double proposed = scalarize(e);
+            // Metropolis rule on the log-scalarized score. Two
+            // infinities (both infeasible) always move, so a chain
+            // seeded in an infeasible region keeps random-walking
+            // until it finds a feasible point.
+            const double delta = proposed - chain.score;
+            bool accept;
+            if (std::isinf(proposed) && std::isinf(chain.score))
+                accept = true;
+            else if (delta <= 0.0)
+                accept = true;
+            else
+                accept = chain.rng.uniform() <
+                         std::exp(-delta / chain.temp);
+            if (accept) {
+                chain.current = e.candidate.index;
+                chain.score = proposed;
+            }
+            chain.seeded = true;
+            chain.temp *= kDecay;
+        }
+        pending_.clear();
+    }
+
+  private:
+    /**
+     * Sum of log(minimized) minus sum of log(maximized); infeasible
+     * or degenerate points score +inf. Log-space keeps objectives
+     * with wildly different magnitudes (joules vs. square meters)
+     * from drowning each other out.
+     */
+    double scalarize(const Evaluation &e) const
+    {
+        if (!e.scored)
+            return std::numeric_limits<double>::infinity();
+        double score = 0.0;
+        for (const Objective obj : objectives_) {
+            const double v = e.value(obj);
+            if (v <= 0.0)
+                return std::numeric_limits<double>::infinity();
+            score += objectiveMaximized(obj) ? -std::log(v)
+                                             : std::log(v);
+        }
+        return score;
+    }
+
+    const SearchSpace &space_;
+    std::vector<Objective> objectives_;
+    std::vector<Chain> chains_;
+    std::vector<std::size_t> pending_;
+};
+
+} // namespace
+
+std::unique_ptr<Strategy>
+makeStrategy(StrategyKind kind, const SearchSpace &space,
+             std::uint64_t seed,
+             const std::vector<Objective> &objectives)
+{
+    inca_assert(space.size() > 0, "cannot search an empty space");
+    switch (kind) {
+    case StrategyKind::Grid:
+        return std::unique_ptr<Strategy>(new GridStrategy(space));
+    case StrategyKind::Random:
+        return std::unique_ptr<Strategy>(
+            new RandomStrategy(space, seed));
+    case StrategyKind::Anneal:
+        return std::unique_ptr<Strategy>(
+            new AnnealStrategy(space, seed, objectives));
+    }
+    panic("bad StrategyKind %d", int(kind));
+}
+
+} // namespace dse
+} // namespace inca

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Candidate-proposal strategies.
+ *
+ * A Strategy turns the search space into a deterministic stream of
+ * candidate indices, consumed in waves by the Explorer: nextBatch()
+ * proposes up to n indices, the Explorer scores them (in parallel,
+ * but the stream itself never depends on thread count), and observe()
+ * feeds the scored wave back so adaptive strategies can steer. All
+ * randomness comes from SplitMix64 streams derived from one seed, so
+ * the same (space, strategy, seed) triple always proposes the same
+ * candidates in the same order -- the property the journal's resume
+ * replay and the thread-count determinism tests rely on.
+ *
+ *  - Grid: exhaustive enumeration in flat-index order.
+ *  - Random: a seeded Fisher-Yates permutation of the space, i.e.
+ *    uniform sampling without replacement.
+ *  - Anneal: K independent simulated-annealing chains over the
+ *    one-axis-step neighbor graph, scalarizing objectives in
+ *    log-space; a batch is one proposal per chain, so chains score in
+ *    parallel while each chain stays sequential.
+ */
+
+#ifndef INCA_DSE_STRATEGY_HH
+#define INCA_DSE_STRATEGY_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dse/objectives.hh"
+#include "dse/space.hh"
+
+namespace inca {
+namespace dse {
+
+/** Available strategies. */
+enum class StrategyKind
+{
+    Grid,   ///< exhaustive enumeration
+    Random, ///< seeded sampling without replacement
+    Anneal, ///< parallel simulated-annealing chains
+};
+
+/** "grid" / "random" / "anneal". */
+const char *strategyKindName(StrategyKind kind);
+
+/** Parse a strategy name; fatal on anything else. */
+StrategyKind strategyKindByName(const std::string &name);
+
+/** Deterministic candidate-index proposal stream. */
+class Strategy
+{
+  public:
+    virtual ~Strategy() = default;
+
+    /**
+     * Propose up to @p n candidate indices to score next; an empty
+     * result ends the exploration. Adaptive strategies may return
+     * fewer than @p n (Anneal always proposes one per chain).
+     */
+    virtual std::vector<std::uint64_t> nextBatch(std::size_t n) = 0;
+
+    /**
+     * Feed back the scored wave, in proposal order. Entries with
+     * scored == false were filtered by a constraint.
+     */
+    virtual void observe(const std::vector<Evaluation> &wave)
+    {
+        (void)wave;
+    }
+};
+
+/**
+ * Build a strategy over @p space. @p seed drives every random choice;
+ * @p objectives is the scalarization order used by Anneal (ignored by
+ * Grid/Random).
+ */
+std::unique_ptr<Strategy> makeStrategy(
+    StrategyKind kind, const SearchSpace &space, std::uint64_t seed,
+    const std::vector<Objective> &objectives);
+
+} // namespace dse
+} // namespace inca
+
+#endif // INCA_DSE_STRATEGY_HH

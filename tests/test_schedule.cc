@@ -93,6 +93,78 @@ TEST(TimelineDeath, TooNarrowGanttPanics)
     EXPECT_DEATH(sample().gantt(3), "columns");
 }
 
+// ---------------------------------------------------------------
+// Edge cases: degenerate networks and batch boundaries.
+
+nn::NetworkDesc
+emptyNetwork()
+{
+    nn::NetworkDesc net;
+    net.name = "empty";
+    return net;
+}
+
+nn::NetworkDesc
+singleLayerNetwork()
+{
+    nn::NetworkDesc net;
+    net.name = "one-fc";
+    net.numClasses = 10;
+    nn::LayerDesc fc;
+    fc.kind = nn::LayerKind::FullyConnected;
+    fc.name = "fc";
+    fc.inC = 16;
+    fc.inH = 1;
+    fc.inW = 1;
+    fc.outC = 10;
+    fc.outH = 1;
+    fc.outW = 1;
+    fc.kh = 1;
+    fc.kw = 1;
+    net.layers = {fc};
+    return net;
+}
+
+TEST(TimelineEdge, EmptyNetworkYieldsEmptyTimeline)
+{
+    core::IncaEngine engine(arch::paperInca());
+    const auto run = engine.inference(emptyNetwork(), 1);
+    const auto tl = timelineOf(run);
+    EXPECT_TRUE(tl.entries.empty());
+    EXPECT_DOUBLE_EQ(tl.makespan(), 0.0);
+    EXPECT_EQ(tl.gantt(40), "(empty timeline)\n");
+}
+
+TEST(TimelineEdge, SingleLayerSpansTheWholeRun)
+{
+    core::IncaEngine engine(arch::paperInca());
+    const auto run = engine.inference(singleLayerNetwork(), 4);
+    const auto tl = timelineOf(run);
+    ASSERT_EQ(tl.entries.size(), 1u);
+    EXPECT_DOUBLE_EQ(tl.entries[0].start, 0.0);
+    EXPECT_DOUBLE_EQ(tl.entries[0].end, run.latency);
+    EXPECT_DOUBLE_EQ(tl.makespan(), run.latency);
+}
+
+TEST(TimelineEdge, BatchOneChainsWithoutGaps)
+{
+    core::IncaEngine engine(arch::paperInca());
+    const auto run = engine.inference(nn::lenet5(), 1);
+    const auto tl = timelineOf(run);
+    ASSERT_EQ(tl.entries.size(), run.layers.size());
+    EXPECT_DOUBLE_EQ(tl.entries.front().start, 0.0);
+    for (size_t i = 1; i < tl.entries.size(); ++i)
+        EXPECT_DOUBLE_EQ(tl.entries[i].start,
+                         tl.entries[i - 1].end);
+    EXPECT_NEAR(tl.makespan(), run.latency, run.latency * 1e-9);
+}
+
+TEST(TimelineEdge, BatchZeroDies)
+{
+    core::IncaEngine engine(arch::paperInca());
+    EXPECT_DEATH(engine.inference(nn::lenet5(), 0), "batch size");
+}
+
 } // namespace
 } // namespace sim
 } // namespace inca
