@@ -18,6 +18,7 @@
 #include <string>
 
 #include "bench_json.hh"
+#include "common/env.hh"
 
 namespace inca {
 namespace bench {
@@ -37,6 +38,7 @@ banner(const std::string &title)
 #define INCA_BENCH_MAIN(reportFn)                                        \
     int main(int argc, char **argv)                                      \
     {                                                                    \
+        ::inca::checkEnvironment();                                      \
         const std::string jsonPath =                                     \
             ::inca::bench::extractJsonPath(argc, argv);                  \
         reportFn();                                                      \

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Strict command-line value parsers shared by the example drivers.
+ *
+ * Every parser consumes the whole token or dies with fatal(), naming
+ * the flag and the offending text -- "--batch 64x" must not silently
+ * run with batch 64 (strtol semantics), and "--batch banana" must not
+ * run with batch 0. Bad CLI input is a user error, so the exit path
+ * is fatal(), never panic().
+ */
+
+#ifndef INCA_EXAMPLES_CLI_HH
+#define INCA_EXAMPLES_CLI_HH
+
+#include <cerrno>
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace inca {
+namespace cli {
+
+/** Parse a whole-token signed integer or die. */
+inline long long
+parseInt(const char *flag, const char *text)
+{
+    if (!text || *text == '\0')
+        fatal("%s needs a number, got an empty value", flag);
+    errno = 0;
+    char *end = nullptr;
+    const long long v = std::strtoll(text, &end, 10);
+    if (end == text || *end != '\0' || errno == ERANGE)
+        fatal("%s: '%s' is not an integer", flag, text);
+    return v;
+}
+
+/** Parse a strictly positive integer or die. */
+inline long long
+parsePositive(const char *flag, const char *text)
+{
+    const long long v = parseInt(flag, text);
+    if (v <= 0)
+        fatal("%s must be positive, got %lld", flag, v);
+    return v;
+}
+
+/** Parse a whole-token unsigned 64-bit integer or die. */
+inline std::uint64_t
+parseU64(const char *flag, const char *text)
+{
+    if (!text || *text == '\0')
+        fatal("%s needs a number, got an empty value", flag);
+    if (*text == '-')
+        fatal("%s must be non-negative, got '%s'", flag, text);
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(text, &end, 10);
+    if (end == text || *end != '\0' || errno == ERANGE)
+        fatal("%s: '%s' is not a non-negative integer", flag, text);
+    return v;
+}
+
+/** Parse a whole-token floating-point value or die. */
+inline double
+parseDouble(const char *flag, const char *text)
+{
+    if (!text || *text == '\0')
+        fatal("%s needs a number, got an empty value", flag);
+    errno = 0;
+    char *end = nullptr;
+    const double v = std::strtod(text, &end);
+    if (end == text || *end != '\0' || errno == ERANGE)
+        fatal("%s: '%s' is not a number", flag, text);
+    return v;
+}
+
+/** Parse a comma-separated list of doubles ("1e-4,1e-3") or die. */
+inline std::vector<double>
+parseDoubleList(const char *flag, const char *text)
+{
+    if (!text || *text == '\0')
+        fatal("%s needs a comma-separated list, got an empty value",
+              flag);
+    std::vector<double> out;
+    const std::string s = text;
+    std::size_t pos = 0;
+    while (pos <= s.size()) {
+        std::size_t comma = s.find(',', pos);
+        if (comma == std::string::npos)
+            comma = s.size();
+        const std::string token = s.substr(pos, comma - pos);
+        out.push_back(parseDouble(flag, token.c_str()));
+        pos = comma + 1;
+    }
+    return out;
+}
+
+/** Parse a comma-separated list of signed integers or die. */
+inline std::vector<std::int64_t>
+parseIntList(const char *flag, const char *text)
+{
+    if (!text || *text == '\0')
+        fatal("%s needs a comma-separated list, got an empty value",
+              flag);
+    std::vector<std::int64_t> out;
+    const std::string s = text;
+    std::size_t pos = 0;
+    while (pos <= s.size()) {
+        std::size_t comma = s.find(',', pos);
+        if (comma == std::string::npos)
+            comma = s.size();
+        const std::string token = s.substr(pos, comma - pos);
+        out.push_back(parseInt(flag, token.c_str()));
+        pos = comma + 1;
+    }
+    return out;
+}
+
+} // namespace cli
+} // namespace inca
+
+#endif // INCA_EXAMPLES_CLI_HH

@@ -12,8 +12,10 @@
 #include <cstdlib>
 
 #include "bench/bench_json.hh"
+#include "common/env.hh"
 #include "common/table.hh"
 #include "common/units.hh"
+#include "examples/cli.hh"
 #include "gpu/gpu_model.hh"
 #include "nn/model_zoo.hh"
 #include "sim/report.hh"
@@ -23,8 +25,11 @@ main(int argc, char **argv)
 {
     using namespace inca;
 
+    checkEnvironment();
+
     const std::string jsonPath = bench::extractJsonPath(argc, argv);
-    const int batch = argc > 1 ? std::atoi(argv[1]) : 64;
+    const int batch =
+        argc > 1 ? int(cli::parsePositive("[batch]", argv[1])) : 64;
     core::IncaEngine inca(arch::paperInca());
     baseline::BaselineEngine base(arch::paperBaseline());
     gpu::GpuModel titan;

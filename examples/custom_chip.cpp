@@ -25,8 +25,10 @@
 
 #include "baseline/engine.hh"
 #include "common/config.hh"
+#include "common/env.hh"
 #include "common/table.hh"
 #include "common/units.hh"
+#include "examples/cli.hh"
 #include "inca/engine.hh"
 #include "nn/model_zoo.hh"
 #include "sim/export.hh"
@@ -51,11 +53,14 @@ main(int argc, char **argv)
 {
     using namespace inca;
 
+    checkEnvironment();
+
     const Config chipCfg = argc > 1
                                ? Config::fromFile(argv[1])
                                : Config::fromString(kDemoConfig);
     const std::string netName = argc > 2 ? argv[2] : "resnet18";
-    const int batch = argc > 3 ? std::atoi(argv[3]) : 64;
+    const int batch =
+        argc > 3 ? int(cli::parsePositive("[batch]", argv[3])) : 64;
 
     std::printf("configuration (%s):\n",
                 argc > 1 ? argv[1] : "built-in demo");

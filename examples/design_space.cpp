@@ -25,6 +25,7 @@
 
 #include "arch/config.hh"
 #include "bench/bench_json.hh"
+#include "common/env.hh"
 #include "common/table.hh"
 #include "common/units.hh"
 #include "dse/explorer.hh"
@@ -35,6 +36,8 @@ int
 main(int argc, char **argv)
 {
     using namespace inca;
+
+    checkEnvironment();
 
     const std::string jsonPath = bench::extractJsonPath(argc, argv);
     const std::string name = argc > 1 ? argv[1] : "resnet18";

@@ -28,10 +28,12 @@
 #include <string>
 #include <vector>
 
+#include "common/env.hh"
 #include "common/logging.hh"
 #include "common/table.hh"
 #include "common/units.hh"
 #include "dse/explorer.hh"
+#include "examples/cli.hh"
 #include "sim/export.hh"
 #include "sim/report.hh"
 
@@ -51,10 +53,11 @@ usage(const char *argv0)
         "  --seed <n>              strategy RNG seed (default 1)\n"
         "  --budget <n>            max candidates (0 = whole space)\n"
         "  --objectives a,b,...    energy,latency,area,edp,"
-        "idle_power,utilization,accuracy\n"
+        "idle_power,utilization,accuracy,resilience\n"
         "  --constraint k=v        repeatable; max_area_mm2, "
         "max_idle_w,\n"
-        "                          min_utilization, min_accuracy, "
+        "                          min_utilization, min_accuracy,\n"
+        "                          min_accuracy_at_ber, "
         "lossless_adc\n"
         "  --soft                  constraints warn but still score\n"
         "  --axis name=v1,v2,...   repeatable; replaces the default "
@@ -63,6 +66,14 @@ usage(const char *argv0)
         "count\n"
         "  --sigma <x>             device-noise level for the "
         "accuracy proxy\n"
+        "  --ber <x>               reference fault rate for the "
+        "resilience proxy\n"
+        "  --retries <n>           write-verify retry budget "
+        "(resilience)\n"
+        "  --spare-rows <n>        spare rows per array "
+        "(resilience)\n"
+        "  --spare-cols <n>        spare columns per array "
+        "(resilience)\n"
         "  --eval-batch <n>        candidates per parallel wave\n"
         "  --journal <path>        JSONL checkpoint journal\n"
         "  --resume                reuse the journal's evaluations\n"
@@ -79,6 +90,8 @@ int
 main(int argc, char **argv)
 {
     using namespace inca;
+
+    checkEnvironment();
 
     dse::ExploreOptions opt;
     std::vector<std::pair<std::string, std::vector<std::int64_t>>>
@@ -107,9 +120,9 @@ main(int argc, char **argv)
         } else if (std::strcmp(a, "--strategy") == 0) {
             opt.strategy = dse::strategyKindByName(value(i));
         } else if (std::strcmp(a, "--seed") == 0) {
-            opt.seed = std::strtoull(value(i), nullptr, 10);
+            opt.seed = cli::parseU64(a, value(i));
         } else if (std::strcmp(a, "--budget") == 0) {
-            opt.budget = std::strtoull(value(i), nullptr, 10);
+            opt.budget = cli::parseU64(a, value(i));
         } else if (std::strcmp(a, "--objectives") == 0) {
             opt.objectives = dse::objectivesByNames(value(i));
         } else if (std::strcmp(a, "--constraint") == 0) {
@@ -122,25 +135,27 @@ main(int argc, char **argv)
             if (eq == std::string::npos)
                 fatal("--axis '%s' is not name=v1,v2,...",
                       spec.c_str());
-            std::vector<std::int64_t> values;
-            std::size_t pos = eq + 1;
-            while (pos <= spec.size()) {
-                std::size_t comma = spec.find(',', pos);
-                if (comma == std::string::npos)
-                    comma = spec.size();
-                values.push_back(std::strtoll(
-                    spec.substr(pos, comma - pos).c_str(), nullptr,
-                    10));
-                pos = comma + 1;
-            }
-            axes.emplace_back(spec.substr(0, eq), std::move(values));
+            axes.emplace_back(
+                spec.substr(0, eq),
+                cli::parseIntList(a, spec.c_str() + eq + 1));
         } else if (std::strcmp(a, "--iso-capacity") == 0) {
             opt.isoCapacity = true;
         } else if (std::strcmp(a, "--sigma") == 0) {
-            opt.noiseSigma = std::strtod(value(i), nullptr);
+            opt.noiseSigma = cli::parseDouble(a, value(i));
+        } else if (std::strcmp(a, "--ber") == 0) {
+            opt.faultBer = cli::parseDouble(a, value(i));
+        } else if (std::strcmp(a, "--retries") == 0) {
+            opt.mitigation.writeVerifyRetries =
+                int(cli::parseInt(a, value(i)));
+        } else if (std::strcmp(a, "--spare-rows") == 0) {
+            opt.mitigation.spareRows =
+                int(cli::parseInt(a, value(i)));
+        } else if (std::strcmp(a, "--spare-cols") == 0) {
+            opt.mitigation.spareCols =
+                int(cli::parseInt(a, value(i)));
         } else if (std::strcmp(a, "--eval-batch") == 0) {
             opt.evalBatch =
-                std::size_t(std::strtoull(value(i), nullptr, 10));
+                std::size_t(cli::parsePositive(a, value(i)));
         } else if (std::strcmp(a, "--journal") == 0) {
             opt.journalPath = value(i);
         } else if (std::strcmp(a, "--resume") == 0) {
@@ -207,14 +222,15 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(result.spaceSize));
 
     TextTable table({"point", "E/batch", "t/batch", "area", "util",
-                     "accuracy"});
+                     "accuracy", "resilience"});
     for (const auto &e : result.frontier) {
-        table.addRow({explorer.space().describe(e.candidate),
-                      formatSi(e.energyJ, "J"),
-                      formatSi(e.latencyS, "s"),
-                      formatAreaMm2(e.areaM2),
-                      TextTable::num(100.0 * e.utilization, 1) + " %",
-                      TextTable::num(100.0 * e.accuracy, 1) + " %"});
+        table.addRow(
+            {explorer.space().describe(e.candidate),
+             formatSi(e.energyJ, "J"), formatSi(e.latencyS, "s"),
+             formatAreaMm2(e.areaM2),
+             TextTable::num(100.0 * e.utilization, 1) + " %",
+             TextTable::num(100.0 * e.accuracy, 1) + " %",
+             TextTable::num(100.0 * e.resilience, 1) + " %"});
     }
     table.print();
 

@@ -15,6 +15,7 @@
 
 #include "arch/area.hh"
 #include "arch/endurance.hh"
+#include "common/env.hh"
 #include "common/units.hh"
 #include "dataflow/access_model.hh"
 #include "dataflow/footprint.hh"
@@ -163,6 +164,8 @@ gpuSection(std::ostringstream &md, const core::IncaEngine &inca)
 int
 main(int argc, char **argv)
 {
+    inca::checkEnvironment();
+
     const std::string path =
         argc > 1 ? argv[1] : "/tmp/inca_reproduction_report.md";
 

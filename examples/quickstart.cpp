@@ -15,8 +15,10 @@
 
 #include "arch/area.hh"
 #include "arch/config.hh"
+#include "common/env.hh"
 #include "common/table.hh"
 #include "common/units.hh"
+#include "examples/cli.hh"
 #include "inca/engine.hh"
 #include "nn/model_zoo.hh"
 #include "sim/report.hh"
@@ -27,8 +29,11 @@ main(int argc, char **argv)
 {
     using namespace inca;
 
+    checkEnvironment();
+
     const std::string name = argc > 1 ? argv[1] : "resnet18";
-    const int batch = argc > 2 ? std::atoi(argv[2]) : 64;
+    const int batch =
+        argc > 2 ? int(cli::parsePositive("[batch]", argv[2])) : 64;
 
     // 1. Describe the workload: layer shapes only; the analytic
     //    simulator needs no weights.

@@ -14,6 +14,7 @@
 
 #include <cstdio>
 
+#include "common/env.hh"
 #include "common/logging.hh"
 #include "common/random.hh"
 #include "common/table.hh"
@@ -28,6 +29,8 @@ main()
 {
     using namespace inca;
     using tensor::Tensor;
+
+    checkEnvironment();
 
     // ----------------------------------------------------------------
     // 1. Direct convolution on the array, checked against the math.

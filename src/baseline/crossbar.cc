@@ -11,9 +11,43 @@ using tensor::ConvSpec;
 using tensor::Tensor;
 
 WsCrossbar::WsCrossbar(int rows, int cols)
-    : rows_(rows), cols_(cols), cells_(size_t(rows) * cols, 0)
+    : rows_(rows), cols_(cols), cells_(size_t(rows) * cols, 0),
+      faults_(size_t(rows) * cols, -1)
 {
     inca_assert(rows > 0 && cols > 0, "bad crossbar geometry");
+}
+
+bool
+WsCrossbar::effectiveCell(size_t idx) const
+{
+    const std::int8_t fault = faults_[idx];
+    if (fault >= 0)
+        return fault != 0;
+    return cells_[idx] != 0;
+}
+
+void
+WsCrossbar::injectStuckAt(int row, int col, bool value)
+{
+    // Fault registration takes user-supplied coordinates (campaign
+    // configs, scripts), so out-of-range is a configuration error,
+    // not a simulator bug.
+    if (row < 0 || row >= rows_ || col < 0 || col >= cols_)
+        fatal("fault injection at (%d, %d) is outside the %dx%d "
+              "crossbar; valid rows are 0..%d and columns 0..%d",
+              row, col, rows_, cols_, rows_ - 1, cols_ - 1);
+    std::int8_t &slot = faults_[size_t(row) * cols_ + col];
+    if (slot < 0)
+        ++faultCount_;
+    slot = value ? 1 : 0;
+}
+
+void
+WsCrossbar::clearFaults()
+{
+    for (auto &f : faults_)
+        f = -1;
+    faultCount_ = 0;
 }
 
 void
@@ -31,7 +65,7 @@ WsCrossbar::cell(int row, int col) const
     inca_assert(row >= 0 && row < rows_ && col >= 0 && col < cols_,
                 "cell (%d, %d) outside %dx%d crossbar", row, col, rows_,
                 cols_);
-    return cells_[size_t(row) * cols_ + col] != 0;
+    return effectiveCell(size_t(row) * cols_ + col);
 }
 
 std::vector<int>
@@ -45,9 +79,16 @@ WsCrossbar::matvecBits(const std::vector<std::uint8_t> &rowBits,
     for (int r = 0; r < rows_; ++r) {
         if (!rowBits[size_t(r)])
             continue;
-        const std::uint8_t *row = &cells_[size_t(r) * cols_];
-        for (int c = 0; c < cols_; ++c)
-            out[size_t(c)] += row[c];
+        const size_t base = size_t(r) * cols_;
+        if (faultCount_ == 0) {
+            // Fault-free fast path (the functional model's hot loop).
+            const std::uint8_t *row = &cells_[base];
+            for (int c = 0; c < cols_; ++c)
+                out[size_t(c)] += row[c];
+        } else {
+            for (int c = 0; c < cols_; ++c)
+                out[size_t(c)] += effectiveCell(base + c) ? 1 : 0;
+        }
     }
     for (auto &v : out)
         v = std::min(v, maxCode);

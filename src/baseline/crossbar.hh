@@ -47,9 +47,28 @@ class WsCrossbar
     matvecBits(const std::vector<std::uint8_t> &rowBits,
                int adcBits) const;
 
+    /**
+     * Inject a stuck-at fault: the cell permanently reads @p value
+     * regardless of programming (forming failures / endurance
+     * wear-out), mirroring core::BitPlane's fault semantics so the
+     * reliability subsystem treats both arrays uniformly.
+     */
+    void injectStuckAt(int row, int col, bool value);
+
+    /** Remove all injected faults. */
+    void clearFaults();
+
+    /** Number of faulty cells. */
+    int faultCount() const { return faultCount_; }
+
   private:
+    /** The value the sense path sees (fault-aware). */
+    bool effectiveCell(std::size_t idx) const;
+
     int rows_, cols_;
     std::vector<std::uint8_t> cells_;
+    std::vector<std::int8_t> faults_; ///< -1 none, 0/1 stuck value
+    int faultCount_ = 0;
 };
 
 /** Functional-model configuration for the WS path. */

@@ -41,6 +41,8 @@ Constraints::set(const std::string &keyValue)
         minUtilization = v;
     else if (key == "min_accuracy")
         minAccuracy = v;
+    else if (key == "min_accuracy_at_ber")
+        minAccuracyAtBer = v;
     else if (key == "lossless_adc")
         losslessAdc = v != 0.0;
     else
@@ -64,6 +66,8 @@ Constraints::str() const
         add("min_utilization=" + num(minUtilization));
     if (minAccuracy > 0.0)
         add("min_accuracy=" + num(minAccuracy));
+    if (minAccuracyAtBer > 0.0)
+        add("min_accuracy_at_ber=" + num(minAccuracyAtBer));
     if (losslessAdc)
         add("lossless_adc=1");
     return out;
@@ -93,6 +97,10 @@ checkConstraints(const Constraints &c, const Evaluation &e,
     } else if (c.minAccuracy > 0.0 && e.accuracy < c.minAccuracy) {
         reject("min_accuracy (" + num(e.accuracy) + " < " +
                num(c.minAccuracy) + ")");
+    } else if (c.minAccuracyAtBer > 0.0 &&
+               e.resilience < c.minAccuracyAtBer) {
+        reject("min_accuracy_at_ber (" + num(e.resilience) + " < " +
+               num(c.minAccuracyAtBer) + ")");
     } else if (c.losslessAdc && kind == EngineKind::Inca) {
         const int levels = (1 << adcBits) - 1;
         if (levels < maxWindow)

@@ -36,6 +36,7 @@ struct Constraints
     double maxIdlePowerW = 0.0;   ///< idle-power budget [W]
     double minUtilization = 0.0;  ///< network array utilization floor
     double minAccuracy = 0.0;     ///< accuracy-proxy floor
+    double minAccuracyAtBer = 0.0; ///< resilience-proxy floor
     bool losslessAdc = false;     ///< ADC must digitize a full window
 
     /** True when no bound is active. */
@@ -43,13 +44,14 @@ struct Constraints
     {
         return maxAreaMm2 <= 0.0 && maxIdlePowerW <= 0.0 &&
                minUtilization <= 0.0 && minAccuracy <= 0.0 &&
-               !losslessAdc;
+               minAccuracyAtBer <= 0.0 && !losslessAdc;
     }
 
     /**
      * Apply one "key=value" bound (the CLI / journal spelling):
      * max_area_mm2, max_idle_w, min_utilization, min_accuracy,
-     * lossless_adc. Fatal on an unknown key or unparsable value.
+     * min_accuracy_at_ber, lossless_adc. Fatal on an unknown key or
+     * unparsable value.
      */
     void set(const std::string &keyValue);
 

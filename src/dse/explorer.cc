@@ -76,7 +76,7 @@ Explorer::signature() const
     // spelling. Budget is deliberately excluded: resuming with a
     // larger budget continues the same stream further.
     std::ostringstream os;
-    os << "v1 engine=" << engineKindName(options_.engine);
+    os << "v2 engine=" << engineKindName(options_.engine);
     os << " phase="
        << (options_.phase == arch::Phase::Training ? "training"
                                                    : "inference");
@@ -94,6 +94,11 @@ Explorer::signature() const
     os << " soft=" << (options_.softConstraints ? 1 : 0);
     os << " iso=" << (options_.isoCapacity ? 1 : 0);
     os << " sigma=" << num17(options_.noiseSigma);
+    os << " ber=" << num17(options_.faultBer);
+    os << " mitigation=retries:"
+       << options_.mitigation.writeVerifyRetries
+       << ",spare_rows:" << options_.mitigation.spareRows
+       << ",spare_cols:" << options_.mitigation.spareCols;
     CacheKey baseKey;
     if (options_.engine == EngineKind::Inca)
         arch::appendKey(baseKey, options_.baseInca);
@@ -134,6 +139,11 @@ Explorer::evaluate(std::uint64_t flatIndex) const
             arch::incaNetworkUtilization(net_, cfg.subarraySize);
         e.accuracy = accuracyProxy(EngineKind::Inca, adcBits,
                                    maxWindow_, options_.noiseSigma);
+        e.resilience = resilienceProxy(
+            EngineKind::Inca, adcBits, maxWindow_,
+            options_.noiseSigma, options_.faultBer,
+            cfg.activationBits, cfg.subarraySize,
+            options_.mitigation);
         const ConstraintCheck check =
             checkConstraints(options_.constraints, e,
                              EngineKind::Inca, adcBits, maxWindow_);
@@ -158,6 +168,11 @@ Explorer::evaluate(std::uint64_t flatIndex) const
             arch::wsNetworkUtilization(net_, cfg.subarraySize);
         e.accuracy = accuracyProxy(EngineKind::Ws, adcBits,
                                    maxWindow_, options_.noiseSigma);
+        e.resilience = resilienceProxy(
+            EngineKind::Ws, adcBits, maxWindow_,
+            options_.noiseSigma, options_.faultBer,
+            cfg.activationBits, cfg.subarraySize,
+            options_.mitigation);
         const ConstraintCheck check = checkConstraints(
             options_.constraints, e, EngineKind::Ws, adcBits,
             maxWindow_);
@@ -305,7 +320,7 @@ frontierCsv(const SearchSpace &space,
     for (const auto &axis : space.axes())
         os << "," << axis.name;
     os << ",energy_j,latency_s,area_m2,idle_w,utilization,accuracy,"
-          "config_key_hash\n";
+          "resilience,config_key_hash\n";
     for (const Evaluation &e : frontier) {
         os << e.candidate.index;
         for (const std::int64_t v : e.candidate.values)
@@ -313,7 +328,7 @@ frontierCsv(const SearchSpace &space,
         os << "," << num17(e.energyJ) << "," << num17(e.latencyS)
            << "," << num17(e.areaM2) << "," << num17(e.idlePowerW)
            << "," << num17(e.utilization) << ","
-           << num17(e.accuracy);
+           << num17(e.accuracy) << "," << num17(e.resilience);
         char hex[32];
         std::snprintf(hex, sizeof(hex), "0x%llx",
                       static_cast<unsigned long long>(
@@ -353,6 +368,7 @@ frontierJson(const Explorer &explorer, const ExploreResult &result)
     os << "  \"iso_capacity\": "
        << (opt.isoCapacity ? "true" : "false") << ",\n";
     os << "  \"noise_sigma\": " << num17(opt.noiseSigma) << ",\n";
+    os << "  \"fault_ber\": " << num17(opt.faultBer) << ",\n";
     os << "  \"space_size\": " << result.spaceSize << ",\n";
     os << "  \"evaluated\": " << result.evaluations.size() << ",\n";
     os << "  \"scored\": " << result.scored << ",\n";
@@ -403,7 +419,8 @@ frontierJson(const Explorer &explorer, const ExploreResult &result)
            << ", \"area_m2\": " << num17(e.areaM2)
            << ", \"idle_w\": " << num17(e.idlePowerW)
            << ", \"utilization\": " << num17(e.utilization)
-           << ", \"accuracy\": " << num17(e.accuracy) << "}"
+           << ", \"accuracy\": " << num17(e.accuracy)
+           << ", \"resilience\": " << num17(e.resilience) << "}"
            << (i + 1 < points.size() ? "," : "") << "\n";
     }
     os << "  ]\n}\n";

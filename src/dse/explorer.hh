@@ -69,6 +69,11 @@ struct ExploreOptions
     /** Device-noise level for the accuracy proxy. */
     double noiseSigma = 0.05;
 
+    /** Reference fault rate for the resilience proxy. */
+    double faultBer = 1e-3;
+    /** Mitigation hardware assumed by the resilience proxy. */
+    reliability::MitigationSpec mitigation;
+
     /** Candidates proposed per wave (the parallel fan-out width). */
     std::size_t evalBatch = 64;
 

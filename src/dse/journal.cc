@@ -215,6 +215,11 @@ parseEvalLine(const std::string &line, Evaluation &e)
         !getDouble(line, "energy_j", e.energyJ) ||
         !getDouble(line, "latency_s", e.latencyS))
         return false;
+    // Written by every v2 journal; absent from pre-resilience ones
+    // (which a signature mismatch rejects anyway), so default it
+    // rather than failing the whole line.
+    if (!getDouble(line, "resilience", e.resilience))
+        e.resilience = 0.0;
     if (!getDoubleArray(line, "objectives", e.objectives))
         return false;
     return true;
@@ -246,6 +251,7 @@ evalToJsonLine(const Evaluation &e)
     out += ",\"idle_w\":" + fmtDouble(e.idlePowerW);
     out += ",\"utilization\":" + fmtDouble(e.utilization);
     out += ",\"accuracy\":" + fmtDouble(e.accuracy);
+    out += ",\"resilience\":" + fmtDouble(e.resilience);
     out += ",\"energy_j\":" + fmtDouble(e.energyJ);
     out += ",\"latency_s\":" + fmtDouble(e.latencyS);
     out += ",\"objectives\":[";

@@ -1,9 +1,11 @@
 #include "dse/objectives.hh"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/logging.hh"
 #include "nn/layer.hh"
+#include "reliability/fault_model.hh"
 
 namespace inca {
 namespace dse {
@@ -26,6 +28,8 @@ objectiveName(Objective o)
         return "utilization";
       case Objective::Accuracy:
         return "accuracy";
+      case Objective::Resilience:
+        return "resilience";
     }
     panic("unreachable objective %d", int(o));
 }
@@ -36,7 +40,8 @@ objectiveByName(const std::string &name)
     for (const Objective o :
          {Objective::Energy, Objective::Latency, Objective::Area,
           Objective::Edp, Objective::IdlePower,
-          Objective::Utilization, Objective::Accuracy}) {
+          Objective::Utilization, Objective::Accuracy,
+          Objective::Resilience}) {
         if (name == objectiveName(o))
             return o;
     }
@@ -66,7 +71,8 @@ objectivesByNames(const std::string &list)
 bool
 objectiveMaximized(Objective o)
 {
-    return o == Objective::Utilization || o == Objective::Accuracy;
+    return o == Objective::Utilization || o == Objective::Accuracy ||
+           o == Objective::Resilience;
 }
 
 double
@@ -87,6 +93,8 @@ Evaluation::value(Objective o) const
         return utilization;
       case Objective::Accuracy:
         return accuracy;
+      case Objective::Resilience:
+        return resilience;
     }
     panic("unreachable objective %d", int(o));
 }
@@ -143,6 +151,44 @@ accuracyProxy(EngineKind kind, int adcBits, int maxWindow,
     // 89.21 -> 85.59 % (transient read noise, ~0.72).
     const double slope = kind == EngineKind::Ws ? 13.4 : 0.72;
     return std::max(0.0, base * clip - slope * noiseSigma);
+}
+
+double
+resilienceProxy(EngineKind kind, int adcBits, int maxWindow,
+                double noiseSigma, double ber, int activationBits,
+                int arraySize,
+                const reliability::MitigationSpec &mitigation)
+{
+    inca_assert(ber >= 0.0 && ber <= 1.0,
+                "fault BER %f outside [0, 1]", ber);
+    inca_assert(arraySize > 0, "bad array size %d", arraySize);
+    const int retries = std::max(mitigation.writeVerifyRetries, 0);
+    // Soft write-variation faults surviving the verify-retry budget.
+    const double soft = reliability::residualSoftBer(ber, retries);
+    // Hard stuck faults surviving spare-line remapping: the expected
+    // number of faulty lines of an s x s array is s(1 - (1-p)^s);
+    // spares cover that expectation first-come-first-served (the
+    // greedy row-then-column policy of reliability::RemapTable), and
+    // the uncovered fraction of faults stays resident. Without
+    // verify hardware, faults are never even detected.
+    double hard = std::min(ber, 0.5);
+    if (mitigation.verifyEnabled()) {
+        const double faultyLines =
+            double(arraySize) *
+            (1.0 - std::pow(1.0 - std::min(ber, 0.5),
+                            double(arraySize)));
+        const double spares =
+            double(mitigation.spareRows + mitigation.spareCols);
+        const double coverage =
+            faultyLines <= 0.0
+                ? 1.0
+                : std::min(1.0, spares / faultyLines);
+        hard *= 1.0 - coverage;
+    }
+    const double sigma =
+        noiseSigma +
+        reliability::faultNoiseSigma(hard + soft, activationBits);
+    return accuracyProxy(kind, adcBits, maxWindow, sigma);
 }
 
 } // namespace dse

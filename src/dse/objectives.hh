@@ -33,6 +33,7 @@
 #include "arch/cost.hh"
 #include "dse/space.hh"
 #include "nn/network.hh"
+#include "reliability/mitigation.hh"
 
 namespace inca {
 namespace dse {
@@ -47,6 +48,7 @@ enum class Objective
     IdlePower,   ///< chip idle power [W] (minimize)
     Utilization, ///< network array utilization [0,1] (maximize)
     Accuracy,    ///< accuracy-under-noise proxy [0,1] (maximize)
+    Resilience,  ///< accuracy-under-faults proxy [0,1] (maximize)
 };
 
 /** "energy", "latency", ... (the CLI spelling). */
@@ -75,6 +77,7 @@ struct Evaluation
     double idlePowerW = 0.0;
     double utilization = 0.0;
     double accuracy = 0.0;
+    double resilience = 0.0; ///< accuracy at the reference fault BER
 
     // Engine-scored scalars (valid when scored).
     double energyJ = 0.0;
@@ -119,6 +122,22 @@ int maxConvWindow(const nn::NetworkDesc &net);
  */
 double accuracyProxy(EngineKind kind, int adcBits, int maxWindow,
                      double noiseSigma);
+
+/**
+ * Analytic accuracy-under-faults proxy in [0, 1]: the accuracy proxy
+ * evaluated at the device-noise sigma plus the equivalent sigma of
+ * the fault rate surviving mitigation. @p ber is the raw rate of both
+ * hard (stuck) and soft (write-variation) faults; write-verify retry
+ * shrinks the soft part geometrically and spare rows/columns cover
+ * the expected faulty lines of a @p arraySize^2 array (first-order
+ * expectation, matching the campaign's Monte-Carlo model in
+ * src/reliability). The closed form keeps DSE constraint checks at
+ * zero per-candidate cost; the campaign is the reference.
+ */
+double resilienceProxy(EngineKind kind, int adcBits, int maxWindow,
+                       double noiseSigma, double ber,
+                       int activationBits, int arraySize,
+                       const reliability::MitigationSpec &mitigation);
 
 } // namespace dse
 } // namespace inca

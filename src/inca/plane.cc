@@ -78,9 +78,13 @@ BitPlane::popcount() const
 void
 BitPlane::injectStuckAt(int row, int col, bool value)
 {
-    inca_assert(row >= 0 && row < size_ && col >= 0 && col < size_,
-                "cell (%d, %d) outside %dx%d plane", row, col, size_,
-                size_);
+    // Fault registration takes user-supplied coordinates (campaign
+    // configs, scripts), so out-of-range is a recoverable
+    // configuration error, not a simulator bug: fatal(), not panic().
+    if (row < 0 || row >= size_ || col < 0 || col >= size_)
+        fatal("fault injection at (%d, %d) is outside the %dx%d "
+              "plane; valid rows and columns are 0..%d", row, col,
+              size_, size_, size_ - 1);
     faults_[size_t(index(row, col))] = value ? 1 : 0;
 }
 

@@ -1,0 +1,101 @@
+#include "reliability/fault_model.hh"
+
+#include "baseline/crossbar.hh"
+#include "common/cache.hh"
+#include "common/logging.hh"
+#include "inca/plane.hh"
+
+namespace inca {
+namespace reliability {
+
+const char *
+faultKindName(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::StuckAt0:
+        return "stuck_at_0";
+      case FaultKind::StuckAt1:
+        return "stuck_at_1";
+      case FaultKind::WriteVariation:
+        return "write_variation";
+      case FaultKind::Drift:
+        return "drift";
+    }
+    panic("unreachable fault kind %d", int(kind));
+}
+
+FaultModel::FaultModel(const FaultSpec &spec, double writesPerCell)
+    : spec_(spec), writesPerCell_(writesPerCell)
+{
+    inca_assert(writesPerCell >= 0.0,
+                "negative write count %f", writesPerCell);
+}
+
+FaultMap
+FaultModel::sample(int rows, int cols, std::uint64_t streamId) const
+{
+    inca_assert(rows > 0 && cols > 0, "bad fault-map geometry %dx%d",
+                rows, cols);
+    FaultMap map;
+    map.rows = rows;
+    map.cols = cols;
+    map.stuck.assign(std::size_t(rows) * std::size_t(cols), -1);
+
+    // Stream splitting: one splitmix64 child per (seed, streamId)
+    // keeps maps independent and order-free -- the sampler never
+    // shares generator state across planes or trials.
+    SplitMix64 parent(spec_.seed);
+    Rng rng(SplitMix64(parent.next() ^ streamId).next());
+
+    const double rate = stuckRate();
+    for (std::size_t i = 0; i < map.stuck.size(); ++i) {
+        if (rng.uniform() < rate) {
+            // Stuck polarity is a coin flip: wear-out leaves cells in
+            // either resistance state.
+            map.stuck[i] = rng.uniform() < 0.5 ? 1 : 0;
+            ++map.stuckCount;
+        }
+    }
+    return map;
+}
+
+void
+applyFaults(const FaultMap &map, core::BitPlane &plane)
+{
+    inca_assert(map.rows <= plane.size() && map.cols <= plane.size(),
+                "fault map %dx%d larger than plane %dx%d", map.rows,
+                map.cols, plane.size(), plane.size());
+    for (int r = 0; r < map.rows; ++r)
+        for (int c = 0; c < map.cols; ++c)
+            if (map.at(r, c) >= 0)
+                plane.injectStuckAt(r, c, map.at(r, c) != 0);
+}
+
+void
+applyFaults(const FaultMap &map, baseline::WsCrossbar &xbar)
+{
+    inca_assert(map.rows <= xbar.rows() && map.cols <= xbar.cols(),
+                "fault map %dx%d larger than crossbar %dx%d", map.rows,
+                map.cols, xbar.rows(), xbar.cols());
+    for (int r = 0; r < map.rows; ++r)
+        for (int c = 0; c < map.cols; ++c)
+            if (map.at(r, c) >= 0)
+                xbar.injectStuckAt(r, c, map.at(r, c) != 0);
+}
+
+void
+appendKey(CacheKey &key, const FaultSpec &spec)
+{
+    key.add("fault-spec");
+    key.add(spec.hardBer0);
+    key.add(spec.hardBerWear);
+    key.add(spec.softBer0);
+    key.add(spec.softBerWear);
+    key.add(spec.wearShape);
+    key.add(spec.driftSigmaWear);
+    key.add(spec.endurance);
+    key.add(spec.seed);
+}
+
+} // namespace reliability
+} // namespace inca

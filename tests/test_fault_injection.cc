@@ -102,10 +102,15 @@ TEST(FaultInjection, StackPlanesFaultIndependently)
     EXPECT_EQ(currents[2], 0);
 }
 
-TEST(FaultInjectionDeath, OutOfRangeFaultPanics)
+TEST(FaultInjectionDeath, OutOfRangeFaultIsFatal)
 {
+    // User-supplied fault coordinates are a configuration error:
+    // fatal() (clean exit 1, actionable message), not panic() (abort).
     BitPlane p(4);
-    EXPECT_DEATH(p.injectStuckAt(4, 0, true), "outside");
+    EXPECT_EXIT(p.injectStuckAt(4, 0, true),
+                ::testing::ExitedWithCode(1), "outside");
+    EXPECT_EXIT(p.injectStuckAt(0, -1, true),
+                ::testing::ExitedWithCode(1), "valid rows");
 }
 
 } // namespace
