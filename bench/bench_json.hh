@@ -14,6 +14,8 @@
 #ifndef INCA_BENCH_BENCH_JSON_HH
 #define INCA_BENCH_BENCH_JSON_HH
 
+#include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -29,6 +31,49 @@
 
 namespace inca {
 namespace bench {
+
+/** Schema tag stamped into every bench JSON file; bump on layout
+ * changes so downstream tooling (bench_compare, the CI perf gate)
+ * can refuse files it does not understand. */
+inline constexpr const char *kBenchSchema = "inca.bench.v1";
+
+/**
+ * One measured benchmark: raw per-repetition samples plus the
+ * summary statistic the regression gate compares. Samples are kept
+ * raw precisely so a later reader can recompute (and a test can
+ * cross-check) the trimmed mean.
+ */
+struct BenchRun
+{
+    std::string name;  ///< e.g. "gemm_m128_k128_n128"
+    std::string isa;   ///< kernel ISA the run executed ("scalar"...)
+    std::string unit = "ns";
+    int warmup = 0; ///< repetitions discarded before sampling
+    int trim = 0;   ///< samples dropped from EACH end for the mean
+    std::vector<double> samplesNs;      ///< one per kept repetition
+    std::vector<std::int64_t> timestampsUs; ///< sample end times, monotone
+    double trimmedMeanNs = 0.0;
+};
+
+/**
+ * Mean of @p samples after dropping the @p trim smallest and @p trim
+ * largest values -- the noise-robust statistic BENCH_*.json records
+ * and the perf gate compares. Requires samples.size() > 2 * trim.
+ */
+inline double
+trimmedMean(std::vector<double> samples, int trim)
+{
+    inca_assert(trim >= 0 &&
+                    samples.size() > std::size_t(2 * trim),
+                "trimmedMean: %zu samples cannot lose %d from each end",
+                samples.size(), trim);
+    std::sort(samples.begin(), samples.end());
+    double sum = 0.0;
+    const std::size_t n = samples.size() - std::size_t(trim);
+    for (std::size_t i = std::size_t(trim); i < n; ++i)
+        sum += samples[i];
+    return sum / double(n - std::size_t(trim));
+}
 
 /** Collects named series of (label, value) points for --json output. */
 class JsonReport
@@ -56,11 +101,21 @@ class JsonReport
         series_.push_back({series, {{label, value}}});
     }
 
-    /** Serialize series + metrics + provenance as one JSON object. */
+    /** Record one measured benchmark (computes the trimmed mean). */
+    void
+    addBenchmark(BenchRun run)
+    {
+        run.trimmedMeanNs = trimmedMean(run.samplesNs, run.trim);
+        benchmarks_.push_back(std::move(run));
+    }
+
+    /** Serialize series + benchmarks + metrics + provenance. */
     std::string
     toJson() const
     {
-        std::string out = "{\n  \"series\": {";
+        std::string out = "{\n  \"schema\": \"";
+        out += kBenchSchema;
+        out += "\",\n  \"series\": {";
         bool firstSeries = true;
         for (const auto &s : series_) {
             if (!firstSeries)
@@ -77,7 +132,37 @@ class JsonReport
             }
             out += "\n    ]";
         }
-        out += "\n  },\n";
+        out += "\n  },\n  \"benchmarks\": [";
+        bool firstBench = true;
+        for (const auto &b : benchmarks_) {
+            if (!firstBench)
+                out += ",";
+            firstBench = false;
+            out += "\n    {\"name\": \"" + escape(b.name) +
+                   "\", \"isa\": \"" + escape(b.isa) +
+                   "\", \"unit\": \"" + escape(b.unit) +
+                   "\", \"warmup\": " + std::to_string(b.warmup) +
+                   ", \"trim\": " + std::to_string(b.trim) +
+                   ",\n     \"samples_ns\": [";
+            bool firstVal = true;
+            for (double v : b.samplesNs) {
+                if (!firstVal)
+                    out += ", ";
+                firstVal = false;
+                out += num(v);
+            }
+            out += "],\n     \"timestamps_us\": [";
+            firstVal = true;
+            for (std::int64_t t : b.timestampsUs) {
+                if (!firstVal)
+                    out += ", ";
+                firstVal = false;
+                out += std::to_string(t);
+            }
+            out += "],\n     \"trimmed_mean_ns\": " +
+                   num(b.trimmedMeanNs) + "}";
+        }
+        out += "\n  ],\n";
         out += "  \"provenance\": {\"threads\": " +
                std::to_string(ThreadPool::globalThreadCount()) +
                ", \"cache\": " +
@@ -107,8 +192,10 @@ class JsonReport
     static std::string
     num(double v)
     {
+        // %.17g round-trips any double exactly, so a reader can
+        // recompute the trimmed mean from samples_ns bit-for-bit.
         char buf[48];
-        std::snprintf(buf, sizeof(buf), "%.9g", v);
+        std::snprintf(buf, sizeof(buf), "%.17g", v);
         return buf;
     }
 
@@ -129,8 +216,9 @@ class JsonReport
     {
         std::string out;
         bool first = true;
-        for (const char *name : {"INCA_TRACE", "INCA_METRICS",
-                                 "INCA_NUM_THREADS", "INCA_CACHE"}) {
+        for (const char *name :
+             {"INCA_TRACE", "INCA_METRICS", "INCA_NUM_THREADS",
+              "INCA_CACHE", "INCA_KERNEL_ISA"}) {
             if (!first)
                 out += ", ";
             first = false;
@@ -150,6 +238,7 @@ class JsonReport
     }
 
     std::vector<Series> series_;
+    std::vector<BenchRun> benchmarks_;
 };
 
 /**

@@ -1,0 +1,155 @@
+#include "common/arena.hh"
+
+#include <algorithm>
+#include <cstring>
+#include <mutex>
+
+#include "common/metrics.hh"
+
+namespace inca {
+namespace arena {
+
+namespace {
+
+/** Free-list caps: past these the returned buffer is simply freed.
+ * Generous for the conv workspaces this serves (a few hundred MB of
+ * campaign fan-out at most) while bounding a pathological caller. */
+constexpr std::size_t kMaxCachedBuffers = 64;
+constexpr std::size_t kMaxCachedBytes = std::size_t(512) << 20;
+
+struct Pool
+{
+    std::mutex mutex;
+    std::vector<std::vector<float>> free;
+    std::size_t freeBytes = 0;
+    std::uint64_t leases = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+
+    metrics::Counter &leaseCtr = metrics::counter("arena.lease");
+    metrics::Counter &hitCtr = metrics::counter("arena.hit");
+    metrics::Counter &missCtr = metrics::counter("arena.miss");
+    metrics::Gauge &cachedGauge = metrics::gauge("arena.cached_bytes");
+};
+
+Pool &
+pool()
+{
+    // Leaked on purpose: leases may be released from atexit-ordered
+    // destructors (thread-local caches, static tensors).
+    static Pool *p = new Pool();
+    return *p;
+}
+
+void
+release(std::vector<float> buf)
+{
+    if (buf.capacity() == 0)
+        return;
+    const std::size_t bytes = buf.capacity() * sizeof(float);
+    Pool &p = pool();
+    std::lock_guard<std::mutex> lock(p.mutex);
+    if (p.free.size() >= kMaxCachedBuffers ||
+        p.freeBytes + bytes > kMaxCachedBytes)
+        return; // buf frees on scope exit, outside the lock path
+    p.freeBytes += bytes;
+    p.free.push_back(std::move(buf));
+    p.cachedGauge.set(double(p.freeBytes));
+}
+
+} // namespace
+
+ScratchLease::~ScratchLease()
+{
+    release(std::move(buf_));
+}
+
+ScratchLease &
+ScratchLease::operator=(ScratchLease &&other) noexcept
+{
+    if (this != &other) {
+        release(std::move(buf_));
+        buf_ = std::move(other.buf_);
+        size_ = other.size_;
+        other.buf_.clear();
+        other.size_ = 0;
+    }
+    return *this;
+}
+
+ScratchLease
+scratchFloats(std::size_t count, bool zero)
+{
+    Pool &p = pool();
+    std::vector<float> buf;
+    bool hit = false;
+    {
+        std::lock_guard<std::mutex> lock(p.mutex);
+        ++p.leases;
+        // Smallest cached buffer that fits, so big leases do not
+        // squat on buffers small ones could reuse exactly.
+        std::size_t best = p.free.size();
+        for (std::size_t i = 0; i < p.free.size(); ++i) {
+            const std::size_t cap = p.free[i].capacity();
+            if (cap < count)
+                continue;
+            if (best == p.free.size() ||
+                cap < p.free[best].capacity())
+                best = i;
+        }
+        if (best != p.free.size()) {
+            buf = std::move(p.free[best]);
+            p.free.erase(p.free.begin() + std::ptrdiff_t(best));
+            p.freeBytes -= buf.capacity() * sizeof(float);
+            p.cachedGauge.set(double(p.freeBytes));
+            ++p.hits;
+            hit = true;
+        } else {
+            ++p.misses;
+        }
+    }
+    p.leaseCtr.inc();
+    (hit ? p.hitCtr : p.missCtr).inc();
+
+    if (buf.capacity() < count) {
+        buf.clear();
+        buf.reserve(count);
+    }
+    // resize() value-initializes only elements beyond the current
+    // size; a reused buffer keeps stale contents, so zeroing must be
+    // explicit and unconditional when requested.
+    buf.resize(std::max(count, std::size_t(1)));
+    if (zero && count > 0)
+        std::memset(buf.data(), 0, count * sizeof(float));
+    return ScratchLease(std::move(buf), count);
+}
+
+Stats
+stats()
+{
+    Pool &p = pool();
+    std::lock_guard<std::mutex> lock(p.mutex);
+    Stats s;
+    s.leases = p.leases;
+    s.hits = p.hits;
+    s.misses = p.misses;
+    s.cachedBuffers = p.free.size();
+    s.cachedBytes = p.freeBytes;
+    return s;
+}
+
+void
+trim()
+{
+    Pool &p = pool();
+    std::vector<std::vector<float>> drop;
+    std::lock_guard<std::mutex> lock(p.mutex);
+    drop.swap(p.free);
+    p.freeBytes = 0;
+    p.cachedGauge.set(0.0);
+    // drop frees outside the list but inside the lock scope is fine:
+    // deallocation does not re-enter the pool.
+}
+
+} // namespace arena
+} // namespace inca

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Pooled scratch buffers for kernel workspaces.
+ *
+ * The im2col/GEMM path needs multi-megabyte temporaries (packed input
+ * columns, transposed weights) on every conv call. Allocating them
+ * fresh each time costs a page-faulted memset per call; this pool
+ * recycles the allocations instead. scratchFloats(n) returns a RAII
+ * lease over a float buffer of at least n elements, taken from a
+ * process-wide free list when one fits and allocated otherwise;
+ * destroying the lease returns the buffer for reuse.
+ *
+ * Thread safety: the free list is mutex-guarded and leases are
+ * independent objects, so concurrent conv calls from pool workers can
+ * lease and release freely. The lock is only held for the list
+ * splice, never during zero-fill or use.
+ *
+ * Observability: arena.lease / arena.hit / arena.miss counters and
+ * the arena.cached_bytes gauge in the metrics registry; stats() gives
+ * tests a synchronous snapshot and trim() drops every cached buffer
+ * (leak-checker hygiene and a deterministic baseline for tests).
+ */
+
+#ifndef INCA_COMMON_ARENA_HH
+#define INCA_COMMON_ARENA_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace inca {
+namespace arena {
+
+/**
+ * Exclusive ownership of a pooled float buffer; returns it to the
+ * pool at scope exit. Move-only. data() stays valid and stable for
+ * the lease's lifetime; size() is the requested element count (the
+ * underlying capacity may be larger).
+ */
+class ScratchLease
+{
+  public:
+    ScratchLease() = default;
+    ScratchLease(std::vector<float> buf, std::size_t size)
+        : buf_(std::move(buf)), size_(size)
+    {
+    }
+
+    ~ScratchLease();
+
+    ScratchLease(ScratchLease &&other) noexcept
+        : buf_(std::move(other.buf_)), size_(other.size_)
+    {
+        other.size_ = 0;
+        other.buf_.clear();
+    }
+
+    ScratchLease &operator=(ScratchLease &&other) noexcept;
+
+    ScratchLease(const ScratchLease &) = delete;
+    ScratchLease &operator=(const ScratchLease &) = delete;
+
+    float *data() { return buf_.data(); }
+    const float *data() const { return buf_.data(); }
+    std::size_t size() const { return size_; }
+
+  private:
+    std::vector<float> buf_;
+    std::size_t size_ = 0;
+};
+
+/**
+ * Lease a scratch buffer of at least @p count floats. With
+ * @p zero set the first @p count elements are cleared -- required
+ * whenever the caller relies on implicit zero padding (im2col) or
+ * accumulates in place (GEMM outputs); pass false for buffers that
+ * are fully overwritten before reading (packed transposes).
+ */
+ScratchLease scratchFloats(std::size_t count, bool zero = true);
+
+/** Synchronous pool snapshot (tests; metrics mirror these). */
+struct Stats
+{
+    std::uint64_t leases = 0;   ///< Total scratchFloats() calls.
+    std::uint64_t hits = 0;     ///< Leases served from the free list.
+    std::uint64_t misses = 0;   ///< Leases that allocated fresh.
+    std::size_t cachedBuffers = 0; ///< Free-list entries right now.
+    std::size_t cachedBytes = 0;   ///< Bytes parked in the free list.
+};
+
+Stats stats();
+
+/** Drop every cached buffer (counters are left running). */
+void trim();
+
+} // namespace arena
+} // namespace inca
+
+#endif // INCA_COMMON_ARENA_HH

@@ -16,6 +16,7 @@ knownEnvVars()
 {
     static const std::vector<std::string> known = {
         "INCA_CACHE",
+        "INCA_KERNEL_ISA",
         "INCA_METRICS",
         "INCA_NUM_THREADS",
         "INCA_TRACE",

@@ -6,70 +6,44 @@
 
 namespace inca {
 
-namespace {
-
-std::uint64_t
-splitmix64(std::uint64_t &x)
+void
+SplitMix64::nextBatch(std::uint64_t *out, std::size_t count)
 {
-    x += 0x9e3779b97f4a7c15ULL;
-    std::uint64_t z = x;
-    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-    return z ^ (z >> 31);
+    // Counter form of the sequential recurrence: draw i mixes
+    // state_ + (i+1)*gamma. Each iteration is independent, so the
+    // compiler is free to vectorize the mix; the emitted sequence is
+    // identical to `count` next() calls either way.
+    constexpr std::uint64_t gamma = 0x9e3779b97f4a7c15ULL;
+    const std::uint64_t base = state_;
+    for (std::size_t i = 0; i < count; ++i) {
+        std::uint64_t z = base + (std::uint64_t(i) + 1) * gamma;
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        out[i] = z ^ (z >> 31);
+    }
+    state_ = base + std::uint64_t(count) * gamma;
 }
 
-constexpr std::uint64_t
-rotl(std::uint64_t x, int k)
+void
+SplitMix64::uniformBatch(double *out, std::size_t count)
 {
-    return (x << k) | (x >> (64 - k));
-}
-
-} // namespace
-
-std::uint64_t
-SplitMix64::next()
-{
-    return splitmix64(state_);
-}
-
-double
-SplitMix64::uniform()
-{
-    return double(next() >> 11) * 0x1.0p-53;
-}
-
-std::uint64_t
-SplitMix64::below(std::uint64_t n)
-{
-    inca_assert(n > 0, "below(0) is undefined");
-    return next() % n;
+    constexpr std::uint64_t gamma = 0x9e3779b97f4a7c15ULL;
+    const std::uint64_t base = state_;
+    for (std::size_t i = 0; i < count; ++i) {
+        std::uint64_t z = base + (std::uint64_t(i) + 1) * gamma;
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        z ^= z >> 31;
+        out[i] = double(z >> 11) * 0x1.0p-53;
+    }
+    state_ = base + std::uint64_t(count) * gamma;
 }
 
 Rng::Rng(std::uint64_t seed)
 {
     std::uint64_t sm = seed;
     for (auto &s : s_)
-        s = splitmix64(sm);
-}
-
-std::uint64_t
-Rng::next()
-{
-    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
-    const std::uint64_t t = s_[1] << 17;
-    s_[2] ^= s_[0];
-    s_[3] ^= s_[1];
-    s_[1] ^= s_[2];
-    s_[0] ^= s_[3];
-    s_[2] ^= t;
-    s_[3] = rotl(s_[3], 45);
-    return result;
-}
-
-double
-Rng::uniform()
-{
-    return double(next() >> 11) * 0x1.0p-53;
+        s = detail::splitmixStep(sm);
 }
 
 double
@@ -78,11 +52,18 @@ Rng::uniform(double lo, double hi)
     return lo + (hi - lo) * uniform();
 }
 
-std::uint64_t
-Rng::below(std::uint64_t n)
+void
+Rng::fillRaw(std::uint64_t *out, std::size_t count)
 {
-    inca_assert(n > 0, "below(0) is undefined");
-    return next() % n;
+    for (std::size_t i = 0; i < count; ++i)
+        out[i] = next();
+}
+
+void
+Rng::fillUniform(double *out, std::size_t count)
+{
+    for (std::size_t i = 0; i < count; ++i)
+        out[i] = double(next() >> 11) * 0x1.0p-53;
 }
 
 double

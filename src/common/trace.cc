@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <sstream>
@@ -40,6 +41,8 @@ struct State
     std::uint32_t nextTid = 0;
     std::chrono::steady_clock::time_point epoch =
         std::chrono::steady_clock::now();
+    std::mutex flushMutex; ///< guards flushCallbacks only
+    std::vector<std::function<void()>> flushCallbacks;
 };
 
 void
@@ -195,6 +198,17 @@ std::string
 stop()
 {
     State &s = state();
+    // Drain the flush callbacks before taking the registry lock and
+    // before disabling: they may emit events (which locks buffers
+    // and, for a first-use thread, the registry), and those events
+    // must make the serialization below.
+    std::vector<std::function<void()>> callbacks;
+    {
+        std::lock_guard<std::mutex> lock(s.flushMutex);
+        callbacks = s.flushCallbacks;
+    }
+    for (const auto &cb : callbacks)
+        cb();
     std::lock_guard<std::mutex> lock(s.mutex);
     s.enabled.store(false, std::memory_order_relaxed);
     const std::string json = toJsonLocked(s);
@@ -204,6 +218,14 @@ stop()
             out << json;
     }
     return json;
+}
+
+void
+atFlush(std::function<void()> callback)
+{
+    State &s = state();
+    std::lock_guard<std::mutex> lock(s.flushMutex);
+    s.flushCallbacks.push_back(std::move(callback));
 }
 
 void
@@ -276,6 +298,26 @@ std::string
 spanName(const char *prefix, const std::string &suffix)
 {
     return enabled() ? prefix + suffix : std::string();
+}
+
+std::int64_t
+nowMicros()
+{
+    return nowUs();
+}
+
+void
+emitComplete(const std::string &name, std::int64_t startUs,
+             std::int64_t durUs)
+{
+    if (!enabled())
+        return;
+    Event e;
+    e.name = name;
+    e.ph = 'X';
+    e.tsUs = startUs;
+    e.durUs = durUs;
+    emit(std::move(e));
 }
 
 Span::Span(const char *name)

@@ -28,6 +28,7 @@
 #define INCA_COMMON_TRACE_HH
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -62,6 +63,17 @@ void start(const std::string &path);
  */
 std::string stop();
 
+/**
+ * Register a callback stop() runs before it serializes -- the hook
+ * for modules holding in-flight instrumentation (live phase timers)
+ * that must land in the trace even when the process exits early via
+ * fatal(): the INCA_TRACE atexit flush calls stop(), stop() drains
+ * the callbacks, and whatever they emit is in the file. Callbacks
+ * run on every stop(), outside the recorder's locks (emitting from
+ * one is safe), in registration order; they must be idempotent.
+ */
+void atFlush(std::function<void()> callback);
+
 /** Drop every buffered event (test isolation). Names persist. */
 void clear();
 
@@ -90,6 +102,17 @@ void nameThread(const std::string &name);
  * names on hot paths: trace::Span s(trace::spanName("fwd ", name));
  */
 std::string spanName(const char *prefix, const std::string &suffix);
+
+/** Microseconds since the recorder's epoch (the Span timebase). */
+std::int64_t nowMicros();
+
+/**
+ * Emit one complete ('X') span directly -- for atFlush() callbacks
+ * that must record a still-open scope (no Span object to destroy).
+ * No-op when tracing is off.
+ */
+void emitComplete(const std::string &name, std::int64_t startUs,
+                  std::int64_t durUs);
 
 /**
  * RAII span: construction arms it (when tracing is on), destruction

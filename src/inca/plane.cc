@@ -14,33 +14,6 @@ BitPlane::BitPlane(int size)
     inca_assert(size > 0, "plane size must be positive");
 }
 
-bool
-BitPlane::effectiveCell(int idx) const
-{
-    const std::int8_t fault = faults_[size_t(idx)];
-    if (fault >= 0)
-        return fault != 0;
-    return cells_[size_t(idx)] != 0;
-}
-
-void
-BitPlane::writeCell(int row, int col, bool bit)
-{
-    inca_assert(row >= 0 && row < size_ && col >= 0 && col < size_,
-                "cell (%d, %d) outside %dx%d plane", row, col, size_,
-                size_);
-    cells_[size_t(index(row, col))] = bit ? 1 : 0;
-}
-
-bool
-BitPlane::cell(int row, int col) const
-{
-    inca_assert(row >= 0 && row < size_ && col >= 0 && col < size_,
-                "cell (%d, %d) outside %dx%d plane", row, col, size_,
-                size_);
-    return effectiveCell(index(row, col));
-}
-
 int
 BitPlane::readWindow(int row, int col, int kh, int kw,
                      const std::vector<std::uint8_t> &weightBits) const

@@ -23,6 +23,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/logging.hh"
+
 namespace inca {
 namespace core {
 
@@ -36,11 +38,29 @@ class BitPlane
     /** Plane side length. */
     int size() const { return size_; }
 
+    // Single-cell access is inline: the reliability campaign's
+    // write-verify loop touches every cell of every trial array
+    // through these (tens of millions of calls per campaign).
+
     /** Write one cell (write scheme, Fig. 8c). */
-    void writeCell(int row, int col, bool bit);
+    void writeCell(int row, int col, bool bit)
+    {
+        inca_assert(row >= 0 && row < size_ && col >= 0 &&
+                        col < size_,
+                    "cell (%d, %d) outside %dx%d plane", row, col,
+                    size_, size_);
+        cells_[std::size_t(index(row, col))] = bit ? 1 : 0;
+    }
 
     /** Read one cell directly (diagnostics / verification). */
-    bool cell(int row, int col) const;
+    bool cell(int row, int col) const
+    {
+        inca_assert(row >= 0 && row < size_ && col >= 0 &&
+                        col < size_,
+                    "cell (%d, %d) outside %dx%d plane", row, col,
+                    size_, size_);
+        return effectiveCell(index(row, col));
+    }
 
     /**
      * Windowed read (read scheme, Fig. 8d): activate the kh x kw
@@ -74,7 +94,13 @@ class BitPlane
     int index(int row, int col) const { return row * size_ + col; }
 
     /** The value the sense path sees (fault-aware). */
-    bool effectiveCell(int idx) const;
+    bool effectiveCell(int idx) const
+    {
+        const std::int8_t fault = faults_[std::size_t(idx)];
+        if (fault >= 0)
+            return fault != 0;
+        return cells_[std::size_t(idx)] != 0;
+    }
 
     int size_;
     std::vector<std::uint8_t> cells_;

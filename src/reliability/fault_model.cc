@@ -1,9 +1,12 @@
 #include "reliability/fault_model.hh"
 
+#include <algorithm>
+
 #include "baseline/crossbar.hh"
 #include "common/cache.hh"
 #include "common/logging.hh"
 #include "inca/plane.hh"
+#include "tensor/kernels/kernels.hh"
 
 namespace inca {
 namespace reliability {
@@ -47,14 +50,51 @@ FaultModel::sample(int rows, int cols, std::uint64_t streamId) const
     SplitMix64 parent(spec_.seed);
     Rng rng(SplitMix64(parent.next() ^ streamId).next());
 
+    // Buffered form of the original per-cell loop: cell i consumes
+    // one uniform draw, a faulty cell consumes one more for its stuck
+    // polarity. Draw j here is exactly draw j there (fillUniform is
+    // the same recurrence, batched), so the sampled map is
+    // byte-identical; the win is that at realistic BERs nearly every
+    // draw is >= rate, and the dispatched scanBelow kernel skips
+    // those misses 4/8 doubles per compare instead of one branchy
+    // uniform() call per cell. The generator may run a partial chunk
+    // past the last consumed draw; it is trial-local state, so the
+    // overshoot is unobservable.
     const double rate = stuckRate();
-    for (std::size_t i = 0; i < map.stuck.size(); ++i) {
-        if (rng.uniform() < rate) {
-            // Stuck polarity is a coin flip: wear-out leaves cells in
-            // either resistance state.
-            map.stuck[i] = rng.uniform() < 0.5 ? 1 : 0;
-            ++map.stuckCount;
+    const std::size_t total = map.stuck.size();
+    const kernels::KernelSet &ks = kernels::active();
+    constexpr std::size_t kChunk = 512;
+    double buf[kChunk];
+    std::size_t pos = 0;
+    std::size_t avail = 0;
+    std::size_t cell = 0;
+    while (cell < total) {
+        if (pos == avail) {
+            avail = std::min(kChunk, (total - cell) + 1);
+            rng.fillUniform(buf, avail);
+            pos = 0;
         }
+        const std::size_t window =
+            std::min(avail - pos, total - cell);
+        const std::size_t hit = std::size_t(
+            ks.scanBelow(buf + pos, std::int64_t(window), rate));
+        cell += hit;
+        pos += hit;
+        if (hit == window)
+            continue;
+        // buf[pos] < rate: this cell is stuck. Polarity is a coin
+        // flip on the next draw -- wear-out leaves cells in either
+        // resistance state.
+        ++pos;
+        if (pos == avail) {
+            avail = std::min(kChunk, (total - cell) + 1);
+            rng.fillUniform(buf, avail);
+            pos = 0;
+        }
+        map.stuck[cell] = buf[pos] < 0.5 ? 1 : 0;
+        ++pos;
+        ++map.stuckCount;
+        ++cell;
     }
     return map;
 }

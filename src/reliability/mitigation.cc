@@ -22,34 +22,6 @@ RemapTable::RemapTable(int rows, int cols, int spareRows,
         colMap_[std::size_t(c)] = c;
 }
 
-int
-RemapTable::physicalRow(int row) const
-{
-    inca_assert(row >= 0 && row < rows_, "logical row %d outside %d",
-                row, rows_);
-    return rowMap_[std::size_t(row)];
-}
-
-int
-RemapTable::physicalCol(int col) const
-{
-    inca_assert(col >= 0 && col < cols_, "logical col %d outside %d",
-                col, cols_);
-    return colMap_[std::size_t(col)];
-}
-
-bool
-RemapTable::rowRemapped(int row) const
-{
-    return physicalRow(row) >= rows_;
-}
-
-bool
-RemapTable::colRemapped(int col) const
-{
-    return physicalCol(col) >= cols_;
-}
-
 bool
 RemapTable::noteFault(int row, int col)
 {

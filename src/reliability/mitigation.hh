@@ -106,13 +106,26 @@ class RemapTable
     int rows() const { return rows_; }
     int cols() const { return cols_; }
 
-    /** Physical row backing logical @p row. */
-    int physicalRow(int row) const;
-    /** Physical column backing logical @p col. */
-    int physicalCol(int col) const;
+    // Lookups are inline: RemappedPlane::write consults the table on
+    // every pulse of every cell, the hottest path in a campaign.
 
-    bool rowRemapped(int row) const;
-    bool colRemapped(int col) const;
+    /** Physical row backing logical @p row. */
+    int physicalRow(int row) const
+    {
+        inca_assert(row >= 0 && row < rows_,
+                    "logical row %d outside %d", row, rows_);
+        return rowMap_[std::size_t(row)];
+    }
+    /** Physical column backing logical @p col. */
+    int physicalCol(int col) const
+    {
+        inca_assert(col >= 0 && col < cols_,
+                    "logical col %d outside %d", col, cols_);
+        return colMap_[std::size_t(col)];
+    }
+
+    bool rowRemapped(int row) const { return physicalRow(row) >= rows_; }
+    bool colRemapped(int col) const { return physicalCol(col) >= cols_; }
 
     /**
      * Record a persistent fault at logical (@p row, @p col).

@@ -1,5 +1,6 @@
 #include "sim/report.hh"
 
+#include <algorithm>
 #include <cstdio>
 #include <mutex>
 
@@ -18,6 +19,11 @@ namespace {
 std::mutex gPhaseMutex;
 std::vector<PhaseTime> gPhases;
 
+/** Timers currently in scope; guards their flushed_ flags too. */
+std::mutex gLiveMutex;
+std::vector<ScopedPhaseTimer *> gLiveTimers;
+std::once_flag gFlushHook;
+
 double
 elapsedSeconds(std::chrono::steady_clock::time_point start)
 {
@@ -33,13 +39,47 @@ ScopedPhaseTimer::ScopedPhaseTimer(std::string phase)
       span_(trace::spanName("phase ", phase_)),
       start_(std::chrono::steady_clock::now())
 {
+    std::call_once(gFlushHook,
+                   [] { trace::atFlush(flushLivePhaseTimers); });
+    std::lock_guard<std::mutex> lock(gLiveMutex);
+    gLiveTimers.push_back(this);
 }
 
 ScopedPhaseTimer::~ScopedPhaseTimer()
 {
     const double seconds = elapsedSeconds(start_);
+    bool flushed;
+    {
+        std::lock_guard<std::mutex> lock(gLiveMutex);
+        gLiveTimers.erase(std::find(gLiveTimers.begin(),
+                                    gLiveTimers.end(), this));
+        flushed = flushed_;
+    }
+    if (flushed)
+        return; // an early trace flush already recorded this phase
     std::lock_guard<std::mutex> lock(gPhaseMutex);
     gPhases.push_back({phase_, seconds});
+}
+
+void
+flushLivePhaseTimers()
+{
+    std::lock_guard<std::mutex> liveLock(gLiveMutex);
+    for (ScopedPhaseTimer *t : gLiveTimers) {
+        if (t->flushed_)
+            continue;
+        t->flushed_ = true;
+        const double seconds = elapsedSeconds(t->start_);
+        {
+            std::lock_guard<std::mutex> lock(gPhaseMutex);
+            gPhases.push_back({t->phase_, seconds});
+        }
+        // The timer's own Span only emits at scope exit, which a
+        // fatal() never reaches -- emit the elapsed part directly.
+        const auto durUs = std::int64_t(1e6 * seconds);
+        trace::emitComplete(trace::spanName("phase ", t->phase_),
+                            trace::nowMicros() - durUs, durUs);
+    }
 }
 
 std::vector<PhaseTime>

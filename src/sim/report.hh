@@ -53,10 +53,24 @@ class ScopedPhaseTimer
     ScopedPhaseTimer &operator=(const ScopedPhaseTimer &) = delete;
 
   private:
+    friend void flushLivePhaseTimers();
+
     std::string phase_;
     trace::Span span_;
     std::chrono::steady_clock::time_point start_;
+    bool flushed_ = false; ///< already recorded by an early flush
 };
+
+/**
+ * Record every still-open ScopedPhaseTimer into the phase registry
+ * (and the trace, as a "phase <name>" span covering the elapsed part
+ * of the scope) as of now. Registered with trace::atFlush() so a
+ * driver that dies mid-phase via fatal() still reports the phases it
+ * was in: fatal -> exit(1) -> INCA_TRACE atexit flush -> stop() ->
+ * this. Idempotent per timer -- a timer flushed here records nothing
+ * further when its scope later closes normally. Exposed for tests.
+ */
+void flushLivePhaseTimers();
 
 /** Snapshot of all phases recorded so far. */
 std::vector<PhaseTime> phaseTimes();

@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Runtime ISA dispatch for the tensor microkernels.
+ *
+ * Resolution order: setActive() (tests/bench) > INCA_KERNEL_ISA >
+ * widest CPU-supported set. A forced ISA the build or CPU cannot run
+ * is a hard error -- the CI matrix legs that fan INCA_KERNEL_ISA over
+ * paths rely on "requested" always meaning "executed".
+ */
+
+#include "tensor/kernels/kernels.hh"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/logging.hh"
+#include "common/metrics.hh"
+
+namespace inca {
+namespace kernels {
+
+// Defined by the per-ISA translation units. The scalar set is always
+// compiled; the vector sets degrade to nullptr when the toolchain
+// cannot target them (see tensor/CMakeLists.txt).
+extern const KernelSet kScalarKernels;
+extern const KernelSet *kAvx2Kernels;
+extern const KernelSet *kAvx512Kernels;
+
+namespace {
+
+bool
+cpuSupports(Isa isa)
+{
+#if defined(__x86_64__) || defined(__i386__)
+    switch (isa) {
+      case Isa::Scalar:
+        return true;
+      case Isa::Avx2:
+        return __builtin_cpu_supports("avx2") != 0;
+      case Isa::Avx512:
+        return __builtin_cpu_supports("avx512f") != 0;
+    }
+#else
+    if (isa == Isa::Scalar)
+        return true;
+#endif
+    return false;
+}
+
+/** Widest available set -- the default when nothing is forced. */
+const KernelSet &
+autoDetect()
+{
+    if (const KernelSet *k = kernelSet(Isa::Avx512))
+        return *k;
+    if (const KernelSet *k = kernelSet(Isa::Avx2))
+        return *k;
+    return kScalarKernels;
+}
+
+/** Resolve INCA_KERNEL_ISA (or auto-detect); fatal on bad values. */
+const KernelSet &
+resolve()
+{
+    const char *env = std::getenv("INCA_KERNEL_ISA");
+    if (env == nullptr || *env == '\0')
+        return autoDetect();
+    Isa isa;
+    if (!parseIsa(env, isa))
+        fatal("INCA_KERNEL_ISA='%s' is not a kernel ISA; valid "
+              "values are scalar, avx2, avx512",
+              env);
+    const KernelSet *k = kernelSet(isa);
+    if (k == nullptr)
+        fatal("INCA_KERNEL_ISA=%s requested but this %s does not "
+              "support it; available: %s",
+              isaName(isa),
+              cpuSupports(isa) ? "build" : "CPU",
+              isaName(autoDetect().isa));
+    return *k;
+}
+
+/**
+ * The active set. Stored as an atomic pointer so setActive() from a
+ * test body is visible to pool workers without a lock on the hot
+ * dispatch read.
+ */
+std::atomic<const KernelSet *> gActive{nullptr};
+
+/** Per-ISA dispatch counters, resolved once (registry lookups are
+ * mutex-guarded; the hot path must stay a single relaxed inc). */
+metrics::Counter &
+dispatchCounter(Isa isa)
+{
+    static metrics::Counter *counters[3] = {
+        &metrics::counter("kernel.dispatch.scalar"),
+        &metrics::counter("kernel.dispatch.avx2"),
+        &metrics::counter("kernel.dispatch.avx512"),
+    };
+    return *counters[int(isa)];
+}
+
+} // namespace
+
+const char *
+isaName(Isa isa)
+{
+    switch (isa) {
+      case Isa::Scalar:
+        return "scalar";
+      case Isa::Avx2:
+        return "avx2";
+      case Isa::Avx512:
+        return "avx512";
+    }
+    panic("unreachable kernel ISA %d", int(isa));
+}
+
+bool
+parseIsa(const char *text, Isa &out)
+{
+    if (text == nullptr)
+        return false;
+    if (std::strcmp(text, "scalar") == 0)
+        out = Isa::Scalar;
+    else if (std::strcmp(text, "avx2") == 0)
+        out = Isa::Avx2;
+    else if (std::strcmp(text, "avx512") == 0)
+        out = Isa::Avx512;
+    else
+        return false;
+    return true;
+}
+
+const KernelSet *
+kernelSet(Isa isa)
+{
+    switch (isa) {
+      case Isa::Scalar:
+        return &kScalarKernels;
+      case Isa::Avx2:
+        return cpuSupports(Isa::Avx2) ? kAvx2Kernels : nullptr;
+      case Isa::Avx512:
+        return cpuSupports(Isa::Avx512) ? kAvx512Kernels : nullptr;
+    }
+    return nullptr;
+}
+
+bool
+isaAvailable(Isa isa)
+{
+    return kernelSet(isa) != nullptr;
+}
+
+std::vector<Isa>
+availableIsas()
+{
+    std::vector<Isa> out;
+    for (Isa isa : {Isa::Scalar, Isa::Avx2, Isa::Avx512})
+        if (isaAvailable(isa))
+            out.push_back(isa);
+    return out;
+}
+
+const KernelSet &
+active()
+{
+    const KernelSet *k = gActive.load(std::memory_order_acquire);
+    if (k == nullptr) {
+        // First use (or post-reset): resolve and publish. Concurrent
+        // first calls race benignly -- resolve() is deterministic.
+        k = &resolve();
+        gActive.store(k, std::memory_order_release);
+    }
+    dispatchCounter(k->isa).inc();
+    return *k;
+}
+
+Isa
+activeIsa()
+{
+    const KernelSet *k = gActive.load(std::memory_order_acquire);
+    if (k == nullptr) {
+        k = &resolve();
+        gActive.store(k, std::memory_order_release);
+    }
+    return k->isa;
+}
+
+void
+setActive(Isa isa)
+{
+    const KernelSet *k = kernelSet(isa);
+    inca_assert(k != nullptr, "setActive(%s): ISA unavailable",
+                isaName(isa));
+    gActive.store(k, std::memory_order_release);
+}
+
+void
+resetActive()
+{
+    gActive.store(nullptr, std::memory_order_release);
+}
+
+} // namespace kernels
+} // namespace inca

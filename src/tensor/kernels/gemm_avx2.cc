@@ -1,0 +1,176 @@
+/**
+ * @file
+ * AVX2 kernels: 8-wide float GEMM/packing, 4-wide double scan.
+ *
+ * Compiled with -mavx2 only when the compiler supports it (see
+ * tensor/CMakeLists.txt); INCA_BUILD_AVX2 gates the body so the file
+ * still builds (to an unavailable set) on other toolchains.
+ *
+ * Bit-identity with the scalar reference: the j loop (output
+ * columns) is the only vectorized dimension, so each C element keeps
+ * its serial ascending-k accumulation order, and every step is an
+ * explicit _mm256_mul_ps followed by _mm256_add_ps -- two roundings,
+ * exactly like the scalar `c[j] += v * b[j]`. FMA intrinsics are
+ * deliberately not used: fusing would drop the intermediate
+ * rounding and break 0-ULP agreement.
+ */
+
+#include "tensor/kernels/kernels.hh"
+
+#include "common/logging.hh"
+
+#if defined(INCA_BUILD_AVX2) && (defined(__x86_64__) || defined(__i386__))
+
+#include <immintrin.h>
+
+namespace inca {
+namespace kernels {
+
+namespace {
+
+/** One row's update c[0..n) += v * b[0..n), 8 floats per step. */
+inline void
+axpyRow(float *c, const float *b, float v, std::int64_t n)
+{
+    const __m256 vv = _mm256_set1_ps(v);
+    std::int64_t j = 0;
+    for (; j + 8 <= n; j += 8) {
+        const __m256 bv = _mm256_loadu_ps(b + j);
+        _mm256_storeu_ps(
+            c + j,
+            _mm256_add_ps(_mm256_loadu_ps(c + j), _mm256_mul_ps(vv, bv)));
+    }
+    for (; j < n; ++j)
+        c[j] += v * b[j];
+}
+
+void
+gemmRowRangeAvx2(const float *a, std::int64_t lda, const float *b,
+                 std::int64_t ldb, float *c, std::int64_t ldc,
+                 std::int64_t i0, std::int64_t i1, std::int64_t depth,
+                 std::int64_t n)
+{
+    std::int64_t i = i0;
+    for (; i + 4 <= i1; i += 4) {
+        const float *a0 = a + i * lda;
+        const float *a1 = a0 + lda;
+        const float *a2 = a1 + lda;
+        const float *a3 = a2 + lda;
+        float *c0 = c + i * ldc;
+        float *c1 = c0 + ldc;
+        float *c2 = c1 + ldc;
+        float *c3 = c2 + ldc;
+        for (std::int64_t k = 0; k < depth; ++k) {
+            const float *br = b + k * ldb;
+            const __m256 v0 = _mm256_set1_ps(a0[k]);
+            const __m256 v1 = _mm256_set1_ps(a1[k]);
+            const __m256 v2 = _mm256_set1_ps(a2[k]);
+            const __m256 v3 = _mm256_set1_ps(a3[k]);
+            std::int64_t j = 0;
+            for (; j + 8 <= n; j += 8) {
+                const __m256 bv = _mm256_loadu_ps(br + j);
+                _mm256_storeu_ps(c0 + j,
+                                 _mm256_add_ps(_mm256_loadu_ps(c0 + j),
+                                               _mm256_mul_ps(v0, bv)));
+                _mm256_storeu_ps(c1 + j,
+                                 _mm256_add_ps(_mm256_loadu_ps(c1 + j),
+                                               _mm256_mul_ps(v1, bv)));
+                _mm256_storeu_ps(c2 + j,
+                                 _mm256_add_ps(_mm256_loadu_ps(c2 + j),
+                                               _mm256_mul_ps(v2, bv)));
+                _mm256_storeu_ps(c3 + j,
+                                 _mm256_add_ps(_mm256_loadu_ps(c3 + j),
+                                               _mm256_mul_ps(v3, bv)));
+            }
+            for (; j < n; ++j) {
+                const float bj = br[j];
+                c0[j] += a0[k] * bj;
+                c1[j] += a1[k] * bj;
+                c2[j] += a2[k] * bj;
+                c3[j] += a3[k] * bj;
+            }
+        }
+    }
+    for (; i < i1; ++i) {
+        const float *ar = a + i * lda;
+        float *cr = c + i * ldc;
+        for (std::int64_t k = 0; k < depth; ++k)
+            axpyRow(cr, b + k * ldb, ar[k], n);
+    }
+}
+
+void
+copyRowAvx2(float *dst, const float *src, std::int64_t count)
+{
+    std::int64_t j = 0;
+    for (; j + 8 <= count; j += 8)
+        _mm256_storeu_ps(dst + j, _mm256_loadu_ps(src + j));
+    for (; j < count; ++j)
+        dst[j] = src[j];
+}
+
+void
+gatherRowAvx2(float *dst, const float *src, std::int64_t count,
+              std::int64_t stride)
+{
+    inca_assert(stride > 0 && count * stride <= INT32_MAX,
+                "gatherRow index overflow: count %lld stride %lld",
+                (long long)count, (long long)stride);
+    const std::int32_t s = std::int32_t(stride);
+    const __m256i idx = _mm256_setr_epi32(0, s, 2 * s, 3 * s, 4 * s,
+                                          5 * s, 6 * s, 7 * s);
+    const __m256i step = _mm256_set1_epi32(8 * s);
+    __m256i base = idx;
+    std::int64_t j = 0;
+    for (; j + 8 <= count; j += 8) {
+        _mm256_storeu_ps(dst + j,
+                         _mm256_i32gather_ps(src, base, 4));
+        base = _mm256_add_epi32(base, step);
+    }
+    for (; j < count; ++j)
+        dst[j] = src[j * stride];
+}
+
+std::int64_t
+scanBelowAvx2(const double *v, std::int64_t count, double threshold)
+{
+    const __m256d thr = _mm256_set1_pd(threshold);
+    std::int64_t i = 0;
+    for (; i + 4 <= count; i += 4) {
+        const __m256d vals = _mm256_loadu_pd(v + i);
+        const int mask = _mm256_movemask_pd(
+            _mm256_cmp_pd(vals, thr, _CMP_LT_OQ));
+        if (mask != 0)
+            return i + __builtin_ctz(unsigned(mask));
+    }
+    for (; i < count; ++i)
+        if (v[i] < threshold)
+            return i;
+    return count;
+}
+
+} // namespace
+
+extern const KernelSet *kAvx2Kernels;
+const KernelSet kAvx2KernelsStorage = {
+    Isa::Avx2,    "avx2",         &gemmRowRangeAvx2,
+    &copyRowAvx2, &gatherRowAvx2, &scanBelowAvx2,
+};
+const KernelSet *kAvx2Kernels = &kAvx2KernelsStorage;
+
+} // namespace kernels
+} // namespace inca
+
+#else // !INCA_BUILD_AVX2
+
+namespace inca {
+namespace kernels {
+
+/** Toolchain cannot target AVX2: the set is absent at runtime. */
+extern const KernelSet *kAvx2Kernels;
+const KernelSet *kAvx2Kernels = nullptr;
+
+} // namespace kernels
+} // namespace inca
+
+#endif

@@ -1,0 +1,193 @@
+/**
+ * @file
+ * AVX-512F kernels: 16-wide float GEMM/packing, 8-wide double scan.
+ *
+ * Same structure and bit-identity contract as the AVX2 set (see
+ * gemm_avx2.cc): only the output-column loop is vectorized, multiply
+ * and add stay separate roundings, masked tail stores handle the
+ * non-multiple-of-16 columns the differential rig hammers.
+ */
+
+#include "tensor/kernels/kernels.hh"
+
+#include "common/logging.hh"
+
+#if defined(INCA_BUILD_AVX512) && \
+    (defined(__x86_64__) || defined(__i386__))
+
+#include <immintrin.h>
+
+namespace inca {
+namespace kernels {
+
+namespace {
+
+/** One row's update c[0..n) += v * b[0..n), 16 floats per step. */
+inline void
+axpyRow512(float *c, const float *b, float v, std::int64_t n)
+{
+    const __m512 vv = _mm512_set1_ps(v);
+    std::int64_t j = 0;
+    for (; j + 16 <= n; j += 16) {
+        const __m512 bv = _mm512_loadu_ps(b + j);
+        _mm512_storeu_ps(
+            c + j,
+            _mm512_add_ps(_mm512_loadu_ps(c + j), _mm512_mul_ps(vv, bv)));
+    }
+    if (j < n) {
+        const __mmask16 tail = __mmask16((1u << (n - j)) - 1u);
+        const __m512 bv = _mm512_maskz_loadu_ps(tail, b + j);
+        const __m512 cv = _mm512_maskz_loadu_ps(tail, c + j);
+        _mm512_mask_storeu_ps(
+            c + j, tail, _mm512_add_ps(cv, _mm512_mul_ps(vv, bv)));
+    }
+}
+
+void
+gemmRowRangeAvx512(const float *a, std::int64_t lda, const float *b,
+                   std::int64_t ldb, float *c, std::int64_t ldc,
+                   std::int64_t i0, std::int64_t i1, std::int64_t depth,
+                   std::int64_t n)
+{
+    std::int64_t i = i0;
+    for (; i + 4 <= i1; i += 4) {
+        const float *a0 = a + i * lda;
+        const float *a1 = a0 + lda;
+        const float *a2 = a1 + lda;
+        const float *a3 = a2 + lda;
+        float *c0 = c + i * ldc;
+        float *c1 = c0 + ldc;
+        float *c2 = c1 + ldc;
+        float *c3 = c2 + ldc;
+        for (std::int64_t k = 0; k < depth; ++k) {
+            const float *br = b + k * ldb;
+            const __m512 v0 = _mm512_set1_ps(a0[k]);
+            const __m512 v1 = _mm512_set1_ps(a1[k]);
+            const __m512 v2 = _mm512_set1_ps(a2[k]);
+            const __m512 v3 = _mm512_set1_ps(a3[k]);
+            std::int64_t j = 0;
+            for (; j + 16 <= n; j += 16) {
+                const __m512 bv = _mm512_loadu_ps(br + j);
+                _mm512_storeu_ps(c0 + j,
+                                 _mm512_add_ps(_mm512_loadu_ps(c0 + j),
+                                               _mm512_mul_ps(v0, bv)));
+                _mm512_storeu_ps(c1 + j,
+                                 _mm512_add_ps(_mm512_loadu_ps(c1 + j),
+                                               _mm512_mul_ps(v1, bv)));
+                _mm512_storeu_ps(c2 + j,
+                                 _mm512_add_ps(_mm512_loadu_ps(c2 + j),
+                                               _mm512_mul_ps(v2, bv)));
+                _mm512_storeu_ps(c3 + j,
+                                 _mm512_add_ps(_mm512_loadu_ps(c3 + j),
+                                               _mm512_mul_ps(v3, bv)));
+            }
+            if (j < n) {
+                const __mmask16 tail =
+                    __mmask16((1u << (n - j)) - 1u);
+                const __m512 bv = _mm512_maskz_loadu_ps(tail, br + j);
+                const __m512 u0 = _mm512_maskz_loadu_ps(tail, c0 + j);
+                const __m512 u1 = _mm512_maskz_loadu_ps(tail, c1 + j);
+                const __m512 u2 = _mm512_maskz_loadu_ps(tail, c2 + j);
+                const __m512 u3 = _mm512_maskz_loadu_ps(tail, c3 + j);
+                _mm512_mask_storeu_ps(
+                    c0 + j, tail,
+                    _mm512_add_ps(u0, _mm512_mul_ps(v0, bv)));
+                _mm512_mask_storeu_ps(
+                    c1 + j, tail,
+                    _mm512_add_ps(u1, _mm512_mul_ps(v1, bv)));
+                _mm512_mask_storeu_ps(
+                    c2 + j, tail,
+                    _mm512_add_ps(u2, _mm512_mul_ps(v2, bv)));
+                _mm512_mask_storeu_ps(
+                    c3 + j, tail,
+                    _mm512_add_ps(u3, _mm512_mul_ps(v3, bv)));
+            }
+        }
+    }
+    for (; i < i1; ++i) {
+        const float *ar = a + i * lda;
+        float *cr = c + i * ldc;
+        for (std::int64_t k = 0; k < depth; ++k)
+            axpyRow512(cr, b + k * ldb, ar[k], n);
+    }
+}
+
+void
+copyRowAvx512(float *dst, const float *src, std::int64_t count)
+{
+    std::int64_t j = 0;
+    for (; j + 16 <= count; j += 16)
+        _mm512_storeu_ps(dst + j, _mm512_loadu_ps(src + j));
+    if (j < count) {
+        const __mmask16 tail = __mmask16((1u << (count - j)) - 1u);
+        _mm512_mask_storeu_ps(dst + j, tail,
+                              _mm512_maskz_loadu_ps(tail, src + j));
+    }
+}
+
+void
+gatherRowAvx512(float *dst, const float *src, std::int64_t count,
+                std::int64_t stride)
+{
+    inca_assert(stride > 0 && count * stride <= INT32_MAX,
+                "gatherRow index overflow: count %lld stride %lld",
+                (long long)count, (long long)stride);
+    const std::int32_t s = std::int32_t(stride);
+    alignas(64) std::int32_t idx[16];
+    for (int lane = 0; lane < 16; ++lane)
+        idx[lane] = lane * s;
+    const __m512i base0 = _mm512_load_si512(idx);
+    const __m512i step = _mm512_set1_epi32(16 * s);
+    __m512i base = base0;
+    std::int64_t j = 0;
+    for (; j + 16 <= count; j += 16) {
+        _mm512_storeu_ps(dst + j,
+                         _mm512_i32gather_ps(base, src, 4));
+        base = _mm512_add_epi32(base, step);
+    }
+    for (; j < count; ++j)
+        dst[j] = src[j * stride];
+}
+
+std::int64_t
+scanBelowAvx512(const double *v, std::int64_t count, double threshold)
+{
+    const __m512d thr = _mm512_set1_pd(threshold);
+    std::int64_t i = 0;
+    for (; i + 8 <= count; i += 8) {
+        const __mmask8 mask = _mm512_cmp_pd_mask(
+            _mm512_loadu_pd(v + i), thr, _CMP_LT_OQ);
+        if (mask != 0)
+            return i + __builtin_ctz(unsigned(mask));
+    }
+    for (; i < count; ++i)
+        if (v[i] < threshold)
+            return i;
+    return count;
+}
+
+} // namespace
+
+extern const KernelSet *kAvx512Kernels;
+const KernelSet kAvx512KernelsStorage = {
+    Isa::Avx512,    "avx512",         &gemmRowRangeAvx512,
+    &copyRowAvx512, &gatherRowAvx512, &scanBelowAvx512,
+};
+const KernelSet *kAvx512Kernels = &kAvx512KernelsStorage;
+
+} // namespace kernels
+} // namespace inca
+
+#else // !INCA_BUILD_AVX512
+
+namespace inca {
+namespace kernels {
+
+/** Toolchain cannot target AVX-512: the set is absent at runtime. */
+extern const KernelSet *kAvx512Kernels;
+const KernelSet *kAvx512Kernels = nullptr;
+
+} // namespace kernels
+} // namespace inca
+
+#endif

@@ -5,8 +5,10 @@
 #include <limits>
 #include <vector>
 
+#include "common/arena.hh"
 #include "common/logging.hh"
 #include "common/thread_pool.hh"
+#include "tensor/kernels/kernels.hh"
 
 namespace inca {
 namespace tensor {
@@ -22,55 +24,12 @@ convOutDim(std::int64_t in, int k, const ConvSpec &spec)
 
 namespace {
 
-/**
- * Deterministic blocked GEMM over a row range of C: C[i][j] +=
- * sum_k A[i][k] * B[k][j] for i in [i0, i1).
- *
- * Every C element is accumulated strictly in ascending k order, so the
- * result is independent of how callers partition rows across tasks --
- * the property the cross-thread-count bit-identity rests on. The
- * 4-row micro-kernel only changes which rows are computed together
- * (B is streamed once per row quad), never the per-element order.
- */
-void
-gemmRowRange(const float *a, std::int64_t lda, const float *b,
-             std::int64_t ldb, float *c, std::int64_t ldc,
-             std::int64_t i0, std::int64_t i1, std::int64_t depth,
-             std::int64_t n)
-{
-    std::int64_t i = i0;
-    for (; i + 4 <= i1; i += 4) {
-        const float *a0 = a + i * lda;
-        const float *a1 = a0 + lda;
-        const float *a2 = a1 + lda;
-        const float *a3 = a2 + lda;
-        float *c0 = c + i * ldc;
-        float *c1 = c0 + ldc;
-        float *c2 = c1 + ldc;
-        float *c3 = c2 + ldc;
-        for (std::int64_t k = 0; k < depth; ++k) {
-            const float *br = b + k * ldb;
-            const float v0 = a0[k], v1 = a1[k], v2 = a2[k], v3 = a3[k];
-            for (std::int64_t j = 0; j < n; ++j) {
-                const float bj = br[j];
-                c0[j] += v0 * bj;
-                c1[j] += v1 * bj;
-                c2[j] += v2 * bj;
-                c3[j] += v3 * bj;
-            }
-        }
-    }
-    for (; i < i1; ++i) {
-        const float *ar = a + i * lda;
-        float *cr = c + i * ldc;
-        for (std::int64_t k = 0; k < depth; ++k) {
-            const float v = ar[k];
-            const float *br = b + k * ldb;
-            for (std::int64_t j = 0; j < n; ++j)
-                cr[j] += v * br[j];
-        }
-    }
-}
+// The blocked GEMM row-range microkernel (deterministic ascending-k
+// accumulation per C element, the property cross-thread and
+// cross-ISA bit-identity rests on) lives in tensor/kernels/ now, one
+// implementation per instruction set; kernels::active() picks the
+// widest one the CPU supports. Callers hoist the KernelSet once per
+// op so a conv counts as one dispatch, not one per pool task.
 
 /** Filters handled per GEMM task (batch x filter-block fan-out). */
 constexpr std::int64_t kFilterBlock = 16;
@@ -92,16 +51,24 @@ constexpr std::int64_t kFilterBlock = 16;
  * bounds checks treat any overhang as zeros.
  */
 Tensor
-convViaGemm(const Tensor &x, const float *wFlat, std::int64_t f,
-            std::int64_t kh, std::int64_t kw, int stride, int padH,
-            int padW, std::int64_t oh, std::int64_t ow)
+convViaGemm(const float *xData, std::int64_t n, std::int64_t c,
+            std::int64_t h, std::int64_t wd, const float *wFlat,
+            std::int64_t f, std::int64_t kh, std::int64_t kw,
+            int stride, int padH, int padW, std::int64_t oh,
+            std::int64_t ow)
 {
-    const std::int64_t n = x.dim(0), c = x.dim(1), h = x.dim(2),
-                       wd = x.dim(3);
     const std::int64_t depth = c * kh * kw;
     const std::int64_t pix = oh * ow;
+    const kernels::KernelSet &ks = kernels::active();
 
-    std::vector<float> colsT(size_t(n * depth * pix), 0.0f);
+    // Packed im2col workspace. Zeroed lease: out-of-window taps must
+    // stay exact zeros, reproducing the naive loops' skipped
+    // contributions. Each (image, k) row copies its valid column
+    // range in one shot -- the window bounds are affine in ocol, so
+    // the per-element bounds checks of the scalar era collapse into
+    // an interval [jBegin, jEnd) and one copyRow/gatherRow call.
+    arena::ScratchLease colsT =
+        arena::scratchFloats(std::size_t(n * depth * pix), true);
     parallel_for(n * depth, 8, [&](std::int64_t lo, std::int64_t hi) {
         for (std::int64_t idx = lo; idx < hi; ++idx) {
             const std::int64_t in = idx / depth;
@@ -109,19 +76,32 @@ convViaGemm(const Tensor &x, const float *wFlat, std::int64_t f,
             const std::int64_t ic = k / (kh * kw);
             const std::int64_t kr = (k / kw) % kh;
             const std::int64_t kc = k % kw;
-            const float *xp = x.data() + ((in * c + ic) * h) * wd;
+            const float *xp = xData + ((in * c + ic) * h) * wd;
             float *dst = colsT.data() + idx * pix;
+
+            // Valid ocol satisfy 0 <= ocol*stride + off < wd.
+            const std::int64_t off = kc - padW;
+            const std::int64_t jBegin =
+                off >= 0 ? 0 : (-off + stride - 1) / stride;
+            const std::int64_t jEnd =
+                wd - 1 - off < 0
+                    ? 0
+                    : std::min(ow, (wd - 1 - off) / stride + 1);
+            if (jBegin >= jEnd)
+                continue;
+            const std::int64_t count = jEnd - jBegin;
+
             for (std::int64_t orow = 0; orow < oh; ++orow) {
                 const std::int64_t ir = orow * stride + kr - padH;
                 if (ir < 0 || ir >= h)
                     continue;
-                const float *xrow = xp + ir * wd;
-                float *drow = dst + orow * ow;
-                for (std::int64_t ocol = 0; ocol < ow; ++ocol) {
-                    const std::int64_t icl = ocol * stride + kc - padW;
-                    if (icl >= 0 && icl < wd)
-                        drow[ocol] = xrow[icl];
-                }
+                const float *src =
+                    xp + ir * wd + jBegin * stride + off;
+                float *drow = dst + orow * ow + jBegin;
+                if (stride == 1)
+                    ks.copyRow(drow, src, count);
+                else
+                    ks.gatherRow(drow, src, count, stride);
             }
         }
     });
@@ -133,10 +113,10 @@ convViaGemm(const Tensor &x, const float *wFlat, std::int64_t f,
             const std::int64_t in = t / nfb;
             const std::int64_t f0 = (t % nfb) * kFilterBlock;
             const std::int64_t f1 = std::min(f0 + kFilterBlock, f);
-            gemmRowRange(wFlat, depth,
-                         colsT.data() + in * depth * pix, pix,
-                         y.data() + in * f * pix, pix, f0, f1, depth,
-                         pix);
+            ks.gemmRowRange(wFlat, depth,
+                            colsT.data() + in * depth * pix, pix,
+                            y.data() + in * f * pix, pix, f0, f1,
+                            depth, pix);
         }
     });
     return y;
@@ -237,8 +217,9 @@ conv2d(const Tensor &x, const Tensor &w, const ConvSpec &spec)
     // weight matrix the GEMM wants -- one unrolled kernel per row,
     // exactly how WS crossbars lay kernels out (one kernel per
     // bitline).
-    return convViaGemm(x, w.data(), w.dim(0), w.dim(2), w.dim(3),
-                       spec.stride, spec.pad, spec.pad,
+    return convViaGemm(x.data(), x.dim(0), x.dim(1), x.dim(2),
+                       x.dim(3), w.data(), w.dim(0), w.dim(2),
+                       w.dim(3), spec.stride, spec.pad, spec.pad,
                        convOutDim(x.dim(2), int(w.dim(2)), spec),
                        convOutDim(x.dim(3), int(w.dim(3)), spec));
 }
@@ -294,12 +275,16 @@ conv2dInputGrad(const Tensor &dy, const Tensor &w,
         return dx;
     }
 
-    const Tensor *src = &dy;
-    Tensor dilated;
+    const float *srcData = dy.data();
+    std::int64_t srcH = oh, srcW = ow;
+    arena::ScratchLease dilated;
     if (spec.stride > 1) {
         const std::int64_t hd = (oh - 1) * spec.stride + 1;
         const std::int64_t wdd = (ow - 1) * spec.stride + 1;
-        dilated = Tensor({n, f, hd, wdd});
+        // Zeroed lease: the gaps between scattered dy taps must be
+        // exact zeros (they are the dilation).
+        dilated =
+            arena::scratchFloats(std::size_t(n * f * hd * wdd), true);
         parallel_for(n * f, 4, [&](std::int64_t lo, std::int64_t hi) {
             for (std::int64_t plane = lo; plane < hi; ++plane) {
                 const float *s = dy.data() + plane * oh * ow;
@@ -310,11 +295,15 @@ conv2dInputGrad(const Tensor &dy, const Tensor &w,
                           ocol * spec.stride] = s[orow * ow + ocol];
             }
         });
-        src = &dilated;
+        srcData = dilated.data();
+        srcH = hd;
+        srcW = wdd;
     }
 
-    // wT[ic][of][a][b] = w[of][ic][kh-1-a][kw-1-b]
-    std::vector<float> wT(size_t(c * f * kh * kw));
+    // wT[ic][of][a][b] = w[of][ic][kh-1-a][kw-1-b]. Unzeroed lease:
+    // every element is written below.
+    arena::ScratchLease wT =
+        arena::scratchFloats(std::size_t(c * f * kh * kw), false);
     parallel_for(c * f, 16, [&](std::int64_t lo, std::int64_t hi) {
         for (std::int64_t cf = lo; cf < hi; ++cf) {
             const std::int64_t ic = cf / f;
@@ -328,8 +317,8 @@ conv2dInputGrad(const Tensor &dy, const Tensor &w,
         }
     });
 
-    return convViaGemm(*src, wT.data(), c, kh, kw, 1, padH, padW, h,
-                       wd);
+    return convViaGemm(srcData, n, f, srcH, srcW, wT.data(), c, kh,
+                       kw, 1, padH, padW, h, wd);
 }
 
 Tensor
@@ -398,16 +387,18 @@ conv2dWeightGrad(const Tensor &dy, const Tensor &x,
     const std::int64_t depth = c * kh * kw;
 
     const Tensor cols = im2col(x, int(kh), int(kw), spec); // [rows, depth]
+    const kernels::KernelSet &ks = kernels::active();
 
     // dyT[of][row]: gather the NCHW dy into filter-major order.
-    std::vector<float> dyT(size_t(f * rows));
+    // Unzeroed lease: every element is written below.
+    arena::ScratchLease dyT =
+        arena::scratchFloats(std::size_t(f * rows), false);
     parallel_for(f, 1, [&](std::int64_t lo, std::int64_t hi) {
         for (std::int64_t of = lo; of < hi; ++of) {
             float *dst = dyT.data() + of * rows;
-            for (std::int64_t in = 0; in < n; ++in) {
-                const float *s = dy.data() + (in * f + of) * pix;
-                std::copy(s, s + pix, dst + in * pix);
-            }
+            for (std::int64_t in = 0; in < n; ++in)
+                ks.copyRow(dst + in * pix,
+                           dy.data() + (in * f + of) * pix, pix);
         }
     });
 
@@ -417,8 +408,8 @@ conv2dWeightGrad(const Tensor &dy, const Tensor &x,
         for (std::int64_t t = lo; t < hi; ++t) {
             const std::int64_t f0 = t * kFilterBlock;
             const std::int64_t f1 = std::min(f0 + kFilterBlock, f);
-            gemmRowRange(dyT.data(), rows, cols.data(), depth,
-                         dw.data(), depth, f0, f1, rows, depth);
+            ks.gemmRowRange(dyT.data(), rows, cols.data(), depth,
+                            dw.data(), depth, f0, f1, rows, depth);
         }
     });
     return dw;
@@ -558,9 +549,10 @@ matmul(const Tensor &a, const Tensor &b)
                 (long long)k, (long long)b.dim(0));
 
     Tensor y({m, n});
+    const kernels::KernelSet &ks = kernels::active();
     parallel_for(m, 4, [&](std::int64_t lo, std::int64_t hi) {
-        gemmRowRange(a.data(), k, b.data(), n, y.data(), n, lo, hi, k,
-                     n);
+        ks.gemmRowRange(a.data(), k, b.data(), n, y.data(), n, lo, hi,
+                        k, n);
     });
     return y;
 }
