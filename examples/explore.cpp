@@ -53,7 +53,8 @@ usage(const char *argv0)
         "  --seed <n>              strategy RNG seed (default 1)\n"
         "  --budget <n>            max candidates (0 = whole space)\n"
         "  --objectives a,b,...    energy,latency,area,edp,"
-        "idle_power,utilization,accuracy,resilience\n"
+        "idle_power,utilization,accuracy,resilience,"
+        "latency_timed\n"
         "  --constraint k=v        repeatable; max_area_mm2, "
         "max_idle_w,\n"
         "                          min_utilization, min_accuracy,\n"

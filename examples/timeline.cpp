@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Event-driven timeline driver: lower a network to the shared IR and
+ * execute it on either backend.
+ *
+ *   $ ./build/examples/timeline [options]
+ *     --network <name>        model zoo name (default lenet5)
+ *     --engine inca|ws        dataflow (default inca)
+ *     --phase inference|training  (default inference)
+ *     --batch <n>             batch size (default 64)
+ *     --backend analytic|event    (default event)
+ *     --overlap on|off        double-buffered load/compute (off)
+ *     --disasm                print the lowered program and exit
+ *     --json <path>           write the run + provenance as JSON
+ *
+ * Stdout is byte-stable across backends with --overlap off (the
+ * bit-exactness contract; CI diffs analytic vs event output) and
+ * across thread counts and cache settings. Schedule diagnostics go to
+ * stderr. With INCA_TRACE=<path> the event backend emits one Chrome
+ * trace span per instruction at simulated time.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "common/env.hh"
+#include "event/event.hh"
+#include "examples/cli.hh"
+#include "ir/lower.hh"
+#include "nn/model_zoo.hh"
+#include "sim/export.hh"
+
+namespace {
+
+void
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s [--network <name>] [--engine inca|ws] "
+                 "[--phase inference|training] [--batch <n>] "
+                 "[--backend analytic|event] [--overlap on|off] "
+                 "[--disasm] [--json <path>]\n",
+                 argv0);
+    std::exit(2);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace inca;
+
+    checkEnvironment();
+
+    std::string network = "lenet5";
+    std::string engine = "inca";
+    std::string phaseName = "inference";
+    std::string backend = "event";
+    std::string jsonPath;
+    int batch = 64;
+    bool overlap = false;
+    bool disasm = false;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto value = [&]() -> const char * {
+            if (i + 1 >= argc)
+                usage(argv[0]);
+            return argv[++i];
+        };
+        if (arg == "--network") {
+            network = value();
+        } else if (arg == "--engine") {
+            engine = value();
+        } else if (arg == "--phase") {
+            phaseName = value();
+        } else if (arg == "--batch") {
+            batch = int(cli::parsePositive("--batch", value()));
+        } else if (arg == "--backend") {
+            backend = value();
+        } else if (arg == "--overlap") {
+            const std::string v = value();
+            overlap = v == "on";
+            if (!overlap && v != "off")
+                usage(argv[0]);
+        } else if (arg == "--disasm") {
+            disasm = true;
+        } else if (arg == "--json") {
+            jsonPath = value();
+        } else {
+            usage(argv[0]);
+        }
+    }
+    if ((engine != "inca" && engine != "ws") ||
+        (backend != "analytic" && backend != "event") ||
+        (phaseName != "inference" && phaseName != "training"))
+        usage(argv[0]);
+
+    const arch::Phase phase = phaseName == "training"
+                                  ? arch::Phase::Training
+                                  : arch::Phase::Inference;
+    const nn::NetworkDesc net = nn::byName(network);
+    const ir::LowerOptions opts{overlap};
+    const ir::Program program =
+        engine == "inca"
+            ? ir::lowerInca(arch::paperInca(), net, phase, batch, opts)
+            : ir::lowerWs(arch::paperBaseline(), net, phase, batch,
+                          opts);
+
+    if (disasm) {
+        std::fputs(ir::disassemble(program).c_str(), stdout);
+        return 0;
+    }
+
+    arch::RunCost run;
+    if (backend == "event") {
+        const event::TimedRun timed = event::execute(program);
+        event::emitTrace(program, timed);
+        run = timed.run;
+        // Schedule diagnostics -- stderr, so stdout stays diffable
+        // against the analytic backend.
+        std::fprintf(stderr, "event: %zu instrs, makespan %.17g s\n",
+                     program.instrs.size(), timed.makespan);
+        for (const auto &[unit, intervals] : timed.busy) {
+            Seconds busySum = 0.0;
+            for (const auto &iv : intervals)
+                busySum += iv.finish - iv.start;
+            std::fprintf(stderr,
+                         "event: unit %-8s %4zu intervals, busy "
+                         "%.17g s\n",
+                         unit.c_str(), intervals.size(), busySum);
+        }
+    } else {
+        run = ir::analyticWalk(program);
+    }
+
+    // Byte-stable summary: full precision, no backend provenance.
+    std::printf("timeline %s.%s.%s batch=%d overlap=%d\n",
+                program.engine.c_str(), program.network.c_str(),
+                phaseName.c_str(), batch, overlap ? 1 : 0);
+    std::printf("layer,kind,latency_s,energy_j\n");
+    for (const auto &layer : run.layers)
+        std::printf("%s,%s,%.17g,%.17g\n", layer.name.c_str(),
+                    nn::layerKindName(layer.kind), layer.latency,
+                    layer.energy());
+    std::printf("total,latency_s,%.17g\n", run.latency);
+    std::printf("total,dynamic_energy_j,%.17g\n", run.sum("energy"));
+    std::printf("total,static_energy_j,%.17g\n", run.staticEnergy);
+    std::printf("total,energy_j,%.17g\n", run.energy());
+
+    if (!jsonPath.empty()) {
+        const std::string extras =
+            std::string("\"backend\": \"") + backend +
+            "\", \"overlap\": " + (overlap ? "true" : "false") +
+            ", \"engine\": \"" + program.engine + "\"";
+        sim::writeFile(jsonPath, sim::toJson(run, extras));
+    }
+    return 0;
+}

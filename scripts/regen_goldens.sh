@@ -1,7 +1,9 @@
 #!/bin/sh
-# Regenerate tests/goldens_fig11_fig14.inc from the current analytic
-# models. Run from the repo root after a REVIEWED model change; the
-# paper-goldens test pins the output bit-for-bit.
+# Regenerate tests/goldens_fig11_fig14.inc (paper ratio goldens) and
+# tests/goldens_ir.inc (IR lowering disassembly goldens) from the
+# current analytic models. Run from the repo root after a REVIEWED
+# model change; the paper-goldens and ir-lowering tests pin the
+# output bit-for-bit.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -12,3 +14,6 @@ cmake --build build --target golden_gen -j >/dev/null
 INCA_CACHE=0 INCA_NUM_THREADS=1 \
     ./build/tests/golden_gen > tests/goldens_fig11_fig14.inc
 echo "wrote tests/goldens_fig11_fig14.inc"
+INCA_CACHE=0 INCA_NUM_THREADS=1 \
+    ./build/tests/golden_gen --ir > tests/goldens_ir.inc
+echo "wrote tests/goldens_ir.inc"

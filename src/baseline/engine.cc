@@ -1,34 +1,18 @@
 #include "baseline/engine.hh"
 
-#include <algorithm>
-#include <cmath>
-
 #include "arch/power.hh"
-#include "baseline/mapping.hh"
 #include "common/logging.hh"
 #include "common/metrics.hh"
 #include "common/trace.hh"
-#include "dataflow/access_model.hh"
+#include "ir/lower.hh"
 
 namespace inca {
 namespace baseline {
 
-using arch::LayerCost;
 using arch::Phase;
 using arch::RunCost;
-using nn::LayerDesc;
-using nn::LayerKind;
 
 namespace {
-
-/** Per-layer evaluations, shared by every BaselineEngine instance. */
-EvalCache<LayerCost> &
-wsLayerCache()
-{
-    static EvalCache<LayerCost> *c =
-        new EvalCache<LayerCost>("ws.layer");
-    return *c;
-}
 
 /** Whole-run evaluations (one network, phase, batch). */
 EvalCache<RunCost> &
@@ -36,15 +20,6 @@ wsRunCache()
 {
     static EvalCache<RunCost> *c = new EvalCache<RunCost>("ws.run");
     return *c;
-}
-
-/** Wall clock of one cached layer-cost lookup (hit or miss). */
-metrics::Histogram &
-layerEvalHistogram()
-{
-    static metrics::Histogram *h =
-        &metrics::histogram("engine.layer_eval_us");
-    return *h;
 }
 
 /** Wall clock of one cached whole-run evaluation. */
@@ -64,190 +39,6 @@ BaselineEngine::BaselineEngine(arch::BaselineConfig cfg)
     arch::appendKey(cfgKey_, cfg_);
 }
 
-bool
-BaselineEngine::weightsReloaded(const nn::NetworkDesc &net,
-                                bool training) const
-{
-    // Training keeps a transposed copy next to the originals
-    // (Limitation 2), doubling the cell demand.
-    const double cellsNeeded = double(net.totalWeights()) *
-                               cfg_.weightBits * (training ? 2.0 : 1.0);
-    return cellsNeeded > double(cfg_.totalCells());
-}
-
-double
-BaselineEngine::bufferShare(const nn::NetworkDesc &net,
-                            const nn::LayerDesc &layer) const
-{
-    // Layers share the chip's buffers in proportion to the crossbars
-    // their pipeline stage occupies.
-    const double totalArrays = double(arraysForNetwork(net, cfg_));
-    if (totalArrays == 0.0)
-        return 0.0;
-    const double layerArrays = double(mapLayer(layer, cfg_).arrays());
-    const double totalBuffer =
-        double(cfg_.org.numTiles) * cfg_.buffer.capacity;
-    return totalBuffer * layerArrays / totalArrays;
-}
-
-LayerCost
-BaselineEngine::forwardLayer(const nn::NetworkDesc &net,
-                             const LayerDesc &layer, int batchSize) const
-{
-    trace::Span span(trace::spanName("ws.fwd ", layer.name));
-    metrics::ScopedTimer timer(layerEvalHistogram());
-    CacheKey key = cfgKey_;
-    key.add("F");
-    nn::appendKey(key, layer);
-    // The only way the network influences a layer's cost is through
-    // its buffer share; keying on that value keeps the cache shared
-    // across networks that grant the same share.
-    key.add(batchSize).add(bufferShare(net, layer));
-    LayerCost cost = wsLayerCache().getOrCompute(key, [&] {
-        return computeForwardLayer(net, layer, batchSize);
-    });
-    cost.name = layer.name;
-    cost.kind = layer.kind;
-    return cost;
-}
-
-LayerCost
-BaselineEngine::computeForwardLayer(const nn::NetworkDesc &net,
-                                    const LayerDesc &layer,
-                                    int batchSize) const
-{
-    LayerCost cost;
-    cost.name = layer.name;
-    cost.kind = layer.kind;
-
-    const WsMapping m = mapLayer(layer, cfg_);
-    const double images = batchSize;
-    const double wBits = cfg_.weightBits;
-    const double aBits = cfg_.activationBits;
-    const double s = cfg_.subarraySize;
-
-    // Window activations per image: every window position, every
-    // input-bit cycle (bit-serial DAC streaming, ISAAC style).
-    const double activations = double(m.windows) * aBits;
-
-    // --- Array reads: the driven rows cross EVERY column of their
-    // arrays (1T1R has no column gating), so unused columns still burn
-    // read current -- the coarse-grained cost of Limitation 3. Per-
-    // column sample-and-holds (as in ISAAC) keep the bias to one read
-    // pulse while the shared ADC scans.
-    const double activeCells = double(m.usedRows) *
-                               double(m.colTiles) * s *
-                               double(m.channelGroups);
-    const double cellReads = activations * activeCells * images;
-    cost.stats.add("count.array.read", cellReads);
-    cost.stats.add("energy.array.read",
-                   cellReads * cfg_.device.avgReadEnergy());
-
-    // --- ADC: every column of every active array converts each cycle.
-    const double conversions =
-        activations * double(m.arrays()) * s * images;
-    cost.stats.add("count.adc", conversions);
-    cost.stats.add("energy.adc",
-                   conversions * cfg_.adc().energyPerConversion);
-
-    // --- DAC drivers on the used rows.
-    cost.stats.add("energy.dac",
-                   activations * double(m.usedRows) *
-                       double(m.channelGroups) * images *
-                       circuit::makeDac().energyPerActivation);
-
-    // --- Digital: shift-accumulate per conversion, adders joining
-    // row tiles, output registers.
-    cost.stats.add("energy.digital.shift",
-                   conversions * cfg_.digital.shiftAccumulate);
-    const double outputs = double(layer.outputCount());
-    cost.stats.add("energy.digital.adders",
-                   outputs * aBits * images *
-                       circuit::adderTreeEnergy(cfg_.digital,
-                                                double(m.rowTiles)));
-    cost.stats.add("energy.digital.register",
-                   outputs * images * 2.0 * cfg_.digital.registerAccess);
-
-    // --- Buffers: inputs fetched per output element (Eq. 5 x OH x OW)
-    // and outputs saved per position (Eq. 6) to keep the inter-layer
-    // pipeline running (Limitation 1).
-    const dataflow::AccessConfig acc{int(wBits),
-                                     cfg_.buffer.port.widthBits};
-    const double fetchWords =
-        double(dataflow::fetchWordsPerOutput(layer, acc)) *
-        double(m.windows) * images;
-    const double saveWords_ =
-        double(dataflow::saveWords(layer, acc)) * images;
-    cost.stats.add("count.buffer.read", fetchWords);
-    cost.stats.add("energy.buffer.read",
-                   cfg_.buffer.readEnergy(fetchWords));
-    cost.stats.add("count.buffer.write", saveWords_);
-    cost.stats.add("energy.buffer.write",
-                   cfg_.buffer.writeEnergy(saveWords_));
-
-    // --- DRAM: activations that exceed the stage's buffer share spill
-    // off-chip (written by this layer, read back by the next).
-    const double outBytes = outputs * aBits / 8.0;
-    const double spill =
-        std::max(0.0, outBytes - bufferShare(net, layer));
-    double dramBytes = 2.0 * spill * images;
-    cost.stats.add("count.dram.bytes", dramBytes);
-    cost.stats.add("energy.dram.activation",
-                   cfg_.dram.accessEnergy(dramBytes));
-
-    // --- Latency per image: windows stream through the crossbars one
-    // per aBits cycles; all kernels' columns compute in parallel.
-    cost.latency = activations * cfg_.readCycle();
-    return cost;
-}
-
-LayerCost
-BaselineEngine::auxLayer(const LayerDesc &layer, int batchSize) const
-{
-    trace::Span span(trace::spanName("ws.aux ", layer.name));
-    metrics::ScopedTimer timer(layerEvalHistogram());
-    CacheKey key = cfgKey_;
-    key.add("A");
-    nn::appendKey(key, layer);
-    key.add(batchSize);
-    LayerCost cost = wsLayerCache().getOrCompute(
-        key, [&] { return computeAuxLayer(layer, batchSize); });
-    cost.name = layer.name;
-    cost.kind = layer.kind;
-    return cost;
-}
-
-LayerCost
-BaselineEngine::computeAuxLayer(const LayerDesc &layer,
-                                int batchSize) const
-{
-    LayerCost cost;
-    cost.name = layer.name;
-    cost.kind = layer.kind;
-    const double images = batchSize;
-    const double outputs = double(layer.outputCount());
-    switch (layer.kind) {
-      case LayerKind::ReLU:
-        cost.stats.add("energy.digital.post",
-                       outputs * images * cfg_.digital.reluOp);
-        break;
-      case LayerKind::MaxPool:
-      case LayerKind::AvgPool:
-        cost.stats.add("energy.digital.post",
-                       outputs * images * double(layer.kh) * layer.kw *
-                           cfg_.digital.maxPoolCompare);
-        break;
-      case LayerKind::Add:
-        cost.stats.add("energy.digital.post",
-                       outputs * images * cfg_.digital.adder8bit);
-        break;
-      default:
-        break;
-    }
-    cost.latency = 0.0;
-    return cost;
-}
-
 RunCost
 BaselineEngine::inference(const nn::NetworkDesc &net,
                           int batchSize) const
@@ -259,74 +50,10 @@ BaselineEngine::inference(const nn::NetworkDesc &net,
     key.add("run-inference");
     nn::appendKey(key, net);
     key.add(batchSize);
-    return wsRunCache().getOrCompute(
-        key, [&] { return computeInference(net, batchSize); });
-}
-
-RunCost
-BaselineEngine::computeInference(const nn::NetworkDesc &net,
-                                 int batchSize) const
-{
-    RunCost run;
-    run.network = net.name;
-    run.phase = Phase::Inference;
-    run.batchSize = batchSize;
-    run.configKeyHash = cfgKey_.hash();
-
-    Seconds fill = 0.0;
-    Seconds slowest = 0.0;
-    Seconds stageSum = 0.0;
-    int stages = 0;
-    for (const auto &layer : net.layers) {
-        LayerCost cost = layer.isConvLike()
-                             ? forwardLayer(net, layer, batchSize)
-                             : auxLayer(layer, batchSize);
-        // Per-image stage time; the pipeline overlaps images.
-        const Seconds stage = cost.latency;
-        fill += stage;
-        slowest = std::max(slowest, stage);
-        if (layer.isConvLike()) {
-            stageSum += stage;
-            ++stages;
-        }
-        run.layers.push_back(std::move(cost));
-    }
-
-    // ISAAC balances its pipeline by replicating the weights of the
-    // window-heavy early layers over spare crossbars; a perfectly
-    // balanced pipeline would run at the mean stage time, and the
-    // residual imbalance after replication is modelled as 1.5x.
-    constexpr double kPipelineImbalance = 1.5;
-    if (stages > 0) {
-        const Seconds balanced =
-            kPipelineImbalance * stageSum / double(stages);
-        slowest = std::min(slowest, balanced);
-    }
-
-    // Weight reloading when the model exceeds on-chip RRAM: stream the
-    // weights from DRAM and reprogram the cells once per batch.
-    if (weightsReloaded(net, false)) {
-        LayerCost reload;
-        reload.name = "weight-reload";
-        reload.kind = LayerKind::Conv;
-        const double weightBits =
-            double(net.totalWeights()) * cfg_.weightBits;
-        const double bytes = weightBits / 8.0;
-        reload.stats.add("count.dram.bytes", bytes);
-        reload.stats.add("energy.dram.weights",
-                         cfg_.dram.accessEnergy(bytes));
-        reload.stats.add("energy.array.write",
-                         weightBits * cfg_.device.avgWriteEnergy());
-        // Rows program in parallel across arrays; expose the stream.
-        reload.latency = cfg_.dram.streamTime(bytes);
-        fill += reload.latency;
-        run.layers.push_back(std::move(reload));
-    }
-
-    // ISAAC pipelining: fill once, then one image per slowest stage.
-    run.latency = fill + double(batchSize - 1) * slowest;
-    run.staticEnergy = idlePower_ * run.latency;
-    return run;
+    return wsRunCache().getOrCompute(key, [&] {
+        return ir::analyticWalk(
+            ir::lowerWs(cfg_, net, Phase::Inference, batchSize));
+    });
 }
 
 RunCost
@@ -339,94 +66,10 @@ BaselineEngine::training(const nn::NetworkDesc &net, int batchSize) const
     key.add("run-training");
     nn::appendKey(key, net);
     key.add(batchSize);
-    return wsRunCache().getOrCompute(
-        key, [&] { return computeTraining(net, batchSize); });
-}
-
-RunCost
-BaselineEngine::computeTraining(const nn::NetworkDesc &net,
-                                int batchSize) const
-{
-    RunCost run;
-    run.network = net.name;
-    run.phase = Phase::Training;
-    run.batchSize = batchSize;
-    run.configKeyHash = cfgKey_.hash();
-
-    // Forward, error backpropagation, and weight-gradient passes all
-    // run on the crossbars with comparable window/bit-cycle structure.
-    // PipeLayer pipelines images through training too, but -- unlike
-    // inference -- the pipeline cannot be balanced by replicating the
-    // early layers' weights, because every replica would have to be
-    // reprogrammed at each update. The batch therefore drains at the
-    // raw slowest stage, three passes deep.
-    Seconds slowest = 0.0;
-    Seconds fill = 0.0;
-    const double passes = 3.0;
-    for (const auto &layer : net.layers) {
-        if (layer.isConvLike()) {
-            LayerCost fwd = forwardLayer(net, layer, batchSize);
-            const Seconds stage = fwd.latency;
-
-            LayerCost bwd = fwd;
-            bwd.name = layer.name + ".bwd";
-            LayerCost upd = fwd;
-            upd.name = layer.name + ".upd";
-            // The backward pass reads the transposed-weight copy; the
-            // update pass writes activations/errors to RRAM and
-            // reprograms the weight cells (original + transposed).
-            const double aBits = cfg_.activationBits;
-            const double actWrites =
-                double(layer.inputCount()) * aBits * batchSize;
-            bwd.stats.add("count.array.write", actWrites);
-            bwd.stats.add("energy.array.write",
-                          actWrites * cfg_.device.avgWriteEnergy());
-            const double weightCellWrites =
-                2.0 * double(layer.weightCount()) * cfg_.weightBits;
-            upd.stats.add("count.array.write", weightCellWrites);
-            upd.stats.add("energy.array.write",
-                          weightCellWrites *
-                              cfg_.device.avgWriteEnergy());
-            upd.latency += weightCellWrites > 0.0 ? cfg_.device.tWrite
-                                                  : 0.0;
-
-            slowest = std::max(slowest, stage);
-            fill += passes * stage;
-            run.layers.push_back(std::move(fwd));
-            run.layers.push_back(std::move(bwd));
-            run.layers.push_back(std::move(upd));
-        } else {
-            LayerCost aux = auxLayer(layer, batchSize);
-            LayerCost auxBwd = aux;
-            auxBwd.name = layer.name + ".bwd";
-            run.layers.push_back(std::move(aux));
-            run.layers.push_back(std::move(auxBwd));
-        }
-    }
-
-    if (weightsReloaded(net, true)) {
-        LayerCost reload;
-        reload.name = "weight-reload";
-        reload.kind = LayerKind::Conv;
-        // Originals + transposed copies, streamed and programmed.
-        const double weightBits =
-            2.0 * double(net.totalWeights()) * cfg_.weightBits;
-        const double bytes = weightBits / 8.0;
-        reload.stats.add("count.dram.bytes", bytes);
-        reload.stats.add("energy.dram.weights",
-                         cfg_.dram.accessEnergy(bytes));
-        reload.stats.add("energy.array.write",
-                         weightBits * cfg_.device.avgWriteEnergy());
-        reload.latency = cfg_.dram.streamTime(bytes);
-        run.layers.push_back(std::move(reload));
-        run.latency += run.layers.back().latency;
-    }
-
-    // Images pipeline through the three passes at the unbalanced
-    // slowest stage.
-    run.latency += fill + double(batchSize - 1) * passes * slowest;
-    run.staticEnergy = idlePower_ * run.latency;
-    return run;
+    return wsRunCache().getOrCompute(key, [&] {
+        return ir::analyticWalk(
+            ir::lowerWs(cfg_, net, Phase::Training, batchSize));
+    });
 }
 
 } // namespace baseline

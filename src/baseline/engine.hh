@@ -4,7 +4,10 @@
  *
  * Models the paper's baseline: an ISAAC-style [42] 2D 128 x 128
  * crossbar accelerator with pipelined inference, extended with
- * PipeLayer-style [48] in-situ training:
+ * PipeLayer-style [48] in-situ training. Since the IR refactor the
+ * per-layer math lives in the shared lowering pass (ir/lower.hh);
+ * this engine lowers the network and folds the instruction stream
+ * back through ir::analyticWalk(). Model highlights:
  *
  *  - weights stay in 1T1R crossbars; every window's inputs are fetched
  *    from buffers (Eq. 5 per output element) and every output is saved
@@ -50,35 +53,6 @@ class BaselineEngine
     Watts idlePower() const { return idlePower_; }
 
   private:
-    /** True when the weights do not fit the on-chip RRAM capacity. */
-    bool weightsReloaded(const nn::NetworkDesc &net,
-                         bool training) const;
-
-    /** Buffer bytes a layer's pipeline stage can claim. */
-    double bufferShare(const nn::NetworkDesc &net,
-                       const nn::LayerDesc &layer) const;
-
-    // Cached per-layer entry points; keys exclude the layer name (the
-    // forward key embeds the layer's bufferShare to capture the
-    // network dependence), and the wrappers restore presentation
-    // fields on the returned copy.
-    arch::LayerCost forwardLayer(const nn::NetworkDesc &net,
-                                 const nn::LayerDesc &layer,
-                                 int batchSize) const;
-    arch::LayerCost auxLayer(const nn::LayerDesc &layer,
-                             int batchSize) const;
-
-    // Uncached analytic bodies.
-    arch::LayerCost computeForwardLayer(const nn::NetworkDesc &net,
-                                        const nn::LayerDesc &layer,
-                                        int batchSize) const;
-    arch::LayerCost computeAuxLayer(const nn::LayerDesc &layer,
-                                    int batchSize) const;
-    arch::RunCost computeInference(const nn::NetworkDesc &net,
-                                   int batchSize) const;
-    arch::RunCost computeTraining(const nn::NetworkDesc &net,
-                                  int batchSize) const;
-
     arch::BaselineConfig cfg_;
     Watts idlePower_;
     CacheKey cfgKey_; ///< canonical key prefix for cfg_

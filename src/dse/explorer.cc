@@ -17,7 +17,9 @@
 #include "common/trace.hh"
 #include "dse/journal.hh"
 #include "dse/pareto.hh"
+#include "event/event.hh"
 #include "inca/engine.hh"
+#include "ir/lower.hh"
 #include "nn/model_zoo.hh"
 #include "sim/export.hh"
 
@@ -67,6 +69,8 @@ Explorer::Explorer(SearchSpace space, ExploreOptions options)
     inca_assert(!options_.objectives.empty(),
                 "exploration needs at least one objective");
     maxWindow_ = maxConvWindow(net_);
+    for (const Objective o : options_.objectives)
+        wantTimed_ = wantTimed_ || o == Objective::LatencyTimed;
 }
 
 std::string
@@ -157,6 +161,13 @@ Explorer::evaluate(std::uint64_t flatIndex) const
         e.run = options_.phase == arch::Phase::Training
                     ? engine.training(net_, cfg.batchSize)
                     : engine.inference(net_, cfg.batchSize);
+        if (wantTimed_)
+            e.timedLatencyS =
+                event::execute(ir::lowerInca(cfg, net_,
+                                             options_.phase,
+                                             cfg.batchSize,
+                                             {/*overlap=*/true}))
+                    .run.latency;
     } else {
         const arch::BaselineConfig cfg = materializeWs(
             space_, e.candidate, options_.baseWs,
@@ -186,6 +197,13 @@ Explorer::evaluate(std::uint64_t flatIndex) const
         e.run = options_.phase == arch::Phase::Training
                     ? engine.training(net_, cfg.batchSize)
                     : engine.inference(net_, cfg.batchSize);
+        if (wantTimed_)
+            e.timedLatencyS =
+                event::execute(ir::lowerWs(cfg, net_,
+                                           options_.phase,
+                                           cfg.batchSize,
+                                           {/*overlap=*/true}))
+                    .run.latency;
     }
 
     e.scored = true;
@@ -320,7 +338,7 @@ frontierCsv(const SearchSpace &space,
     for (const auto &axis : space.axes())
         os << "," << axis.name;
     os << ",energy_j,latency_s,area_m2,idle_w,utilization,accuracy,"
-          "resilience,config_key_hash\n";
+          "resilience,latency_timed_s,config_key_hash\n";
     for (const Evaluation &e : frontier) {
         os << e.candidate.index;
         for (const std::int64_t v : e.candidate.values)
@@ -328,7 +346,8 @@ frontierCsv(const SearchSpace &space,
         os << "," << num17(e.energyJ) << "," << num17(e.latencyS)
            << "," << num17(e.areaM2) << "," << num17(e.idlePowerW)
            << "," << num17(e.utilization) << ","
-           << num17(e.accuracy) << "," << num17(e.resilience);
+           << num17(e.accuracy) << "," << num17(e.resilience)
+           << "," << num17(e.timedLatencyS);
         char hex[32];
         std::snprintf(hex, sizeof(hex), "0x%llx",
                       static_cast<unsigned long long>(
@@ -420,7 +439,9 @@ frontierJson(const Explorer &explorer, const ExploreResult &result)
            << ", \"idle_w\": " << num17(e.idlePowerW)
            << ", \"utilization\": " << num17(e.utilization)
            << ", \"accuracy\": " << num17(e.accuracy)
-           << ", \"resilience\": " << num17(e.resilience) << "}"
+           << ", \"resilience\": " << num17(e.resilience)
+           << ", \"latency_timed_s\": " << num17(e.timedLatencyS)
+           << "}"
            << (i + 1 < points.size() ? "," : "") << "\n";
     }
     os << "  ]\n}\n";

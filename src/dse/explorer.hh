@@ -131,6 +131,8 @@ class Explorer
     ExploreOptions options_;
     nn::NetworkDesc net_;
     int maxWindow_ = 0;
+    /** latency_timed selected: score the event backend too. */
+    bool wantTimed_ = false;
 };
 
 /**

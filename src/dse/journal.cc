@@ -220,6 +220,10 @@ parseEvalLine(const std::string &line, Evaluation &e)
     // rather than failing the whole line.
     if (!getDouble(line, "resilience", e.resilience))
         e.resilience = 0.0;
+    // Same forward-compatibility treatment: journals written before
+    // the event backend carry no timed latency.
+    if (!getDouble(line, "latency_timed_s", e.timedLatencyS))
+        e.timedLatencyS = 0.0;
     if (!getDoubleArray(line, "objectives", e.objectives))
         return false;
     return true;
@@ -254,6 +258,7 @@ evalToJsonLine(const Evaluation &e)
     out += ",\"resilience\":" + fmtDouble(e.resilience);
     out += ",\"energy_j\":" + fmtDouble(e.energyJ);
     out += ",\"latency_s\":" + fmtDouble(e.latencyS);
+    out += ",\"latency_timed_s\":" + fmtDouble(e.timedLatencyS);
     out += ",\"objectives\":[";
     for (std::size_t i = 0; i < e.objectives.size(); ++i) {
         if (i > 0)

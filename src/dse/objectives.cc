@@ -30,6 +30,8 @@ objectiveName(Objective o)
         return "accuracy";
       case Objective::Resilience:
         return "resilience";
+      case Objective::LatencyTimed:
+        return "latency_timed";
     }
     panic("unreachable objective %d", int(o));
 }
@@ -41,7 +43,7 @@ objectiveByName(const std::string &name)
          {Objective::Energy, Objective::Latency, Objective::Area,
           Objective::Edp, Objective::IdlePower,
           Objective::Utilization, Objective::Accuracy,
-          Objective::Resilience}) {
+          Objective::Resilience, Objective::LatencyTimed}) {
         if (name == objectiveName(o))
             return o;
     }
@@ -95,6 +97,8 @@ Evaluation::value(Objective o) const
         return accuracy;
       case Objective::Resilience:
         return resilience;
+      case Objective::LatencyTimed:
+        return timedLatencyS;
     }
     panic("unreachable objective %d", int(o));
 }

@@ -41,14 +41,15 @@ namespace dse {
 /** A Pareto objective. */
 enum class Objective
 {
-    Energy,      ///< energy per batch [J] (minimize)
-    Latency,     ///< batch makespan [s] (minimize)
-    Area,        ///< chip area [m^2] (minimize)
-    Edp,         ///< energy-delay product [J*s] (minimize)
-    IdlePower,   ///< chip idle power [W] (minimize)
-    Utilization, ///< network array utilization [0,1] (maximize)
-    Accuracy,    ///< accuracy-under-noise proxy [0,1] (maximize)
-    Resilience,  ///< accuracy-under-faults proxy [0,1] (maximize)
+    Energy,       ///< energy per batch [J] (minimize)
+    Latency,      ///< batch makespan [s] (minimize)
+    Area,         ///< chip area [m^2] (minimize)
+    Edp,          ///< energy-delay product [J*s] (minimize)
+    IdlePower,    ///< chip idle power [W] (minimize)
+    Utilization,  ///< network array utilization [0,1] (maximize)
+    Accuracy,     ///< accuracy-under-noise proxy [0,1] (maximize)
+    Resilience,   ///< accuracy-under-faults proxy [0,1] (maximize)
+    LatencyTimed, ///< event-backend makespan, overlap on [s] (min.)
 };
 
 /** "energy", "latency", ... (the CLI spelling). */
@@ -82,6 +83,15 @@ struct Evaluation
     // Engine-scored scalars (valid when scored).
     double energyJ = 0.0;
     double latencyS = 0.0;
+    /**
+     * Event-backend makespan with load/compute overlap enabled
+     * (ir::lower* + event::execute). Only computed when the
+     * latency_timed objective is selected -- the event schedule is
+     * pure but costs a full lowering per candidate -- so it reads
+     * 0.0 otherwise (and for journals written before the objective
+     * existed).
+     */
+    double timedLatencyS = 0.0;
     std::uint64_t configKeyHash = 0;
 
     /**

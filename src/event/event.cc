@@ -1,0 +1,143 @@
+#include "event/event.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <utility>
+
+#include "common/logging.hh"
+#include "common/trace.hh"
+
+namespace inca {
+namespace event {
+
+TimedRun
+execute(const ir::Program &p)
+{
+    const int n = int(p.instrs.size());
+    inca_assert(n >= 1, "empty program '%s'", p.network.c_str());
+
+    TimedRun t;
+    t.schedule.resize(std::size_t(n));
+
+    // Successor lists + in-degrees from the lowered dependencies.
+    std::vector<int> indeg(std::size_t(n), 0);
+    std::vector<std::vector<int>> succ(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+        indeg[std::size_t(i)] = int(p.instrs[std::size_t(i)].deps.size());
+        for (const int d : p.instrs[std::size_t(i)].deps)
+            succ[std::size_t(d)].push_back(i);
+    }
+
+    // ready[i] = max finish over resolved dependencies. Taking the
+    // running max (never a sum) keeps the schedule's arithmetic the
+    // exact additions of the lowered durations, independent of event
+    // pop order -- max is order-independent, unlike FP addition.
+    std::vector<Seconds> ready(std::size_t(n), 0.0);
+
+    using Event = std::pair<Seconds, int>; // (finish, instr)
+    std::priority_queue<Event, std::vector<Event>, std::greater<Event>>
+        queue;
+    int dispatched = 0;
+    for (int i = 0; i < n; ++i) {
+        if (indeg[std::size_t(i)] == 0) {
+            t.schedule[std::size_t(i)] = {
+                0.0, p.instrs[std::size_t(i)].duration};
+            queue.emplace(t.schedule[std::size_t(i)].finish, i);
+            ++dispatched;
+        }
+    }
+
+    int completed = 0;
+    while (!queue.empty()) {
+        const auto [finish, i] = queue.top();
+        queue.pop();
+        ++completed;
+        for (const int s : succ[std::size_t(i)]) {
+            ready[std::size_t(s)] =
+                std::max(ready[std::size_t(s)], finish);
+            if (--indeg[std::size_t(s)] == 0) {
+                const Seconds start = ready[std::size_t(s)];
+                t.schedule[std::size_t(s)] = {
+                    start,
+                    start + p.instrs[std::size_t(s)].duration};
+                queue.emplace(t.schedule[std::size_t(s)].finish, s);
+                ++dispatched;
+            }
+        }
+    }
+    inca_assert(completed == n && dispatched == n,
+                "deadlock in '%s': %d of %d instructions ran",
+                p.network.c_str(), completed, n);
+
+    // The exit sync is the last instruction by construction.
+    t.makespan = t.schedule[std::size_t(n - 1)].finish;
+
+    // Collapse spans through the same shared code path the analytic
+    // walk uses -- never as schedule-time differences, which would not
+    // be bit-exact ((t + x) - t != x in floating point).
+    t.run.network = p.network;
+    t.run.phase = p.phase;
+    t.run.batchSize = p.batchSize;
+    t.run.configKeyHash = p.configKeyHash;
+    for (const ir::Span &span : p.spans) {
+        if (span.synthetic)
+            continue;
+        t.run.layers.push_back(ir::collapseSpan(p, span));
+    }
+    t.run.latency = t.makespan;
+    t.run.staticEnergy = p.idlePower * t.makespan;
+
+    // Busy intervals per unit, ordered by (start, instr); sync
+    // instructions occupy nothing.
+    std::vector<std::pair<ir::Unit, BusyInterval>> occ;
+    for (int i = 0; i < n; ++i) {
+        const ir::Instr &in = p.instrs[std::size_t(i)];
+        if (in.op == ir::Op::Sync)
+            continue;
+        occ.push_back({in.unit,
+                       {i, t.schedule[std::size_t(i)].start,
+                        t.schedule[std::size_t(i)].finish}});
+    }
+    std::sort(occ.begin(), occ.end(), [](const auto &a, const auto &b) {
+        if (a.first != b.first)
+            return int(a.first) < int(b.first);
+        if (a.second.start != b.second.start)
+            return a.second.start < b.second.start;
+        return a.second.instr < b.second.instr;
+    });
+    for (const auto &[unit, interval] : occ) {
+        if (t.busy.empty() || t.busy.back().first != ir::unitName(unit))
+            t.busy.push_back({ir::unitName(unit), {}});
+        t.busy.back().second.push_back(interval);
+    }
+    return t;
+}
+
+void
+emitTrace(const ir::Program &p, const TimedRun &t)
+{
+    if (!trace::enabled())
+        return;
+    for (int i = 0; i < int(p.instrs.size()); ++i) {
+        const ir::Instr &in = p.instrs[std::size_t(i)];
+        if (in.op == ir::Op::Sync)
+            continue;
+        const std::string name =
+            std::string(ir::unitName(in.unit)) + " " +
+            (in.label.empty() ? ir::opName(in.op) : in.label);
+        const auto us = [](Seconds s) {
+            return std::int64_t(std::llround(s * 1e6));
+        };
+        const std::int64_t start =
+            us(t.schedule[std::size_t(i)].start);
+        const std::int64_t dur =
+            us(t.schedule[std::size_t(i)].finish) - start;
+        trace::emitComplete(name, start, dur);
+    }
+}
+
+} // namespace event
+} // namespace inca

@@ -1,34 +1,18 @@
 #include "inca/engine.hh"
 
-#include <algorithm>
-#include <cmath>
-
 #include "arch/power.hh"
 #include "common/logging.hh"
 #include "common/metrics.hh"
 #include "common/trace.hh"
-#include "dataflow/access_model.hh"
-#include "inca/mapping.hh"
+#include "ir/lower.hh"
 
 namespace inca {
 namespace core {
 
-using arch::LayerCost;
 using arch::Phase;
 using arch::RunCost;
-using nn::LayerDesc;
-using nn::LayerKind;
 
 namespace {
-
-/** Per-layer evaluations, shared by every IncaEngine instance. */
-EvalCache<LayerCost> &
-incaLayerCache()
-{
-    static EvalCache<LayerCost> *c =
-        new EvalCache<LayerCost>("inca.layer");
-    return *c;
-}
 
 /** Whole-run evaluations (one network, phase, batch). */
 EvalCache<RunCost> &
@@ -36,15 +20,6 @@ incaRunCache()
 {
     static EvalCache<RunCost> *c = new EvalCache<RunCost>("inca.run");
     return *c;
-}
-
-/** Wall clock of one cached layer-cost lookup (hit or miss). */
-metrics::Histogram &
-layerEvalHistogram()
-{
-    static metrics::Histogram *h =
-        &metrics::histogram("engine.layer_eval_us");
-    return *h;
 }
 
 /** Wall clock of one cached whole-run evaluation. */
@@ -67,378 +42,7 @@ IncaEngine::IncaEngine(arch::IncaConfig cfg)
 Seconds
 IncaEngine::readCycleTime(int batchSize) const
 {
-    // One windowed read: the read pulse plus the exposed half of the
-    // previous result's write-back (Section V-B-2: the pipeline hides
-    // part of the 50 ns write behind the next read), overlapped with
-    // the shared ADC draining one conversion per active plane in its
-    // group from the per-plane sample-and-holds.
-    const int activePlanes = std::min(batchSize, cfg_.stackedPlanes);
-    const int adcsPerStack =
-        std::max(1, cfg_.stackedPlanes / cfg_.subarraysPerAdc);
-    const double conversionsSerial =
-        std::ceil(double(activePlanes) / double(adcsPerStack));
-    const Seconds adcDrain =
-        conversionsSerial * cfg_.adc().conversionLatency();
-    return std::max(cfg_.device.tRead + 0.5 * cfg_.device.tWrite,
-                    adcDrain);
-}
-
-bool
-IncaEngine::weightsStreamed(const nn::NetworkDesc &net) const
-{
-    const double weightBytes =
-        double(net.totalWeights()) * cfg_.weightBits / 8.0;
-    const double onChip =
-        double(cfg_.org.numTiles) * cfg_.buffer.capacity;
-    return weightBytes > onChip;
-}
-
-namespace {
-
-/** Buffer words to move @p values of @p bits over the tile bus. */
-double
-words(double values, int bits, const memory::Bus &bus)
-{
-    return std::ceil(values * bits / double(bus.widthBits));
-}
-
-} // namespace
-
-LayerCost
-IncaEngine::forwardLayer(const LayerDesc &layer, int batchSize,
-                         bool firstConv, bool streamed) const
-{
-    trace::Span span(trace::spanName("inca.fwd ", layer.name));
-    metrics::ScopedTimer timer(layerEvalHistogram());
-    CacheKey key = cfgKey_;
-    key.add("F");
-    nn::appendKey(key, layer);
-    key.add(batchSize).add(firstConv).add(streamed);
-    LayerCost cost = incaLayerCache().getOrCompute(key, [&] {
-        return computeForwardLayer(layer, batchSize, firstConv,
-                                   streamed);
-    });
-    cost.name = layer.name;
-    cost.kind = layer.kind;
-    return cost;
-}
-
-LayerCost
-IncaEngine::computeForwardLayer(const LayerDesc &layer, int batchSize,
-                                bool firstConv, bool streamed) const
-{
-    LayerCost cost;
-    cost.name = layer.name;
-    cost.kind = layer.kind;
-
-    const IsMapping m = mapLayer(layer, cfg_);
-    const double images = batchSize;
-    const double wBits = cfg_.weightBits;
-    const double aBits = cfg_.activationBits;
-    const double macs = double(layer.macs());
-    const double outputs = double(layer.outputCount());
-    const double batchWaves =
-        std::ceil(double(batchSize) / double(cfg_.stackedPlanes));
-
-    // --- Array reads: every MAC touches one cell per (weight-bit
-    // cycle, activation bit plane); 2T1R gating keeps all other cells
-    // dark (unlike the baseline's fully-driven crossbars).
-    const double cellReads = macs * wBits * aBits * images;
-    cost.stats.add("count.array.read", cellReads);
-    cost.stats.add("energy.array.read",
-                   cellReads * cfg_.device.avgReadEnergy());
-
-    // --- Array writes: outputs propagate directly into the next
-    // layer's arrays (no buffer round trip). The first conv layer also
-    // pays for loading the batch's input images.
-    double cellWrites = outputs * aBits * images;
-    if (firstConv)
-        cellWrites += double(layer.inputCount()) * aBits * images;
-    cost.stats.add("count.array.write", cellWrites);
-    cost.stats.add("energy.array.write",
-                   cellWrites * cfg_.device.avgWriteEnergy());
-
-    // --- ADC: one conversion per (output, weight bit, activation bit
-    // plane, channel ADC group) per image-plane.
-    const double conversions = outputs * wBits * aBits *
-                               double(m.adcGroupsPerOutput) * images;
-    cost.stats.add("count.adc", conversions);
-    cost.stats.add("energy.adc",
-                   conversions * cfg_.adc().energyPerConversion);
-
-    // --- DAC / pillar drivers: pillars are shared by all planes of a
-    // stack, so driver energy is paid once per batch wave, not per
-    // image.
-    const double dacEvents = macs * wBits * aBits * batchWaves;
-    cost.stats.add("energy.dac",
-                   dacEvents * circuit::makeDac().energyPerActivation);
-
-    // --- Digital: shift-accumulators after each conversion, adder
-    // tree across channel groups, output registers.
-    cost.stats.add("energy.digital.shift",
-                   conversions * cfg_.digital.shiftAccumulate);
-    cost.stats.add(
-        "energy.digital.adders",
-        outputs * wBits * aBits * images *
-            circuit::adderTreeEnergy(cfg_.digital,
-                                     double(m.adcGroupsPerOutput)));
-    cost.stats.add("energy.digital.register",
-                   outputs * images * 2.0 * cfg_.digital.registerAccess);
-
-    // --- Buffers: weight fetches only (Eq. 5 x kernels); the fetched
-    // kernel is reused for every window and every plane. When the
-    // model streams from DRAM the buffer is also written once.
-    const dataflow::AccessConfig acc{int(wBits),
-                                     cfg_.buffer.port.widthBits};
-    const double weightFetchWords =
-        double(dataflow::isLayerAccesses(layer, acc)) * batchWaves;
-    cost.stats.add("count.buffer.read", weightFetchWords);
-    cost.stats.add("energy.buffer.read",
-                   cfg_.buffer.readEnergy(weightFetchWords));
-
-    const double weightWords =
-        words(double(layer.weightCount()), int(wBits),
-              cfg_.buffer.port);
-    double dramBytes = 0.0;
-    if (streamed) {
-        cost.stats.add("count.buffer.write", weightWords * batchWaves);
-        cost.stats.add("energy.buffer.write",
-                       cfg_.buffer.writeEnergy(weightWords * batchWaves));
-        dramBytes =
-            double(layer.weightCount()) * wBits / 8.0 * batchWaves;
-        cost.stats.add("count.dram.bytes", dramBytes);
-        cost.stats.add("energy.dram.read",
-                       cfg_.dram.accessEnergy(dramBytes));
-    }
-
-    // --- Latency: sequential windowed reads (output channels are
-    // serial in IS; partitions, channels and planes are parallel),
-    // overlapped with the weight stream from DRAM. When the layer's
-    // mapping leaves macros spare -- common in the small late layers
-    // -- the inputs are replicated across them so several output
-    // channels compute concurrently; the extra input copies are paid
-    // for as additional array writes.
-    const double available = double(cfg_.org.totalMacros());
-    double replication = std::floor(available /
-                                    double(m.macrosNeeded));
-    replication = std::clamp(replication, 1.0,
-                             double(m.serialChannels));
-    if (replication > 1.0) {
-        const double extraWrites = double(layer.inputCount()) * aBits *
-                                   images * (replication - 1.0);
-        cost.stats.add("count.array.write", extraWrites);
-        cost.stats.add("energy.array.write",
-                       extraWrites * cfg_.device.avgWriteEnergy());
-    }
-    const double reads =
-        double(m.positionsPerPartition) * wBits *
-        std::ceil(double(m.serialChannels) / replication);
-    const Seconds compute =
-        reads * readCycleTime(batchSize) * batchWaves;
-    const Seconds dramTime = cfg_.dram.streamTime(dramBytes);
-    cost.latency = std::max(compute, dramTime);
-    return cost;
-}
-
-LayerCost
-IncaEngine::backwardLayer(const LayerDesc &layer, int batchSize,
-                          bool streamed) const
-{
-    trace::Span span(trace::spanName("inca.bwd ", layer.name));
-    metrics::ScopedTimer timer(layerEvalHistogram());
-    CacheKey key = cfgKey_;
-    key.add("B");
-    nn::appendKey(key, layer);
-    key.add(batchSize).add(streamed);
-    LayerCost cost = incaLayerCache().getOrCompute(key, [&] {
-        return computeBackwardLayer(layer, batchSize, streamed);
-    });
-    cost.name = layer.name + ".bwd";
-    cost.kind = layer.kind;
-    return cost;
-}
-
-LayerCost
-IncaEngine::computeBackwardLayer(const LayerDesc &layer, int batchSize,
-                                 bool streamed) const
-{
-    // Error backpropagation: delta_{l+1} convolved with the transposed
-    // kernels. The array work mirrors the forward pass with input and
-    // output roles swapped; the transposed weights are a second fetch
-    // from the same buffer bytes (Table IV's "different element
-    // disposition" observation), and the produced errors overwrite the
-    // dead activations of this layer in place.
-    LayerCost cost = forwardLayer(layer, batchSize, false, streamed);
-    cost.name = layer.name + ".bwd";
-
-    // Replace the forward output-write term: backward writes errors of
-    // the *input* size (they overwrite this layer's activations).
-    const double images = batchSize;
-    const double aBits = cfg_.activationBits;
-    const double fwdWrites =
-        double(layer.outputCount()) * aBits * images;
-    const double bwdWrites = double(layer.inputCount()) * aBits * images;
-    cost.stats.add("count.array.write", bwdWrites - fwdWrites);
-    cost.stats.add("energy.array.write",
-                   (bwdWrites - fwdWrites) *
-                       cfg_.device.avgWriteEnergy());
-    return cost;
-}
-
-LayerCost
-IncaEngine::updateLayer(const LayerDesc &layer, int batchSize,
-                        bool streamed) const
-{
-    trace::Span span(trace::spanName("inca.upd ", layer.name));
-    metrics::ScopedTimer timer(layerEvalHistogram());
-    CacheKey key = cfgKey_;
-    key.add("U");
-    nn::appendKey(key, layer);
-    key.add(batchSize).add(streamed);
-    LayerCost cost = incaLayerCache().getOrCompute(key, [&] {
-        return computeUpdateLayer(layer, batchSize, streamed);
-    });
-    cost.name = layer.name + ".upd";
-    cost.kind = layer.kind;
-    return cost;
-}
-
-LayerCost
-IncaEngine::computeUpdateLayer(const LayerDesc &layer, int batchSize,
-                               bool streamed) const
-{
-    // Weight update: x_l convolved with delta_l. The number of
-    // products equals the layer MACs per image; gradient partial sums
-    // stream out through the shift-accumulators into the buffers and
-    // the updated weights are written back (DRAM when streamed).
-    LayerCost cost;
-    cost.name = layer.name + ".upd";
-    cost.kind = layer.kind;
-
-    const IsMapping m = mapLayer(layer, cfg_);
-    const double images = batchSize;
-    const double wBits = cfg_.weightBits;
-    const double aBits = cfg_.activationBits;
-    const double macs = double(layer.macs());
-    const double weights = double(layer.weightCount());
-    const double batchWaves =
-        std::ceil(double(batchSize) / double(cfg_.stackedPlanes));
-
-    const double cellReads = macs * wBits * aBits * images;
-    cost.stats.add("count.array.read", cellReads);
-    cost.stats.add("energy.array.read",
-                   cellReads * cfg_.device.avgReadEnergy());
-
-    // One conversion per (gradient element, bit pair, ADC group); the
-    // batch dimension is reduced by the plane-level analog accumulation
-    // feeding one shared ADC group per stack.
-    const double conversions = weights * wBits * aBits *
-                               double(m.adcGroupsPerOutput) * batchWaves;
-    cost.stats.add("count.adc", conversions);
-    cost.stats.add("energy.adc",
-                   conversions * cfg_.adc().energyPerConversion);
-    cost.stats.add("energy.digital.shift",
-                   conversions * cfg_.digital.shiftAccumulate);
-    // Gradient subtraction (Eq. 4) in the digital domain.
-    cost.stats.add("energy.digital.adders",
-                   weights * cfg_.digital.adder16bit);
-
-    // Updated weights written back through buffers (and DRAM).
-    const double weightWords =
-        words(weights, int(wBits), cfg_.buffer.port);
-    cost.stats.add("count.buffer.write", weightWords);
-    cost.stats.add("energy.buffer.write",
-                   cfg_.buffer.writeEnergy(weightWords));
-    cost.stats.add("count.buffer.read", weightWords);
-    cost.stats.add("energy.buffer.read",
-                   cfg_.buffer.readEnergy(weightWords));
-    double dramBytes = 0.0;
-    if (streamed) {
-        dramBytes = weights * wBits / 8.0;
-        cost.stats.add("count.dram.bytes", dramBytes);
-        cost.stats.add("energy.dram.write",
-                       cfg_.dram.accessEnergy(dramBytes));
-    }
-
-    // Update runs in parallel with the preceding layer's error
-    // computation (Section IV-C), so its latency mostly hides; the
-    // exposed part is the gradient read-out.
-    const double reads =
-        double(m.positionsPerPartition) * wBits *
-        double(m.serialChannels);
-    cost.latency =
-        std::max(0.25 * reads * readCycleTime(batchSize) * batchWaves,
-                 cfg_.dram.streamTime(dramBytes));
-    return cost;
-}
-
-LayerCost
-IncaEngine::auxLayer(const LayerDesc &layer, int batchSize,
-                     bool backward) const
-{
-    trace::Span span(trace::spanName("inca.aux ", layer.name));
-    metrics::ScopedTimer timer(layerEvalHistogram());
-    CacheKey key = cfgKey_;
-    key.add("A");
-    nn::appendKey(key, layer);
-    key.add(batchSize).add(backward);
-    LayerCost cost = incaLayerCache().getOrCompute(key, [&] {
-        return computeAuxLayer(layer, batchSize, backward);
-    });
-    cost.name = backward ? layer.name + ".bwd" : layer.name;
-    cost.kind = layer.kind;
-    return cost;
-}
-
-LayerCost
-IncaEngine::computeAuxLayer(const LayerDesc &layer, int batchSize,
-                            bool backward) const
-{
-    LayerCost cost;
-    cost.name = backward ? layer.name + ".bwd" : layer.name;
-    cost.kind = layer.kind;
-    const double images = batchSize;
-    const double outputs = double(layer.outputCount());
-
-    switch (layer.kind) {
-      case LayerKind::ReLU:
-        if (backward) {
-            // AND gate against the stored sign replaces the gradient
-            // multiplication (Section IV-C).
-            cost.stats.add("energy.digital.post",
-                           outputs * images * cfg_.digital.andGate);
-        } else {
-            cost.stats.add("energy.digital.post",
-                           outputs * images * cfg_.digital.reluOp);
-        }
-        break;
-      case LayerKind::MaxPool:
-      case LayerKind::AvgPool: {
-        const double window = double(layer.kh) * layer.kw;
-        if (backward) {
-            // LUT restores the argmax position; other nodes are dead.
-            cost.stats.add("energy.digital.post",
-                           outputs * images * cfg_.digital.lutLookup);
-        } else {
-            cost.stats.add("energy.digital.post",
-                           outputs * images * window *
-                               cfg_.digital.maxPoolCompare);
-            // Training must remember argmax positions in the LUT.
-            cost.stats.add("energy.digital.post",
-                           outputs * images * cfg_.digital.lutLookup);
-        }
-        break;
-      }
-      case LayerKind::Add:
-        cost.stats.add("energy.digital.post",
-                       outputs * images * cfg_.digital.adder8bit);
-        break;
-      default:
-        break;
-    }
-    // Post-processing is streaming and hides behind array work.
-    cost.latency = 0.0;
-    return cost;
+    return ir::incaReadCycleTime(cfg_, batchSize);
 }
 
 RunCost
@@ -451,34 +55,10 @@ IncaEngine::inference(const nn::NetworkDesc &net, int batchSize) const
     key.add("run-inference");
     nn::appendKey(key, net);
     key.add(batchSize);
-    return incaRunCache().getOrCompute(
-        key, [&] { return computeInference(net, batchSize); });
-}
-
-RunCost
-IncaEngine::computeInference(const nn::NetworkDesc &net,
-                             int batchSize) const
-{
-    RunCost run;
-    run.network = net.name;
-    run.phase = Phase::Inference;
-    run.batchSize = batchSize;
-    run.configKeyHash = cfgKey_.hash();
-
-    const bool streamed = weightsStreamed(net);
-    bool first = true;
-    for (const auto &layer : net.layers) {
-        if (layer.isConvLike()) {
-            run.layers.push_back(
-                forwardLayer(layer, batchSize, first, streamed));
-            first = false;
-        } else {
-            run.layers.push_back(auxLayer(layer, batchSize, false));
-        }
-        run.latency += run.layers.back().latency;
-    }
-    run.staticEnergy = idlePower_ * run.latency;
-    return run;
+    return incaRunCache().getOrCompute(key, [&] {
+        return ir::analyticWalk(
+            ir::lowerInca(cfg_, net, Phase::Inference, batchSize));
+    });
 }
 
 RunCost
@@ -491,56 +71,10 @@ IncaEngine::training(const nn::NetworkDesc &net, int batchSize) const
     key.add("run-training");
     nn::appendKey(key, net);
     key.add(batchSize);
-    return incaRunCache().getOrCompute(
-        key, [&] { return computeTraining(net, batchSize); });
-}
-
-RunCost
-IncaEngine::computeTraining(const nn::NetworkDesc &net,
-                            int batchSize) const
-{
-    RunCost run;
-    run.network = net.name;
-    run.phase = Phase::Training;
-    run.batchSize = batchSize;
-    run.configKeyHash = cfgKey_.hash();
-
-    const bool streamed = weightsStreamed(net);
-
-    // Feedforward.
-    bool first = true;
-    for (const auto &layer : net.layers) {
-        if (layer.isConvLike()) {
-            run.layers.push_back(
-                forwardLayer(layer, batchSize, first, streamed));
-            first = false;
-        } else {
-            run.layers.push_back(auxLayer(layer, batchSize, false));
-        }
-        run.latency += run.layers.back().latency;
-    }
-
-    // Backpropagation + weight update, last layer to first. The update
-    // of layer l runs concurrently with the error computation of layer
-    // l-1 (Section IV-C), which updateLayer() models by exposing only
-    // part of its read-out time.
-    for (auto it = net.layers.rbegin(); it != net.layers.rend(); ++it) {
-        const LayerDesc &layer = *it;
-        if (layer.isConvLike()) {
-            run.layers.push_back(
-                backwardLayer(layer, batchSize, streamed));
-            run.latency += run.layers.back().latency;
-            run.layers.push_back(
-                updateLayer(layer, batchSize, streamed));
-            run.latency += run.layers.back().latency;
-        } else {
-            run.layers.push_back(auxLayer(layer, batchSize, true));
-            run.latency += run.layers.back().latency;
-        }
-    }
-
-    run.staticEnergy = idlePower_ * run.latency;
-    return run;
+    return incaRunCache().getOrCompute(key, [&] {
+        return ir::analyticWalk(
+            ir::lowerInca(cfg_, net, Phase::Training, batchSize));
+    });
 }
 
 } // namespace core

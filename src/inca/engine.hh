@@ -2,10 +2,13 @@
  * @file
  * INCA end-to-end analytic engine.
  *
- * Walks a network description and produces per-layer energy, latency,
- * and event counts for inference and for full training iterations
- * (feedforward + backpropagation + weight update), following the
- * paper's IS dataflow:
+ * Produces per-layer energy, latency, and event counts for inference
+ * and for full training iterations (feedforward + backpropagation +
+ * weight update). Since the IR refactor, the per-layer math lives in
+ * the shared lowering pass (ir/lower.hh): this engine lowers the
+ * network to the instruction stream and folds it back through
+ * ir::analyticWalk(), so the analytic and event backends execute one
+ * and the same program. The model follows the paper's IS dataflow:
  *
  *  - activations live in the 3D 2T1R arrays; one batch image per
  *    vertical plane, so a whole batch of up to 64 images computes in
@@ -51,44 +54,11 @@ class IncaEngine
     /** Chip idle power used for static energy. */
     Watts idlePower() const { return idlePower_; }
 
-    /** Effective time per windowed convolution read (see .cc). */
+    /** Effective time per windowed convolution read (delegates to
+     *  ir::incaReadCycleTime, where the model now lives). */
     Seconds readCycleTime(int batchSize) const;
 
   private:
-    /** True when the network's weights exceed total on-chip buffers. */
-    bool weightsStreamed(const nn::NetworkDesc &net) const;
-
-    // Cached per-layer entry points. Keys exclude the layer name, so
-    // identically shaped layers share one cached evaluation; the
-    // wrappers restore the presentation fields (name, kind) on the
-    // returned copy.
-    arch::LayerCost forwardLayer(const nn::LayerDesc &layer,
-                                 int batchSize, bool firstConv,
-                                 bool streamed) const;
-    arch::LayerCost backwardLayer(const nn::LayerDesc &layer,
-                                  int batchSize, bool streamed) const;
-    arch::LayerCost updateLayer(const nn::LayerDesc &layer,
-                                int batchSize, bool streamed) const;
-    arch::LayerCost auxLayer(const nn::LayerDesc &layer, int batchSize,
-                             bool backward) const;
-
-    // Uncached analytic bodies.
-    arch::LayerCost computeForwardLayer(const nn::LayerDesc &layer,
-                                        int batchSize, bool firstConv,
-                                        bool streamed) const;
-    arch::LayerCost computeBackwardLayer(const nn::LayerDesc &layer,
-                                         int batchSize,
-                                         bool streamed) const;
-    arch::LayerCost computeUpdateLayer(const nn::LayerDesc &layer,
-                                       int batchSize,
-                                       bool streamed) const;
-    arch::LayerCost computeAuxLayer(const nn::LayerDesc &layer,
-                                    int batchSize, bool backward) const;
-    arch::RunCost computeInference(const nn::NetworkDesc &net,
-                                   int batchSize) const;
-    arch::RunCost computeTraining(const nn::NetworkDesc &net,
-                                  int batchSize) const;
-
     arch::IncaConfig cfg_;
     Watts idlePower_;
     CacheKey cfgKey_; ///< canonical key prefix for cfg_

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * The lowering IR: a typed instruction stream over named on-chip
+ * resources, shared by the analytic engines and the event-driven
+ * timing backend.
+ *
+ * A Program is a flat, topologically ordered list of instructions
+ * (every dependency points strictly backwards) grouped into spans.
+ * One span corresponds to one arch::LayerCost of the analytic
+ * engines' RunCost -- except synthetic spans (pipeline fill/drain
+ * placeholders), which carry latency but no layer row. The key
+ * contract, enforced by tests/test_event_backend.cc:
+ *
+ *  - collapseSpan() folds a span back into the exact LayerCost the
+ *    analytic engine used to compute: stats merge in instruction
+ *    order (preserving the per-key addition order of the original
+ *    engine code), and latency is the span's internal critical path;
+ *  - analyticWalk() reproduces the engine's program-order latency
+ *    accumulation bit-exactly -- it IS the analytic engine, consuming
+ *    the instruction stream instead of ad-hoc per-layer math;
+ *  - the event backend (src/event) executes the same instructions
+ *    through a dependency-driven event queue; with overlap disabled
+ *    its schedule folds to the identical floating-point additions, so
+ *    the two backends agree to the last ULP.
+ *
+ * Off-critical spans model work the analytic engine reports per layer
+ * but keeps off the run makespan (the WS training pipeline hides the
+ * per-layer passes behind fill + drain); the event backend excludes
+ * them from the exit sync for the same reason.
+ */
+
+#ifndef INCA_IR_IR_HH
+#define INCA_IR_IR_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "arch/cost.hh"
+#include "common/stats.hh"
+#include "common/units.hh"
+#include "nn/layer.hh"
+
+namespace inca {
+namespace ir {
+
+/** Instruction opcode. */
+enum class Op
+{
+    Load,       ///< stream weights/inputs through buffer or DRAM
+    Mvm,        ///< analog matrix-vector multiply (array reads)
+    Move,       ///< write results into arrays / write-back path
+    Activation, ///< digital post-processing (ReLU, pool, add)
+    Reduce,     ///< ADC conversion + shift-accumulate / adder tree
+    Sync,       ///< join point; no work, no stats
+};
+
+/** Named on-chip resource an instruction occupies. */
+enum class Unit
+{
+    Dram,
+    Buffer,
+    Array,
+    Adc,
+    Digital,
+    Pipeline, ///< abstract inter-layer pipeline (fill/drain spans)
+    Ctrl,     ///< sequencer (sync instructions)
+};
+
+const char *opName(Op op);
+const char *unitName(Unit unit);
+
+/** One typed instruction. */
+struct Instr
+{
+    Op op = Op::Sync;
+    Unit unit = Unit::Ctrl;
+    std::string label;      ///< presentation only ("mvm conv1")
+    int span = -1;          ///< owning span index
+    std::vector<int> deps;  ///< global indices, strictly < own index
+    Seconds duration = 0.0; ///< busy time on `unit`
+    StatSet stats;          ///< energy.* / count.* charged when run
+    std::vector<std::string> reads;  ///< tensor operands consumed
+    std::vector<std::string> writes; ///< tensor operands produced
+};
+
+/** A contiguous instruction range backing one LayerCost (or none). */
+struct Span
+{
+    std::string name;
+    nn::LayerKind kind = nn::LayerKind::Conv;
+    int first = 0; ///< index of the span's first instruction
+    int count = 0; ///< instructions in the span
+    /** Carries latency but produces no LayerCost row (fill/drain). */
+    bool synthetic = false;
+    /**
+     * Produces a LayerCost row but is excluded from the run makespan
+     * and from the event backend's exit sync (work the pipeline
+     * abstraction hides; see file comment).
+     */
+    bool offCritical = false;
+};
+
+/** A lowered network: the single source of truth both backends run. */
+struct Program
+{
+    std::string network;
+    std::string engine; ///< "inca" or "ws"
+    arch::Phase phase = arch::Phase::Inference;
+    int batchSize = 1;
+    std::uint64_t configKeyHash = 0; ///< producing config (provenance)
+    Watts idlePower = 0.0;           ///< for static energy
+    bool overlap = false; ///< lowered with inter-layer overlap deps
+
+    std::vector<Instr> instrs; ///< ends with the "exit" sync
+    std::vector<Span> spans;   ///< cover instrs[0 .. N-2] in order
+    std::vector<std::string> inputs; ///< tensors live before instr 0
+};
+
+/** Intra-span critical path (longest dependency chain), exact. */
+Seconds spanLatency(const Program &p, const Span &span);
+
+/**
+ * Fold a span back into the analytic LayerCost: stats merged in
+ * instruction order, latency = spanLatency. Bit-exact with the
+ * pre-IR engine arithmetic by construction.
+ */
+arch::LayerCost collapseSpan(const Program &p, const Span &span);
+
+/**
+ * Program-order walk reproducing the analytic engines' accumulation:
+ * non-synthetic spans contribute a LayerCost, non-off-critical spans
+ * add their latency, synthetic spans add latency only, and static
+ * energy is idlePower x total latency. This is the analytic backend.
+ */
+arch::RunCost analyticWalk(const Program &p);
+
+/**
+ * Panic (simulator bug) unless the program is well-formed: spans
+ * partition the instructions, every dependency points strictly
+ * backwards into the program (a DAG by construction), durations are
+ * finite and non-negative, the final instruction is the single exit
+ * sync, and every operand read was either written by an earlier
+ * instruction in program order or is a declared program input.
+ */
+void validate(const Program &p);
+
+/**
+ * Deterministic text form: header, one line per instruction with
+ * opcode, unit, %.17g duration, dependencies, operands, and span
+ * markers. Byte-equality of two disassemblies is used both by the
+ * golden snapshots and by the determinism property test.
+ */
+std::string disassemble(const Program &p);
+
+} // namespace ir
+} // namespace inca
+
+#endif // INCA_IR_IR_HH

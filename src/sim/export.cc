@@ -105,7 +105,7 @@ toCsv(const arch::RunCost &run)
 }
 
 std::string
-toJson(const arch::RunCost &run)
+toJson(const arch::RunCost &run, const std::string &extras)
 {
     std::ostringstream os;
     os << "{\n";
@@ -115,6 +115,8 @@ toJson(const arch::RunCost &run)
                                               : "inference")
        << "\",\n";
     os << "  \"batch_size\": " << run.batchSize << ",\n";
+    if (!extras.empty())
+        os << "  " << extras << ",\n";
     os << "  \"latency_s\": " << num(run.latency) << ",\n";
     os << "  \"static_energy_J\": " << num(run.staticEnergy) << ",\n";
     os << "  \"total_energy_J\": " << num(run.energy()) << ",\n";

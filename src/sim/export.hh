@@ -24,9 +24,14 @@ std::string toCsv(const arch::RunCost &run);
 
 /**
  * JSON object with run metadata, totals, and a per-layer array of
- * {name, kind, latency, energy, stats{...}}.
+ * {name, kind, latency, energy, stats{...}}. @p extras, when
+ * non-empty, is a pre-rendered sequence of JSON members (e.g.
+ * "\"backend\": \"event\", \"overlap\": true") spliced into the
+ * top-level object after batch_size -- the timeline driver uses it
+ * for backend/overlap provenance.
  */
-std::string toJson(const arch::RunCost &run);
+std::string toJson(const arch::RunCost &run,
+                   const std::string &extras = "");
 
 /** Write a string to a file; fatal() when the file cannot open. */
 void writeFile(const std::string &path, const std::string &content);

@@ -5,6 +5,11 @@
  * points, not just at Table II -- INCA cheaper and faster than the
  * baseline, energy monotone in work, more ADC bits never cheaper,
  * larger baseline arrays never improve light-model utilization, etc.
+ *
+ * The engine-level sweeps run under every execution backend
+ * (testing::eachBackend()): the analytic engines and the event-driven
+ * simulator are bit-exact with overlap off, so each property must
+ * hold identically on both paths.
  */
 
 #include <gtest/gtest.h>
@@ -20,8 +25,13 @@
 namespace inca {
 namespace {
 
+using inca::testing::Backend;
+using inca::testing::backendName;
+using inca::testing::eachBackend;
 using inca::testing::IncaPoint;
 using inca::testing::incaPointConfig;
+using inca::testing::runBaseline;
+using inca::testing::runInca;
 
 // -------------------------------------------------------------------
 // Sweep 1: INCA design points.
@@ -33,17 +43,22 @@ class IncaDesignSweep : public ::testing::TestWithParam<IncaPoint>
 TEST_P(IncaDesignSweep, RunCostsAreSane)
 {
     const auto p = GetParam();
-    core::IncaEngine engine(incaPointConfig(p));
+    const arch::IncaConfig cfg = incaPointConfig(p);
     const auto net = nn::resnet18();
 
-    const auto inf = engine.inference(net, p.batch);
-    EXPECT_GT(inf.energy(), 0.0);
-    EXPECT_GT(inf.latency, 0.0);
-    EXPECT_GT(inf.sum("count.adc"), 0.0);
+    for (const Backend backend : eachBackend()) {
+        SCOPED_TRACE(backendName(backend));
+        const auto inf = runInca(backend, cfg, net,
+                                 arch::Phase::Inference, p.batch);
+        EXPECT_GT(inf.energy(), 0.0);
+        EXPECT_GT(inf.latency, 0.0);
+        EXPECT_GT(inf.sum("count.adc"), 0.0);
 
-    const auto trn = engine.training(net, p.batch);
-    EXPECT_GT(trn.energy(), inf.energy());
-    EXPECT_GT(trn.latency, inf.latency);
+        const auto trn = runInca(backend, cfg, net,
+                                 arch::Phase::Training, p.batch);
+        EXPECT_GT(trn.energy(), inf.energy());
+        EXPECT_GT(trn.latency, inf.latency);
+    }
 }
 
 TEST_P(IncaDesignSweep, EnergyMonotoneInBatch)
@@ -107,15 +122,19 @@ class GainSweep : public ::testing::TestWithParam<GainPoint>
 TEST_P(GainSweep, IncaWinsTrainingEverywhere)
 {
     const auto p = GetParam();
-    core::IncaEngine inca(arch::paperInca());
-    baseline::BaselineEngine base(arch::paperBaseline());
     const auto net = nn::byName(p.network);
-    const auto i = inca.training(net, p.batch);
-    const auto b = base.training(net, p.batch);
-    EXPECT_GT(b.energy(), i.energy())
-        << p.network << " batch " << p.batch;
-    EXPECT_GT(b.latency, i.latency)
-        << p.network << " batch " << p.batch;
+    for (const Backend backend : eachBackend()) {
+        SCOPED_TRACE(backendName(backend));
+        const auto i = runInca(backend, arch::paperInca(), net,
+                               arch::Phase::Training, p.batch);
+        const auto b = runBaseline(backend, arch::paperBaseline(),
+                                   net, arch::Phase::Training,
+                                   p.batch);
+        EXPECT_GT(b.energy(), i.energy())
+            << p.network << " batch " << p.batch;
+        EXPECT_GT(b.latency, i.latency)
+            << p.network << " batch " << p.batch;
+    }
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -189,13 +208,16 @@ TEST_P(CifarSuiteSweep, EnginesHandleSmallMaps)
 {
     const auto input = nn::cifarInput();
     const auto net = nn::byName(GetParam(), input);
-    core::IncaEngine inca(arch::paperInca());
-    baseline::BaselineEngine base(arch::paperBaseline());
-    const auto i = inca.training(net, 64);
-    const auto b = base.training(net, 64);
-    EXPECT_GT(i.energy(), 0.0) << net.name;
-    EXPECT_GT(b.energy(), i.energy()) << net.name;
-    EXPECT_GT(b.latency, i.latency) << net.name;
+    for (const Backend backend : eachBackend()) {
+        SCOPED_TRACE(backendName(backend));
+        const auto i = runInca(backend, arch::paperInca(), net,
+                               arch::Phase::Training, 64);
+        const auto b = runBaseline(backend, arch::paperBaseline(),
+                                   net, arch::Phase::Training, 64);
+        EXPECT_GT(i.energy(), 0.0) << net.name;
+        EXPECT_GT(b.energy(), i.energy()) << net.name;
+        EXPECT_GT(b.latency, i.latency) << net.name;
+    }
 }
 
 INSTANTIATE_TEST_SUITE_P(Sweep, CifarSuiteSweep,

@@ -18,12 +18,73 @@
 #include <vector>
 
 #include "arch/config.hh"
+#include "baseline/engine.hh"
 #include "common/random.hh"
+#include "event/event.hh"
+#include "inca/engine.hh"
 #include "inca/stack3d.hh"
+#include "ir/lower.hh"
 #include "nn/model_zoo.hh"
 
 namespace inca {
 namespace testing {
+
+// -------------------------------------------------------------------
+// Execution backends.
+//
+// Every engine-level cost can be produced two ways: the analytic
+// engines (which walk the lowered IR arithmetically) and the
+// event-driven simulator (which schedules the same IR). The two are
+// bit-exact with overlap off, so sweep-style tests run their bodies
+// under eachBackend() instead of hard-coding one path.
+
+/** Which execution path produces a RunCost. */
+enum class Backend
+{
+    Analytic, ///< core::IncaEngine / baseline::BaselineEngine
+    Event,    ///< ir::lower* + event::execute, overlap off
+};
+
+inline const char *
+backendName(Backend b)
+{
+    return b == Backend::Event ? "event" : "analytic";
+}
+
+/** The backend axis sweep tests iterate. */
+inline std::vector<Backend>
+eachBackend()
+{
+    return {Backend::Analytic, Backend::Event};
+}
+
+/** One IS run through the chosen backend. */
+inline arch::RunCost
+runInca(Backend b, const arch::IncaConfig &cfg,
+        const nn::NetworkDesc &net, arch::Phase phase, int batch)
+{
+    if (b == Backend::Analytic) {
+        const core::IncaEngine engine(cfg);
+        return phase == arch::Phase::Training
+                   ? engine.training(net, batch)
+                   : engine.inference(net, batch);
+    }
+    return event::execute(ir::lowerInca(cfg, net, phase, batch)).run;
+}
+
+/** One WS run through the chosen backend. */
+inline arch::RunCost
+runBaseline(Backend b, const arch::BaselineConfig &cfg,
+            const nn::NetworkDesc &net, arch::Phase phase, int batch)
+{
+    if (b == Backend::Analytic) {
+        const baseline::BaselineEngine engine(cfg);
+        return phase == arch::Phase::Training
+                   ? engine.training(net, batch)
+                   : engine.inference(net, batch);
+    }
+    return event::execute(ir::lowerWs(cfg, net, phase, batch)).run;
+}
 
 // -------------------------------------------------------------------
 // Engine design points.
