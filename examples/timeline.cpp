@@ -12,19 +12,34 @@
  *     --overlap on|off        double-buffered load/compute (off)
  *     --disasm                print the lowered program and exit
  *     --json <path>           write the run + provenance as JSON
+ *     --csv <path>            write the per-layer table as CSV
+ *     --report                print the bottleneck report (event only)
+ *     --what-if <u=f,...>     what-if factors, e.g. dram=0.5,adc=0.9
+ *                             (implies --report; default sweep halves
+ *                             each non-ctrl unit)
+ *     --report-json <path>    write the bottleneck report as JSON
+ *     --report-csv <path>     write the per-unit report table as CSV
  *
  * Stdout is byte-stable across backends with --overlap off (the
  * bit-exactness contract; CI diffs analytic vs event output) and
- * across thread counts and cache settings. Schedule diagnostics go to
- * stderr. With INCA_TRACE=<path> the event backend emits one Chrome
- * trace span per instruction at simulated time.
+ * across thread counts and cache settings; the bottleneck report is a
+ * pure function of the schedule, so it keeps that property. Schedule
+ * diagnostics go to stderr. With INCA_TRACE=<path> the event backend
+ * emits spans, sync instants, critical-path flow arrows, and a
+ * ready-queue counter at simulated time; with INCA_METRICS=<path> the
+ * per-unit occupancy gauges land in the metrics dump.
  */
 
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/env.hh"
+#include "common/logging.hh"
+#include "event/analysis.hh"
 #include "event/event.hh"
 #include "examples/cli.hh"
 #include "ir/lower.hh"
@@ -40,9 +55,43 @@ usage(const char *argv0)
                  "usage: %s [--network <name>] [--engine inca|ws] "
                  "[--phase inference|training] [--batch <n>] "
                  "[--backend analytic|event] [--overlap on|off] "
-                 "[--disasm] [--json <path>]\n",
+                 "[--disasm] [--json <path>] [--csv <path>] "
+                 "[--report] [--what-if <unit=factor,...>] "
+                 "[--report-json <path>] [--report-csv <path>]\n",
                  argv0);
     std::exit(2);
+}
+
+/** Parse "dram=0.5,adc=0.9" into (unit, factor) pairs. */
+std::vector<std::pair<inca::ir::Unit, double>>
+parseWhatIf(const char *text)
+{
+    using namespace inca;
+    std::vector<std::pair<ir::Unit, double>> out;
+    std::string list = text;
+    std::size_t pos = 0;
+    while (pos <= list.size()) {
+        std::size_t comma = list.find(',', pos);
+        if (comma == std::string::npos)
+            comma = list.size();
+        const std::string token = list.substr(pos, comma - pos);
+        pos = comma + 1;
+        const std::size_t eq = token.find('=');
+        if (token.empty() || eq == std::string::npos)
+            fatal("--what-if: expected unit=factor, got '%s'",
+                  token.c_str());
+        ir::Unit unit;
+        if (!ir::unitByName(token.substr(0, eq), unit))
+            fatal("--what-if: unknown unit '%s'",
+                  token.substr(0, eq).c_str());
+        const double factor = cli::parseDouble(
+            "--what-if", token.substr(eq + 1).c_str());
+        if (!std::isfinite(factor) || factor <= 0.0)
+            fatal("--what-if: factor %g for '%s' must be > 0",
+                  factor, token.substr(0, eq).c_str());
+        out.push_back({unit, factor});
+    }
+    return out;
 }
 
 } // namespace
@@ -59,9 +108,14 @@ main(int argc, char **argv)
     std::string phaseName = "inference";
     std::string backend = "event";
     std::string jsonPath;
+    std::string csvPath;
+    std::string reportJsonPath;
+    std::string reportCsvPath;
     int batch = 64;
     bool overlap = false;
     bool disasm = false;
+    bool report = false;
+    std::vector<std::pair<ir::Unit, double>> whatIf;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         const auto value = [&]() -> const char * {
@@ -88,6 +142,19 @@ main(int argc, char **argv)
             disasm = true;
         } else if (arg == "--json") {
             jsonPath = value();
+        } else if (arg == "--csv") {
+            csvPath = value();
+        } else if (arg == "--report") {
+            report = true;
+        } else if (arg == "--what-if") {
+            whatIf = parseWhatIf(value());
+            report = true;
+        } else if (arg == "--report-json") {
+            reportJsonPath = value();
+            report = true;
+        } else if (arg == "--report-csv") {
+            reportCsvPath = value();
+            report = true;
         } else {
             usage(argv[0]);
         }
@@ -96,6 +163,9 @@ main(int argc, char **argv)
         (backend != "analytic" && backend != "event") ||
         (phaseName != "inference" && phaseName != "training"))
         usage(argv[0]);
+    if (report && backend != "event")
+        fatal("--report/--what-if need the schedule: use "
+              "--backend event");
 
     const arch::Phase phase = phaseName == "training"
                                   ? arch::Phase::Training
@@ -114,9 +184,15 @@ main(int argc, char **argv)
     }
 
     arch::RunCost run;
+    event::Report analysis;
     if (backend == "event") {
         const event::TimedRun timed = event::execute(program);
         event::emitTrace(program, timed);
+        event::AnalyzeOptions aopts;
+        aopts.runWhatIf = report;
+        aopts.whatIf = whatIf;
+        analysis = event::analyze(program, timed, aopts);
+        event::publishMetrics(analysis);
         run = timed.run;
         // Schedule diagnostics -- stderr, so stdout stays diffable
         // against the analytic backend.
@@ -149,6 +225,17 @@ main(int argc, char **argv)
     std::printf("total,static_energy_j,%.17g\n", run.staticEnergy);
     std::printf("total,energy_j,%.17g\n", run.energy());
 
+    if (report)
+        std::fputs(event::reportText(program, analysis).c_str(),
+                   stdout);
+    if (!reportJsonPath.empty())
+        sim::writeFile(reportJsonPath,
+                       event::reportJson(program, analysis));
+    if (!reportCsvPath.empty())
+        sim::writeFile(reportCsvPath,
+                       event::reportCsv(program, analysis));
+    if (!csvPath.empty())
+        sim::writeFile(csvPath, sim::toCsv(run));
     if (!jsonPath.empty()) {
         const std::string extras =
             std::string("\"backend\": \"") + backend +

@@ -169,6 +169,15 @@ toJsonLocked(State &s)
                 char v[48];
                 std::snprintf(v, sizeof(v), "%.9g", e.value);
                 os << ", \"args\": {\"value\": " << v << "}";
+            } else if (e.ph == 'i') {
+                os << ", \"s\": \"t\"";
+            } else if (e.ph == 's' || e.ph == 'f') {
+                // Flow pairs carry a category (viewers match flows by
+                // it) and, for the end, enclosing-slice binding so
+                // the arrow lands on the slice the timestamp is in.
+                os << ", \"cat\": \"inca\", \"id\": " << e.id;
+                if (e.ph == 'f')
+                    os << ", \"bp\": \"e\"";
             }
             os << "}";
         }
@@ -284,6 +293,51 @@ counter(const std::string &name, double value)
     e.tsUs = nowUs();
     e.value = value;
     emit(std::move(e));
+}
+
+void
+counterAt(const std::string &name, std::int64_t tsUs, double value)
+{
+    if (!enabled())
+        return;
+    Event e;
+    e.name = name;
+    e.ph = 'C';
+    e.tsUs = tsUs;
+    e.value = value;
+    emit(std::move(e));
+}
+
+void
+emitInstant(const std::string &name, std::int64_t tsUs)
+{
+    if (!enabled())
+        return;
+    Event e;
+    e.name = name;
+    e.ph = 'i';
+    e.tsUs = tsUs;
+    emit(std::move(e));
+}
+
+void
+emitFlow(const std::string &name, std::uint64_t id,
+         std::int64_t fromUs, std::int64_t toUs)
+{
+    if (!enabled())
+        return;
+    Event s;
+    s.name = name;
+    s.ph = 's';
+    s.tsUs = fromUs;
+    s.id = id;
+    emit(std::move(s));
+    Event f;
+    f.name = name;
+    f.ph = 'f';
+    f.tsUs = toUs;
+    f.id = id;
+    emit(std::move(f));
 }
 
 void

@@ -39,11 +39,16 @@ namespace trace {
 struct Event
 {
     std::string name; ///< span or counter series name
-    char ph = 'X';    ///< 'X' complete span, 'C' counter sample
+    /**
+     * 'X' complete span, 'C' counter sample, 'i' instant,
+     * 's'/'f' flow start/end (paired by id).
+     */
+    char ph = 'X';
     std::uint32_t tid = 0;
-    std::int64_t tsUs = 0;  ///< microseconds since process start
-    std::int64_t durUs = 0; ///< span duration ('X' only)
-    double value = 0.0;     ///< counter sample ('C' only)
+    std::int64_t tsUs = 0;     ///< microseconds since process start
+    std::int64_t durUs = 0;    ///< span duration ('X' only)
+    double value = 0.0;        ///< counter sample ('C' only)
+    std::uint64_t id = 0;      ///< flow pairing id ('s'/'f' only)
 };
 
 /** True when events are being recorded (INCA_TRACE or start()). */
@@ -88,6 +93,30 @@ std::size_t eventCount();
 
 /** Record one sample of the counter series @p name. No-op when off. */
 void counter(const std::string &name, double value);
+
+/**
+ * Record one sample of the counter series @p name at an explicit
+ * timestamp -- for series replayed at simulated time (the event
+ * backend's ready-queue depth) rather than sampled at wall time.
+ * No-op when off.
+ */
+void counterAt(const std::string &name, std::int64_t tsUs,
+               double value);
+
+/**
+ * Emit one thread-scoped instant ('i') event at @p tsUs -- a
+ * zero-cost marker (sync joins, the makespan line). No-op when off.
+ */
+void emitInstant(const std::string &name, std::int64_t tsUs);
+
+/**
+ * Emit one flow arrow: a flow-start ('s') event at @p fromUs paired
+ * by @p id with a flow-end ('f', enclosing-slice binding) event at
+ * @p toUs. Viewers draw the arrow between the slices enclosing the
+ * two timestamps -- the critical-path overlay. No-op when off.
+ */
+void emitFlow(const std::string &name, std::uint64_t id,
+              std::int64_t fromUs, std::int64_t toUs);
 
 /**
  * Name the calling thread in the trace ("pool-worker-3"). Always

@@ -15,8 +15,10 @@
 #include "common/metrics.hh"
 #include "common/thread_pool.hh"
 #include "common/trace.hh"
+#include "common/export_util.hh"
 #include "dse/journal.hh"
 #include "dse/pareto.hh"
+#include "event/analysis.hh"
 #include "event/event.hh"
 #include "inca/engine.hh"
 #include "ir/lower.hh"
@@ -48,16 +50,20 @@ jsonEscape(const std::string &s)
     return out;
 }
 
-std::string
-envJson(const char *name)
+/**
+ * Score the event backend for one candidate: makespan plus the
+ * bottleneck attribution (the frontier's diagnostic columns).
+ */
+void
+scoreTimed(Evaluation &e, const ir::Program &prog)
 {
-    const char *v = std::getenv(name);
-    if (!v)
-        return "null";
-    std::string out = "\"";
-    out += jsonEscape(v);
-    out += '"';
-    return out;
+    const event::TimedRun timed = event::execute(prog);
+    e.timedLatencyS = timed.run.latency;
+    event::AnalyzeOptions aopts;
+    aopts.runWhatIf = false;
+    const event::Report rep = event::analyze(prog, timed, aopts);
+    e.bottleneckUnit = ir::unitName(rep.bottleneck);
+    e.criticalShare = rep.bottleneckFraction;
 }
 
 } // namespace
@@ -162,12 +168,9 @@ Explorer::evaluate(std::uint64_t flatIndex) const
                     ? engine.training(net_, cfg.batchSize)
                     : engine.inference(net_, cfg.batchSize);
         if (wantTimed_)
-            e.timedLatencyS =
-                event::execute(ir::lowerInca(cfg, net_,
-                                             options_.phase,
-                                             cfg.batchSize,
-                                             {/*overlap=*/true}))
-                    .run.latency;
+            scoreTimed(e, ir::lowerInca(cfg, net_, options_.phase,
+                                        cfg.batchSize,
+                                        {/*overlap=*/true}));
     } else {
         const arch::BaselineConfig cfg = materializeWs(
             space_, e.candidate, options_.baseWs,
@@ -198,12 +201,9 @@ Explorer::evaluate(std::uint64_t flatIndex) const
                     ? engine.training(net_, cfg.batchSize)
                     : engine.inference(net_, cfg.batchSize);
         if (wantTimed_)
-            e.timedLatencyS =
-                event::execute(ir::lowerWs(cfg, net_,
-                                           options_.phase,
-                                           cfg.batchSize,
-                                           {/*overlap=*/true}))
-                    .run.latency;
+            scoreTimed(e, ir::lowerWs(cfg, net_, options_.phase,
+                                      cfg.batchSize,
+                                      {/*overlap=*/true}));
     }
 
     e.scored = true;
@@ -338,7 +338,8 @@ frontierCsv(const SearchSpace &space,
     for (const auto &axis : space.axes())
         os << "," << axis.name;
     os << ",energy_j,latency_s,area_m2,idle_w,utilization,accuracy,"
-          "resilience,latency_timed_s,config_key_hash\n";
+          "resilience,latency_timed_s,bottleneck_unit,"
+          "critical_share,config_key_hash\n";
     for (const Evaluation &e : frontier) {
         os << e.candidate.index;
         for (const std::int64_t v : e.candidate.values)
@@ -347,7 +348,9 @@ frontierCsv(const SearchSpace &space,
            << "," << num17(e.areaM2) << "," << num17(e.idlePowerW)
            << "," << num17(e.utilization) << ","
            << num17(e.accuracy) << "," << num17(e.resilience)
-           << "," << num17(e.timedLatencyS);
+           << "," << num17(e.timedLatencyS) << ","
+           << csvField(e.bottleneckUnit) << ","
+           << num17(e.criticalShare);
         char hex[32];
         std::snprintf(hex, sizeof(hex), "0x%llx",
                       static_cast<unsigned long long>(
@@ -396,30 +399,11 @@ frontierJson(const Explorer &explorer, const ExploreResult &result)
     // The same run-provenance manifest sim::toJson embeds, with the
     // run signature in place of a single config hash (a frontier
     // spans many design points).
-    os << "  \"provenance\": {\n";
-    os << "    \"signature\": \""
-       << jsonEscape(explorer.signature()) << "\",\n";
-    os << "    \"threads\": " << ThreadPool::globalThreadCount()
-       << ",\n";
-    os << "    \"cache\": " << (cacheEnabled() ? "true" : "false")
-       << ",\n";
-#ifdef INCA_BUILD_TYPE
-    os << "    \"build_type\": \"" << jsonEscape(INCA_BUILD_TYPE)
-       << "\",\n";
-#else
-    os << "    \"build_type\": \"unknown\",\n";
-#endif
-    os << "    \"env\": {";
-    bool firstEnv = true;
-    for (const char *name : {"INCA_TRACE", "INCA_METRICS",
-                             "INCA_NUM_THREADS", "INCA_CACHE"}) {
-        if (!firstEnv)
-            os << ", ";
-        firstEnv = false;
-        os << "\"" << name << "\": " << envJson(name);
-    }
-    os << "}\n";
-    os << "  },\n";
+    os << "  \"provenance\": {\n"
+       << provenanceJson("\"signature\": \"" +
+                             jsonEscape(explorer.signature()) + "\"",
+                         "    ")
+       << "  },\n";
     os << "  \"frontier\": [\n";
     const std::vector<Evaluation> &points = result.frontier;
     for (std::size_t i = 0; i < points.size(); ++i) {
@@ -441,6 +425,9 @@ frontierJson(const Explorer &explorer, const ExploreResult &result)
            << ", \"accuracy\": " << num17(e.accuracy)
            << ", \"resilience\": " << num17(e.resilience)
            << ", \"latency_timed_s\": " << num17(e.timedLatencyS)
+           << ", \"bottleneck_unit\": \""
+           << jsonEscape(e.bottleneckUnit)
+           << "\", \"critical_share\": " << num17(e.criticalShare)
            << "}"
            << (i + 1 < points.size() ? "," : "") << "\n";
     }

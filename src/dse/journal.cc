@@ -224,6 +224,12 @@ parseEvalLine(const std::string &line, Evaluation &e)
     // the event backend carry no timed latency.
     if (!getDouble(line, "latency_timed_s", e.timedLatencyS))
         e.timedLatencyS = 0.0;
+    // ... and journals written before the analysis layer carry no
+    // bottleneck attribution.
+    if (!getString(line, "bottleneck_unit", e.bottleneckUnit))
+        e.bottleneckUnit.clear();
+    if (!getDouble(line, "critical_share", e.criticalShare))
+        e.criticalShare = 0.0;
     if (!getDoubleArray(line, "objectives", e.objectives))
         return false;
     return true;
@@ -259,6 +265,9 @@ evalToJsonLine(const Evaluation &e)
     out += ",\"energy_j\":" + fmtDouble(e.energyJ);
     out += ",\"latency_s\":" + fmtDouble(e.latencyS);
     out += ",\"latency_timed_s\":" + fmtDouble(e.timedLatencyS);
+    out += ",\"bottleneck_unit\":\"" + jsonEscape(e.bottleneckUnit) +
+           "\"";
+    out += ",\"critical_share\":" + fmtDouble(e.criticalShare);
     out += ",\"objectives\":[";
     for (std::size_t i = 0; i < e.objectives.size(); ++i) {
         if (i > 0)

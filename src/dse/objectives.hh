@@ -92,6 +92,15 @@ struct Evaluation
      * existed).
      */
     double timedLatencyS = 0.0;
+    /**
+     * Bottleneck attribution of the timed run: the unit carrying the
+     * largest critical-path share of the event makespan, and that
+     * share in [0, 1]. Computed alongside timedLatencyS (so only
+     * when the latency_timed objective is selected); empty / 0.0
+     * otherwise and for journals written before the analysis layer.
+     */
+    std::string bottleneckUnit;
+    double criticalShare = 0.0;
     std::uint64_t configKeyHash = 0;
 
     /**

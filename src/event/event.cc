@@ -1,5 +1,7 @@
 #include "event/event.hh"
 
+#include "event/analysis.hh"
+
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
@@ -121,21 +123,63 @@ emitTrace(const ir::Program &p, const TimedRun &t)
 {
     if (!trace::enabled())
         return;
+    const auto us = [](Seconds s) {
+        return std::int64_t(std::llround(s * 1e6));
+    };
     for (int i = 0; i < int(p.instrs.size()); ++i) {
         const ir::Instr &in = p.instrs[std::size_t(i)];
-        if (in.op == ir::Op::Sync)
-            continue;
         const std::string name =
             std::string(ir::unitName(in.unit)) + " " +
             (in.label.empty() ? ir::opName(in.op) : in.label);
-        const auto us = [](Seconds s) {
-            return std::int64_t(std::llround(s * 1e6));
-        };
+        if (in.op == ir::Op::Sync) {
+            // Joins cost nothing but show where chains meet.
+            trace::emitInstant(name,
+                               us(t.schedule[std::size_t(i)].start));
+            continue;
+        }
         const std::int64_t start =
             us(t.schedule[std::size_t(i)].start);
         const std::int64_t dur =
             us(t.schedule[std::size_t(i)].finish) - start;
         trace::emitComplete(name, start, dur);
+    }
+    trace::emitInstant("makespan", us(t.makespan));
+
+    // Flow arrows between consecutive work steps of the critical
+    // path, so the chain that sets the makespan reads as one line in
+    // the viewer.
+    AnalyzeOptions opts;
+    opts.runWhatIf = false;
+    const Report r = analyze(p, t, opts);
+    std::uint64_t flowId = 1;
+    int prev = -1;
+    for (const PathStep &step : r.path) {
+        if (p.instrs[std::size_t(step.instr)].op == ir::Op::Sync)
+            continue;
+        if (prev >= 0)
+            trace::emitFlow("critical", flowId++,
+                            us(t.schedule[std::size_t(prev)].finish),
+                            us(step.start));
+        prev = step.instr;
+    }
+
+    // Ready-queue depth: work instructions in flight per schedule
+    // time (one counter sample per distinct microsecond timestamp).
+    std::vector<std::pair<std::int64_t, int>> deltas;
+    for (int i = 0; i < int(p.instrs.size()); ++i) {
+        if (p.instrs[std::size_t(i)].op == ir::Op::Sync)
+            continue;
+        deltas.push_back({us(t.schedule[std::size_t(i)].start), +1});
+        deltas.push_back({us(t.schedule[std::size_t(i)].finish), -1});
+    }
+    std::sort(deltas.begin(), deltas.end());
+    int depth = 0;
+    for (std::size_t i = 0; i < deltas.size(); ++i) {
+        depth += deltas[i].second;
+        if (i + 1 == deltas.size() ||
+            deltas[i + 1].first != deltas[i].first)
+            trace::counterAt("event.ready_queue", deltas[i].first,
+                             double(depth));
     }
 }
 

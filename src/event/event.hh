@@ -13,7 +13,10 @@
  * schedule to fold the very same IEEE additions). Per-unit busy
  * intervals are recorded from the schedule for occupancy reporting
  * and trace export; intervals of off-critical (posted) work may
- * overlap and may extend past the makespan.
+ * overlap and may extend past the makespan -- the analysis layer
+ * (event/analysis.hh) reports that tail explicitly as per-unit
+ * `overhang` seconds and never counts it toward utilization, whose
+ * denominator is always the makespan.
  *
  * The makespan is the finish time of the program's exit sync. With
  * overlap-off wiring this folds to exactly the analytic engines'
@@ -71,9 +74,13 @@ struct TimedRun
 TimedRun execute(const ir::Program &p);
 
 /**
- * Emit one Chrome trace span per instruction at simulated time
- * (microsecond granularity) when INCA_TRACE is active; no-op
- * otherwise. Sync instructions are skipped.
+ * Emit the schedule as a Chrome trace at simulated time (microsecond
+ * granularity) when INCA_TRACE is active; no-op otherwise. Work
+ * instructions become complete ('X') spans; sync instructions become
+ * zero-cost instant events (the exit sync doubling as a "makespan"
+ * marker); consecutive work steps of the critical path are linked
+ * with flow arrows; and an "event.ready_queue" counter series tracks
+ * how many work instructions are in flight at each schedule time.
  */
 void emitTrace(const ir::Program &p, const TimedRun &t);
 

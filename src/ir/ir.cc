@@ -53,6 +53,18 @@ unitName(Unit unit)
     panic("unreachable unit %d", int(unit));
 }
 
+bool
+unitByName(const std::string &name, Unit &out)
+{
+    for (int u = 0; u <= int(Unit::Ctrl); ++u) {
+        if (name == unitName(Unit(u))) {
+            out = Unit(u);
+            return true;
+        }
+    }
+    return false;
+}
+
 Seconds
 spanLatency(const Program &p, const Span &span)
 {

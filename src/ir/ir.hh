@@ -70,6 +70,9 @@ enum class Unit
 const char *opName(Op op);
 const char *unitName(Unit unit);
 
+/** Reverse of unitName ("dram" -> Unit::Dram); false when unknown. */
+bool unitByName(const std::string &name, Unit &out);
+
 /** One typed instruction. */
 struct Instr
 {

@@ -1,14 +1,12 @@
 #include "sim/export.hh"
 
 #include <cstdio>
-#include <cstdlib>
 #include <fstream>
 #include <set>
 #include <sstream>
 
-#include "common/cache.hh"
+#include "common/export_util.hh"
 #include "common/logging.hh"
-#include "common/thread_pool.hh"
 
 namespace inca {
 namespace sim {
@@ -21,55 +19,6 @@ num(double v)
     char buf[48];
     std::snprintf(buf, sizeof(buf), "%.9g", v);
     return buf;
-}
-
-/** Escape a string for a JSON literal (names are simple but safe). */
-std::string
-jsonEscape(const std::string &s)
-{
-    std::string out;
-    out.reserve(s.size() + 2);
-    for (char c : s) {
-        if (c == '"' || c == '\\')
-            out.push_back('\\');
-        out.push_back(c);
-    }
-    return out;
-}
-
-/**
- * Quote a CSV field per RFC 4180: fields containing a comma, a
- * double quote, or a line break are wrapped in double quotes, with
- * embedded quotes doubled. Layer names and stat keys come from
- * user-definable network descriptions, so emitting them raw would
- * corrupt the table (a comma in a layer name shifts every column
- * after it).
- */
-std::string
-csvField(const std::string &s)
-{
-    if (s.find_first_of(",\"\r\n") == std::string::npos)
-        return s;
-    std::string out;
-    out.reserve(s.size() + 2);
-    out.push_back('"');
-    for (char c : s) {
-        if (c == '"')
-            out.push_back('"');
-        out.push_back(c);
-    }
-    out.push_back('"');
-    return out;
-}
-
-/** Value of an environment variable as a JSON literal; null if unset. */
-std::string
-envJson(const char *name)
-{
-    const char *v = std::getenv(name);
-    if (v == nullptr)
-        return "null";
-    return "\"" + jsonEscape(v) + "\"";
 }
 
 std::set<std::string>
@@ -124,30 +73,13 @@ toJson(const arch::RunCost &run, const std::string &extras)
     // design point (config key hash from arch::appendKey), the
     // execution knobs (threads, cache), the build, and the INCA_*
     // environment the process saw.
-    os << "  \"provenance\": {\n";
-    os << "    \"config_key_hash\": \"0x" << std::hex
-       << run.configKeyHash << std::dec << "\",\n";
-    os << "    \"threads\": " << ThreadPool::globalThreadCount()
-       << ",\n";
-    os << "    \"cache\": " << (cacheEnabled() ? "true" : "false")
-       << ",\n";
-#ifdef INCA_BUILD_TYPE
-    os << "    \"build_type\": \"" << jsonEscape(INCA_BUILD_TYPE)
-       << "\",\n";
-#else
-    os << "    \"build_type\": \"unknown\",\n";
-#endif
-    os << "    \"env\": {";
-    bool firstEnv = true;
-    for (const char *name : {"INCA_TRACE", "INCA_METRICS",
-                             "INCA_NUM_THREADS", "INCA_CACHE"}) {
-        if (!firstEnv)
-            os << ", ";
-        firstEnv = false;
-        os << "\"" << name << "\": " << envJson(name);
+    {
+        std::ostringstream lead;
+        lead << "\"config_key_hash\": \"0x" << std::hex
+             << run.configKeyHash << std::dec << "\"";
+        os << "  \"provenance\": {\n"
+           << provenanceJson(lead.str(), "    ") << "  },\n";
     }
-    os << "}\n";
-    os << "  },\n";
     os << "  \"layers\": [\n";
     for (size_t i = 0; i < run.layers.size(); ++i) {
         const auto &layer = run.layers[i];

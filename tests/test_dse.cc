@@ -418,6 +418,9 @@ TEST(Journal, EvalLineRoundTrips)
     e.energyJ = 0.0841234567890123456;
     e.latencyS = 3.8e-2;
     e.configKeyHash = 0xdeadbeefcafef00dULL;
+    e.timedLatencyS = 2.9e-2;
+    e.bottleneckUnit = "array";
+    e.criticalShare = 0.99726432101234567;
     e.objectives = {0.0841234567890123456, 3.8e-2};
 
     const std::string dir = ::testing::TempDir();
@@ -446,6 +449,9 @@ TEST(Journal, EvalLineRoundTrips)
     EXPECT_EQ(r.energyJ, e.energyJ);
     EXPECT_EQ(r.latencyS, e.latencyS);
     EXPECT_EQ(r.configKeyHash, e.configKeyHash);
+    EXPECT_EQ(r.timedLatencyS, e.timedLatencyS);
+    EXPECT_EQ(r.bottleneckUnit, e.bottleneckUnit);
+    EXPECT_EQ(r.criticalShare, e.criticalShare);
     EXPECT_EQ(r.objectives, e.objectives);
     std::remove(path.c_str());
 }
