@@ -98,6 +98,90 @@ parseDoubleList(const char *flag, const char *text)
     return out;
 }
 
+/**
+ * Parse a duration with a required unit suffix ("500ms", "2s",
+ * "750us", "1e3ns") into seconds, or die. The bare token "0" is
+ * accepted without a unit (zero is zero in any unit); every other
+ * unitless or negative value is a user error.
+ */
+inline double
+parseDuration(const char *flag, const char *text)
+{
+    if (!text || *text == '\0')
+        fatal("%s needs a duration like '500ms' or '2s', got an "
+              "empty value",
+              flag);
+    errno = 0;
+    char *end = nullptr;
+    const double v = std::strtod(text, &end);
+    if (end == text || errno == ERANGE)
+        fatal("%s: '%s' is not a duration", flag, text);
+    if (v < 0.0)
+        fatal("%s must be non-negative, got '%s'", flag, text);
+    const std::string unit = end;
+    if (unit.empty()) {
+        if (v == 0.0)
+            return 0.0;
+        fatal("%s: '%s' needs a unit suffix (ns, us, ms, s)", flag,
+              text);
+    }
+    if (unit == "ns")
+        return v * 1e-9;
+    if (unit == "us")
+        return v * 1e-6;
+    if (unit == "ms")
+        return v * 1e-3;
+    if (unit == "s")
+        return v;
+    fatal("%s: unknown duration unit '%s' in '%s' (expected ns, us, "
+          "ms, or s)",
+          flag, unit.c_str(), text);
+}
+
+/**
+ * Parse a strictly positive event rate ("80/s", "1.5k/s", "2M/s")
+ * into events per second, or die. The "/s" suffix is optional on a
+ * bare number ("80" means 80/s) but required after an SI multiplier,
+ * so "1.5k" alone does not parse.
+ */
+inline double
+parseRate(const char *flag, const char *text)
+{
+    if (!text || *text == '\0')
+        fatal("%s needs a rate like '80/s' or '1.5k/s', got an "
+              "empty value",
+              flag);
+    errno = 0;
+    char *end = nullptr;
+    double v = std::strtod(text, &end);
+    if (end == text || errno == ERANGE)
+        fatal("%s: '%s' is not a rate", flag, text);
+    std::string rest = end;
+    bool scaled = false;
+    if (!rest.empty()) {
+        if (rest[0] == 'k' || rest[0] == 'K') {
+            v *= 1e3;
+            scaled = true;
+        } else if (rest[0] == 'M') {
+            v *= 1e6;
+            scaled = true;
+        } else if (rest[0] == 'G') {
+            v *= 1e9;
+            scaled = true;
+        }
+        if (scaled)
+            rest = rest.substr(1);
+    }
+    if (!rest.empty() && rest != "/s")
+        fatal("%s: trailing '%s' in '%s' (expected '/s')", flag,
+              rest.c_str(), text);
+    if (scaled && rest.empty())
+        fatal("%s: '%s' needs '/s' after the multiplier", flag, text);
+    if (v <= 0.0)
+        fatal("%s must be positive, got '%s'", flag, text);
+    return v;
+}
+
 /** Parse a comma-separated list of signed integers or die. */
 inline std::vector<std::int64_t>
 parseIntList(const char *flag, const char *text)

@@ -54,12 +54,15 @@ usage(const char *argv0)
         "  --budget <n>            max candidates (0 = whole space)\n"
         "  --objectives a,b,...    energy,latency,area,edp,"
         "idle_power,utilization,accuracy,resilience,"
-        "latency_timed\n"
+        "latency_timed,\n"
+        "                          p99_latency,goodput,"
+        "energy_per_request\n"
         "  --constraint k=v        repeatable; max_area_mm2, "
         "max_idle_w,\n"
         "                          min_utilization, min_accuracy,\n"
         "                          min_accuracy_at_ber, "
-        "lossless_adc\n"
+        "lossless_adc,\n"
+        "                          max_p99_ms\n"
         "  --soft                  constraints warn but still score\n"
         "  --axis name=v1,v2,...   repeatable; replaces the default "
         "space\n"
@@ -76,6 +79,18 @@ usage(const char *argv0)
         "  --spare-cols <n>        spare columns per array "
         "(resilience)\n"
         "  --eval-batch <n>        candidates per parallel wave\n"
+        "  serving scenario (p99_latency/goodput/energy_per_request\n"
+        "  objectives and max_p99_ms; axes replicas, serve_batch,\n"
+        "  shard, shard_chips override per candidate):\n"
+        "  --arrivals poisson|bursty|diurnal\n"
+        "  --rate <r>              offered load (e.g. 200/s)\n"
+        "  --serve-duration <d>    arrival horizon (e.g. 200ms)\n"
+        "  --serve-seed <n>        arrival RNG seed\n"
+        "  --serve-replicas <n>    fixed server count\n"
+        "  --serve-shard k[:n]     replica, pipeline:<n>, tensor:<n>\n"
+        "  --batch-policy n:<d>    batch cap and timeout (e.g. "
+        "8:2ms)\n"
+        "  --slo-ms <x>            goodput latency SLO\n"
         "  --journal <path>        JSONL checkpoint journal\n"
         "  --resume                reuse the journal's evaluations\n"
         "  --csv <path>            write the frontier as CSV\n"
@@ -157,6 +172,44 @@ main(int argc, char **argv)
         } else if (std::strcmp(a, "--eval-batch") == 0) {
             opt.evalBatch =
                 std::size_t(cli::parsePositive(a, value(i)));
+        } else if (std::strcmp(a, "--arrivals") == 0) {
+            opt.serving.arrivals.kind =
+                serving::arrivalKindByName(value(i));
+        } else if (std::strcmp(a, "--rate") == 0) {
+            opt.serving.arrivals.ratePerS =
+                cli::parseRate(a, value(i));
+        } else if (std::strcmp(a, "--serve-duration") == 0) {
+            opt.serving.durationS = cli::parseDuration(a, value(i));
+        } else if (std::strcmp(a, "--serve-seed") == 0) {
+            opt.serving.arrivals.seed = cli::parseU64(a, value(i));
+        } else if (std::strcmp(a, "--serve-replicas") == 0) {
+            opt.serving.replicas =
+                int(cli::parsePositive(a, value(i)));
+        } else if (std::strcmp(a, "--serve-shard") == 0) {
+            const std::string s = value(i);
+            const std::size_t colon = s.find(':');
+            opt.serving.shard.kind =
+                serving::shardKindByName(s.substr(0, colon));
+            if (colon != std::string::npos)
+                opt.serving.shard.chips = int(cli::parsePositive(
+                    a, s.c_str() + colon + 1));
+            else if (opt.serving.shard.kind !=
+                     serving::ShardKind::Replica)
+                fatal("%s: '%s' needs a chip count (e.g. tensor:4)",
+                      a, s.c_str());
+        } else if (std::strcmp(a, "--batch-policy") == 0) {
+            const std::string s = value(i);
+            const std::size_t colon = s.find(':');
+            if (colon == std::string::npos)
+                fatal("%s: '%s' is not size:timeout (e.g. 8:2ms)", a,
+                      s.c_str());
+            opt.serving.batch.maxBatch = int(cli::parsePositive(
+                a, s.substr(0, colon).c_str()));
+            opt.serving.batch.timeoutS =
+                cli::parseDuration(a, s.c_str() + colon + 1);
+        } else if (std::strcmp(a, "--slo-ms") == 0) {
+            opt.serving.sloS =
+                cli::parseDouble(a, value(i)) * 1e-3;
         } else if (std::strcmp(a, "--journal") == 0) {
             opt.journalPath = value(i);
         } else if (std::strcmp(a, "--resume") == 0) {

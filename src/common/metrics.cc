@@ -1,5 +1,7 @@
 #include "common/metrics.hh"
 
+#include <algorithm>
+#include <cmath>
 #include <cstdlib>
 #include <fstream>
 #include <mutex>
@@ -14,7 +16,8 @@ namespace metrics {
 Histogram::Histogram(std::string name, std::vector<double> bounds)
     : name_(std::move(name)),
       bounds_(std::move(bounds)),
-      buckets_(bounds_.size() + 1)
+      buckets_(bounds_.size() + 1),
+      samples_(kRetainCap)
 {
     for (std::size_t i = 1; i < bounds_.size(); ++i)
         inca_assert(bounds_[i - 1] < bounds_[i],
@@ -30,7 +33,44 @@ Histogram::observe(double v)
         ++i;
     buckets_[i].fetch_add(1, std::memory_order_relaxed);
     sum_.fetch_add(v, std::memory_order_relaxed);
-    count_.fetch_add(1, std::memory_order_relaxed);
+    // count_ doubles as the retained-slot allocator: the first
+    // kRetainCap observations keep their raw value for percentile().
+    const std::uint64_t slot =
+        count_.fetch_add(1, std::memory_order_relaxed);
+    if (slot < kRetainCap)
+        samples_[std::size_t(slot)].store(v,
+                                          std::memory_order_relaxed);
+}
+
+std::vector<double>
+Histogram::retained() const
+{
+    const std::uint64_t n =
+        std::min<std::uint64_t>(count(), kRetainCap);
+    std::vector<double> out(static_cast<std::size_t>(n));
+    for (std::size_t i = 0; i < out.size(); ++i)
+        out[i] = samples_[i].load(std::memory_order_relaxed);
+    return out;
+}
+
+double
+Histogram::percentile(double q) const
+{
+    inca_assert(q > 0.0 && q <= 100.0,
+                "percentile %f outside (0, 100]", q);
+    std::vector<double> s = retained();
+    if (s.empty())
+        return 0.0;
+    std::sort(s.begin(), s.end());
+    // Nearest-rank: the smallest value with at least q% of the
+    // samples at or below it.
+    std::size_t rank =
+        std::size_t(std::ceil(q / 100.0 * double(s.size())));
+    if (rank < 1)
+        rank = 1;
+    if (rank > s.size())
+        rank = s.size();
+    return s[rank - 1];
 }
 
 std::vector<std::uint64_t>
@@ -47,6 +87,8 @@ Histogram::reset()
 {
     for (auto &b : buckets_)
         b.store(0, std::memory_order_relaxed);
+    for (auto &s : samples_)
+        s.store(0.0, std::memory_order_relaxed);
     sum_.store(0.0, std::memory_order_relaxed);
     count_.store(0, std::memory_order_relaxed);
 }
@@ -228,7 +270,11 @@ toJson()
         const Histogram &h = *r.histograms[i];
         os << (i ? "," : "") << "\n    \"" << jsonEscape(h.name())
            << "\": {\"count\": " << h.count()
-           << ", \"sum\": " << num(h.sum()) << ", \"buckets\": [";
+           << ", \"sum\": " << num(h.sum())
+           << ", \"p50\": " << num(h.percentile(50.0))
+           << ", \"p95\": " << num(h.percentile(95.0))
+           << ", \"p99\": " << num(h.percentile(99.0))
+           << ", \"buckets\": [";
         const auto counts = h.bucketCounts();
         for (std::size_t b = 0; b < counts.size(); ++b) {
             os << (b ? ", " : "") << "{\"le\": ";
@@ -278,9 +324,12 @@ printText(std::FILE *out)
         if (isCache(h->name()) || h->count() == 0)
             continue;
         std::fprintf(out,
-                     "  %-40s %12llu obs  mean %10.1f  total %10.1f\n",
+                     "  %-40s %12llu obs  mean %10.1f  "
+                     "p50 %10.1f  p95 %10.1f  p99 %10.1f%s\n",
                      h->name().c_str(), (unsigned long long)h->count(),
-                     h->mean(), h->sum());
+                     h->mean(), h->percentile(50.0),
+                     h->percentile(95.0), h->percentile(99.0),
+                     h->retainedSaturated() ? "  (p~first 4096)" : "");
     }
 }
 

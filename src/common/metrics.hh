@@ -96,10 +96,20 @@ class Gauge
  * with one extra overflow bucket; sum and count track the exact
  * totals. Bounds are fixed at registration, so observe() is a scan
  * plus one relaxed increment -- safe from any pool thread.
+ *
+ * Alongside the buckets, the first kRetainCap raw observations are
+ * retained verbatim, so percentile() answers with an exact
+ * nearest-rank value instead of a bucket bound. Slot writes are
+ * relaxed atomics: always race-free, and exact whenever the reader is
+ * ordered after the writers (the end-of-run renderers run after the
+ * pool joins, which is the only place percentiles are read).
  */
 class Histogram
 {
   public:
+    /** Raw observations kept for exact percentiles (32 KiB/metric). */
+    static constexpr std::size_t kRetainCap = 4096;
+
     Histogram(std::string name, std::vector<double> bounds);
 
     Histogram(const Histogram &) = delete;
@@ -129,6 +139,24 @@ class Histogram
     /** Per-bucket counts; size bounds().size() + 1 (overflow last). */
     std::vector<std::uint64_t> bucketCounts() const;
 
+    /**
+     * Exact nearest-rank percentile of the retained samples for
+     * @p q in (0, 100]; 0 when empty. Sorted on demand -- a
+     * render-time call, not a hot-path one. Past kRetainCap
+     * observations the summary covers the first kRetainCap (see
+     * retainedSaturated()).
+     */
+    double percentile(double q) const;
+
+    /** Retained raw observations, in observation order. */
+    std::vector<double> retained() const;
+
+    /** True when observations beyond kRetainCap were dropped. */
+    bool retainedSaturated() const
+    {
+        return count() > kRetainCap;
+    }
+
     void reset();
 
     const std::string &name() const { return name_; }
@@ -137,6 +165,7 @@ class Histogram
     std::string name_;
     std::vector<double> bounds_;
     std::vector<std::atomic<std::uint64_t>> buckets_;
+    std::vector<std::atomic<double>> samples_;
     std::atomic<double> sum_{0.0};
     std::atomic<std::uint64_t> count_{0};
 };

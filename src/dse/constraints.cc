@@ -45,6 +45,8 @@ Constraints::set(const std::string &keyValue)
         minAccuracyAtBer = v;
     else if (key == "lossless_adc")
         losslessAdc = v != 0.0;
+    else if (key == "max_p99_ms")
+        maxP99Ms = v;
     else
         fatal("unknown constraint '%s'", key.c_str());
 }
@@ -70,6 +72,8 @@ Constraints::str() const
         add("min_accuracy_at_ber=" + num(minAccuracyAtBer));
     if (losslessAdc)
         add("lossless_adc=1");
+    if (maxP99Ms > 0.0)
+        add("max_p99_ms=" + num(maxP99Ms));
     return out;
 }
 

@@ -38,19 +38,28 @@ struct Constraints
     double minAccuracy = 0.0;     ///< accuracy-proxy floor
     double minAccuracyAtBer = 0.0; ///< resilience-proxy floor
     bool losslessAdc = false;     ///< ADC must digitize a full window
+    /**
+     * Serving SLO ceiling on the p99 request latency [ms]. Unlike the
+     * bounds above this one needs a serving simulation, so the
+     * explorer checks it after scoring (selecting it turns serving
+     * scoring on), not in the cheap pre-scoring filter.
+     */
+    double maxP99Ms = 0.0;
 
     /** True when no bound is active. */
     bool empty() const
     {
         return maxAreaMm2 <= 0.0 && maxIdlePowerW <= 0.0 &&
                minUtilization <= 0.0 && minAccuracy <= 0.0 &&
-               minAccuracyAtBer <= 0.0 && !losslessAdc;
+               minAccuracyAtBer <= 0.0 && !losslessAdc &&
+               maxP99Ms <= 0.0;
     }
 
     /**
      * Apply one "key=value" bound (the CLI / journal spelling):
      * max_area_mm2, max_idle_w, min_utilization, min_accuracy,
-     * min_accuracy_at_ber, lossless_adc. Fatal on an unknown key or
+     * min_accuracy_at_ber, lossless_adc, max_p99_ms. Fatal on an
+     * unknown key or
      * unparsable value.
      */
     void set(const std::string &keyValue);

@@ -23,6 +23,7 @@
 #include "inca/engine.hh"
 #include "ir/lower.hh"
 #include "nn/model_zoo.hh"
+#include "serving/simulator.hh"
 #include "sim/export.hh"
 
 namespace inca {
@@ -75,8 +76,15 @@ Explorer::Explorer(SearchSpace space, ExploreOptions options)
     inca_assert(!options_.objectives.empty(),
                 "exploration needs at least one objective");
     maxWindow_ = maxConvWindow(net_);
-    for (const Objective o : options_.objectives)
+    for (const Objective o : options_.objectives) {
         wantTimed_ = wantTimed_ || o == Objective::LatencyTimed;
+        wantServing_ = wantServing_ || o == Objective::P99Latency ||
+                       o == Objective::Goodput ||
+                       o == Objective::EnergyPerRequest;
+    }
+    // The SLO ceiling also needs the simulation it bounds.
+    wantServing_ =
+        wantServing_ || options_.constraints.maxP99Ms > 0.0;
 }
 
 std::string
@@ -118,6 +126,31 @@ Explorer::signature() const
     std::snprintf(hex, sizeof(hex), "0x%llx",
                   static_cast<unsigned long long>(baseKey.hash()));
     os << " base=" << hex;
+    // The serving scenario determines serving-scored values, so it is
+    // part of the stream identity -- but only when serving scoring is
+    // on, keeping every pre-serving signature byte-identical.
+    if (wantServing_) {
+        const ExploreOptions::ServingScenario &s = options_.serving;
+        os << " serving=arrivals:"
+           << serving::arrivalKindName(s.arrivals.kind)
+           << ",rate:" << num17(s.arrivals.ratePerS)
+           << ",seed:" << s.arrivals.seed
+           << ",burst:" << num17(s.arrivals.burstFactor)
+           << ",on:" << num17(s.arrivals.meanOnS)
+           << ",off:" << num17(s.arrivals.meanOffS)
+           << ",period:" << num17(s.arrivals.diurnalPeriodS)
+           << ",depth:" << num17(s.arrivals.diurnalDepth)
+           << ",duration:" << num17(s.durationS)
+           << ",replicas:" << s.replicas
+           << ",shard:" << serving::shardKindName(s.shard.kind)
+           << ",chips:" << s.shard.chips
+           << ",bw:" << num17(s.shard.link.bandwidthBytesPerS)
+           << ",hop:" << num17(s.shard.link.latencyS)
+           << ",pj:" << num17(s.shard.link.energyPerByteJ)
+           << ",batch:" << s.batch.maxBatch
+           << ",timeout:" << num17(s.batch.timeoutS)
+           << ",slo:" << num17(s.sloS);
+    }
     os << " space=";
     for (const auto &axis : space_.axes()) {
         os << axis.name << "{";
@@ -210,8 +243,58 @@ Explorer::evaluate(std::uint64_t flatIndex) const
     e.energyJ = e.run.energy();
     e.latencyS = e.run.latency;
     e.configKeyHash = e.run.configKeyHash;
+    if (wantServing_) {
+        scoreServing(e);
+        // The SLO ceiling can only be checked here: unlike the cheap
+        // pre-scoring bounds, p99 exists only after the simulation.
+        const double p99Ms = e.p99LatencyS * 1e3;
+        if (options_.constraints.maxP99Ms > 0.0 &&
+            p99Ms > options_.constraints.maxP99Ms) {
+            char buf[96];
+            std::snprintf(buf, sizeof(buf),
+                          "max_p99_ms (%g > %g)", p99Ms,
+                          options_.constraints.maxP99Ms);
+            e.feasible = false;
+            e.rejectedBy = buf;
+        }
+    }
     orientObjectives(e, options_.objectives);
     return e;
+}
+
+void
+Explorer::scoreServing(Evaluation &e) const
+{
+    serving::ServingSpec spec;
+    spec.incaEngine = options_.engine == EngineKind::Inca;
+    if (spec.incaEngine)
+        spec.inca =
+            materializeInca(space_, e.candidate, options_.baseInca,
+                            options_.isoCapacity);
+    else
+        spec.ws = materializeWs(space_, e.candidate, options_.baseWs,
+                                options_.isoCapacity);
+    spec.streams = {
+        serving::StreamSpec{options_.network, 1.0, 0}};
+    const ExploreOptions::ServingScenario &s = options_.serving;
+    spec.arrivals = s.arrivals;
+    spec.durationS = s.durationS;
+    spec.shard = s.shard;
+    spec.batch = s.batch;
+    spec.sloS = s.sloS;
+    // Datacenter axes, when searched, override the fixed scenario.
+    spec.replicas = int(
+        space_.value(e.candidate, "replicas", s.replicas));
+    spec.batch.maxBatch = int(space_.value(
+        e.candidate, "serve_batch", s.batch.maxBatch));
+    spec.shard.kind = serving::ShardKind(space_.value(
+        e.candidate, "shard", std::int64_t(s.shard.kind)));
+    spec.shard.chips = int(
+        space_.value(e.candidate, "shard_chips", s.shard.chips));
+    const serving::ServingReport rep = serving::simulate(spec);
+    e.p99LatencyS = rep.p99S;
+    e.goodputRps = rep.goodputRps;
+    e.energyPerRequestJ = rep.energyPerRequestJ;
 }
 
 ExploreResult
@@ -339,7 +422,8 @@ frontierCsv(const SearchSpace &space,
         os << "," << axis.name;
     os << ",energy_j,latency_s,area_m2,idle_w,utilization,accuracy,"
           "resilience,latency_timed_s,bottleneck_unit,"
-          "critical_share,config_key_hash\n";
+          "critical_share,p99_latency_s,goodput_rps,"
+          "energy_per_request_j,config_key_hash\n";
     for (const Evaluation &e : frontier) {
         os << e.candidate.index;
         for (const std::int64_t v : e.candidate.values)
@@ -350,7 +434,9 @@ frontierCsv(const SearchSpace &space,
            << num17(e.accuracy) << "," << num17(e.resilience)
            << "," << num17(e.timedLatencyS) << ","
            << csvField(e.bottleneckUnit) << ","
-           << num17(e.criticalShare);
+           << num17(e.criticalShare) << ","
+           << num17(e.p99LatencyS) << "," << num17(e.goodputRps)
+           << "," << num17(e.energyPerRequestJ);
         char hex[32];
         std::snprintf(hex, sizeof(hex), "0x%llx",
                       static_cast<unsigned long long>(
@@ -428,7 +514,10 @@ frontierJson(const Explorer &explorer, const ExploreResult &result)
            << ", \"bottleneck_unit\": \""
            << jsonEscape(e.bottleneckUnit)
            << "\", \"critical_share\": " << num17(e.criticalShare)
-           << "}"
+           << ", \"p99_latency_s\": " << num17(e.p99LatencyS)
+           << ", \"goodput_rps\": " << num17(e.goodputRps)
+           << ", \"energy_per_request_j\": "
+           << num17(e.energyPerRequestJ) << "}"
            << (i + 1 < points.size() ? "," : "") << "\n";
     }
     os << "  ]\n}\n";

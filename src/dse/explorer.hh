@@ -32,6 +32,7 @@
 #include "dse/objectives.hh"
 #include "dse/space.hh"
 #include "dse/strategy.hh"
+#include "serving/simulator.hh"
 
 namespace inca {
 namespace dse {
@@ -85,6 +86,28 @@ struct ExploreOptions
     /** Base design points the candidate axes perturb. */
     arch::IncaConfig baseInca = arch::paperInca();
     arch::BaselineConfig baseWs = arch::paperBaseline();
+
+    /**
+     * The serving scenario behind the p99_latency / goodput /
+     * energy_per_request objectives and the max_p99_ms constraint.
+     * Selecting any of those turns serving scoring on: each scored
+     * candidate additionally runs one virtual-time serving simulation
+     * of its materialized chip under this traffic. The search axes
+     * replicas, serve_batch, shard, and shard_chips (when present in
+     * the space) override the fixed values per candidate, which is
+     * how the explorer searches the datacenter dimensions jointly
+     * with the chip ones.
+     */
+    struct ServingScenario
+    {
+        serving::ArrivalSpec arrivals;
+        Seconds durationS = 0.2;
+        int replicas = 1;
+        serving::ShardSpec shard;
+        serving::BatchPolicy batch;
+        Seconds sloS = 0.0; ///< goodput SLO (0: goodput=throughput)
+    };
+    ServingScenario serving;
 };
 
 /** Outcome of Explorer::run(). */
@@ -127,12 +150,17 @@ class Explorer
     Evaluation evaluate(std::uint64_t flatIndex) const;
 
   private:
+    /** Serving-simulate one scored candidate (fills p99/goodput/epr). */
+    void scoreServing(Evaluation &e) const;
+
     SearchSpace space_;
     ExploreOptions options_;
     nn::NetworkDesc net_;
     int maxWindow_ = 0;
     /** latency_timed selected: score the event backend too. */
     bool wantTimed_ = false;
+    /** Serving objective or max_p99_ms selected: simulate serving. */
+    bool wantServing_ = false;
 };
 
 /**

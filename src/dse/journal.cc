@@ -230,6 +230,14 @@ parseEvalLine(const std::string &line, Evaluation &e)
         e.bottleneckUnit.clear();
     if (!getDouble(line, "critical_share", e.criticalShare))
         e.criticalShare = 0.0;
+    // ... and pre-serving journals carry no serving scalars.
+    if (!getDouble(line, "p99_latency_s", e.p99LatencyS))
+        e.p99LatencyS = 0.0;
+    if (!getDouble(line, "goodput_rps", e.goodputRps))
+        e.goodputRps = 0.0;
+    if (!getDouble(line, "energy_per_request_j",
+                   e.energyPerRequestJ))
+        e.energyPerRequestJ = 0.0;
     if (!getDoubleArray(line, "objectives", e.objectives))
         return false;
     return true;
@@ -268,6 +276,10 @@ evalToJsonLine(const Evaluation &e)
     out += ",\"bottleneck_unit\":\"" + jsonEscape(e.bottleneckUnit) +
            "\"";
     out += ",\"critical_share\":" + fmtDouble(e.criticalShare);
+    out += ",\"p99_latency_s\":" + fmtDouble(e.p99LatencyS);
+    out += ",\"goodput_rps\":" + fmtDouble(e.goodputRps);
+    out += ",\"energy_per_request_j\":" +
+           fmtDouble(e.energyPerRequestJ);
     out += ",\"objectives\":[";
     for (std::size_t i = 0; i < e.objectives.size(); ++i) {
         if (i > 0)

@@ -32,6 +32,12 @@ objectiveName(Objective o)
         return "resilience";
       case Objective::LatencyTimed:
         return "latency_timed";
+      case Objective::P99Latency:
+        return "p99_latency";
+      case Objective::Goodput:
+        return "goodput";
+      case Objective::EnergyPerRequest:
+        return "energy_per_request";
     }
     panic("unreachable objective %d", int(o));
 }
@@ -43,7 +49,9 @@ objectiveByName(const std::string &name)
          {Objective::Energy, Objective::Latency, Objective::Area,
           Objective::Edp, Objective::IdlePower,
           Objective::Utilization, Objective::Accuracy,
-          Objective::Resilience, Objective::LatencyTimed}) {
+          Objective::Resilience, Objective::LatencyTimed,
+          Objective::P99Latency, Objective::Goodput,
+          Objective::EnergyPerRequest}) {
         if (name == objectiveName(o))
             return o;
     }
@@ -74,7 +82,7 @@ bool
 objectiveMaximized(Objective o)
 {
     return o == Objective::Utilization || o == Objective::Accuracy ||
-           o == Objective::Resilience;
+           o == Objective::Resilience || o == Objective::Goodput;
 }
 
 double
@@ -99,6 +107,12 @@ Evaluation::value(Objective o) const
         return resilience;
       case Objective::LatencyTimed:
         return timedLatencyS;
+      case Objective::P99Latency:
+        return p99LatencyS;
+      case Objective::Goodput:
+        return goodputRps;
+      case Objective::EnergyPerRequest:
+        return energyPerRequestJ;
     }
     panic("unreachable objective %d", int(o));
 }

@@ -50,6 +50,9 @@ enum class Objective
     Accuracy,     ///< accuracy-under-noise proxy [0,1] (maximize)
     Resilience,   ///< accuracy-under-faults proxy [0,1] (maximize)
     LatencyTimed, ///< event-backend makespan, overlap on [s] (min.)
+    P99Latency,   ///< serving p99 request latency [s] (minimize)
+    Goodput,      ///< serving within-SLO throughput [rps] (maximize)
+    EnergyPerRequest, ///< serving energy per request [J] (minimize)
 };
 
 /** "energy", "latency", ... (the CLI spelling). */
@@ -101,6 +104,17 @@ struct Evaluation
      */
     std::string bottleneckUnit;
     double criticalShare = 0.0;
+    /**
+     * Serving-simulator scalars: p99 request latency, within-SLO
+     * throughput, and datacenter energy per request under the
+     * explorer's serving scenario (arrival process, replicas,
+     * sharding, batching -- see ExploreOptions::serving). Only
+     * computed when a serving objective or the max_p99_ms constraint
+     * is selected; 0.0 otherwise and for older journals.
+     */
+    double p99LatencyS = 0.0;
+    double goodputRps = 0.0;
+    double energyPerRequestJ = 0.0;
     std::uint64_t configKeyHash = 0;
 
     /**

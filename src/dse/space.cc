@@ -166,6 +166,13 @@ rescaleTiles(Config &cfg, std::int64_t cellsBefore)
 
 } // namespace
 
+bool
+isServingAxis(const std::string &name)
+{
+    return name == "replicas" || name == "serve_batch" ||
+           name == "shard" || name == "shard_chips";
+}
+
 arch::IncaConfig
 materializeInca(const SearchSpace &space, const Candidate &cand,
                 const arch::IncaConfig &base, bool isoCapacity)
@@ -196,6 +203,8 @@ materializeInca(const SearchSpace &space, const Candidate &cand,
             cfg.subarraysPerAdc = int(v);
         else if (name == "device")
             applyDevice(cfg.device, v);
+        else if (isServingAxis(name))
+            continue; // datacenter axis; the chip config ignores it
         else
             fatal("unknown search axis '%s'", name.c_str());
     }
@@ -237,6 +246,8 @@ materializeWs(const SearchSpace &space, const Candidate &cand,
                  name == "subarrays_per_adc")
             fatal("axis '%s' does not apply to the WS baseline",
                   name.c_str());
+        else if (isServingAxis(name))
+            continue; // datacenter axis; the chip config ignores it
         else
             fatal("unknown search axis '%s'", name.c_str());
     }

@@ -70,6 +70,13 @@ struct Candidate
  *   stacked_planes   planes per 3D stack (INCA only)
  *   subarrays_per_adc ADC sharing inside a stack (INCA only)
  *   device           index into circuit::allDevicePresets()
+ *
+ * Serving (datacenter) axes -- ignored by the chip materializers and
+ * read by the explorer's serving scoring (see isServingAxis):
+ *   replicas         server count
+ *   serve_batch      batching-scheduler size cap
+ *   shard            sharding kind (0 replica, 1 pipeline, 2 tensor)
+ *   shard_chips      chips per server under pipeline/tensor sharding
  */
 class SearchSpace
 {
@@ -129,6 +136,14 @@ arch::BaselineConfig materializeWs(const SearchSpace &space,
                                    const Candidate &cand,
                                    const arch::BaselineConfig &base,
                                    bool isoCapacity);
+
+/**
+ * True for the datacenter-level axis names (replicas, serve_batch,
+ * shard, shard_chips): part of a candidate's identity but applied by
+ * the explorer's serving scoring, not the chip materializers (which
+ * skip them instead of rejecting them as typos).
+ */
+bool isServingAxis(const std::string &name);
 
 /**
  * The default exploration space around the paper's Table II design

@@ -1,0 +1,326 @@
+#include "serving/simulator.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <queue>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "common/thread_pool.hh"
+#include "nn/model_zoo.hh"
+
+namespace inca {
+namespace serving {
+
+namespace {
+
+/** Heap event. Kind breaks timestamp ties; seq breaks kind ties. */
+struct Ev
+{
+    Seconds t = 0.0;
+    int kind = 0; ///< 0 server-ready, 1 arrival, 2 timeout
+    std::uint64_t seq = 0;
+    std::uint64_t payload = 0;
+};
+
+struct EvLater
+{
+    bool operator()(const Ev &a, const Ev &b) const
+    {
+        if (a.t != b.t)
+            return a.t > b.t;
+        if (a.kind != b.kind)
+            return a.kind > b.kind;
+        return a.seq > b.seq;
+    }
+};
+
+struct Server
+{
+    Seconds readyAtS = 0.0;        ///< next admission slot
+    Seconds lastCompletionS = 0.0; ///< FIFO monotonicity clamp
+    ServerStats stats;
+};
+
+void
+validateSpec(const ServingSpec &spec)
+{
+    inca_assert(spec.durationS > 0.0, "duration must be positive");
+    inca_assert(spec.replicas >= 1, "need at least one replica");
+    inca_assert(spec.batch.maxBatch >= 1,
+                "batch cap must be at least 1");
+    inca_assert(std::isfinite(spec.batch.timeoutS) &&
+                    spec.batch.timeoutS >= 0.0,
+                "batch timeout must be finite and non-negative");
+    inca_assert(!spec.streams.empty(),
+                "the workload needs at least one stream");
+    for (const StreamSpec &s : spec.streams)
+        inca_assert(s.weight > 0.0,
+                    "stream '%s' needs a positive weight",
+                    s.network.c_str());
+}
+
+} // namespace
+
+double
+exactPercentile(std::vector<double> samples, double q)
+{
+    inca_assert(q > 0.0 && q <= 100.0,
+                "percentile %f outside (0, 100]", q);
+    if (samples.empty())
+        return 0.0;
+    std::sort(samples.begin(), samples.end());
+    std::size_t rank =
+        std::size_t(std::ceil(q / 100.0 * double(samples.size())));
+    if (rank < 1)
+        rank = 1;
+    if (rank > samples.size())
+        rank = samples.size();
+    return samples[rank - 1];
+}
+
+ServingReport
+simulate(const ServingSpec &spec)
+{
+    validateSpec(spec);
+    ServingReport rep;
+    rep.spec = spec;
+
+    // ---- Arrival trace + stream assignment (both seeded). --------
+    const std::vector<Seconds> arrivals =
+        generateArrivals(spec.arrivals, spec.durationS);
+    rep.offered = arrivals.size();
+    rep.offeredRatePerS = double(arrivals.size()) / spec.durationS;
+
+    double totalWeight = 0.0;
+    for (const StreamSpec &s : spec.streams)
+        totalWeight += s.weight;
+    SplitMix64 assign(spec.arrivals.seed ^ 0x53545245414d53ULL);
+    rep.requests.resize(arrivals.size());
+    for (std::size_t i = 0; i < arrivals.size(); ++i) {
+        RequestRecord &r = rep.requests[i];
+        r.id = i;
+        r.arrivalS = arrivals[i];
+        double u = assign.uniform() * totalWeight;
+        int stream = 0;
+        for (std::size_t s = 0; s < spec.streams.size(); ++s) {
+            u -= spec.streams[s].weight;
+            if (u < 0.0) {
+                stream = int(s);
+                break;
+            }
+        }
+        r.stream = stream;
+    }
+
+    // ---- Cost table: the only parallel phase. --------------------
+    // One slot per (stream, batch size); each slot is a pure
+    // cost-model call, so the fan-out is scheduling-independent and
+    // the serial loop below never computes a cost itself.
+    const BatchCostModel model =
+        spec.incaEngine ? BatchCostModel(spec.inca, spec.shard)
+                        : BatchCostModel(spec.ws, spec.shard);
+    std::vector<nn::NetworkDesc> nets;
+    nets.reserve(spec.streams.size());
+    for (const StreamSpec &s : spec.streams)
+        nets.push_back(nn::byName(s.network));
+    const int maxBatch = spec.batch.maxBatch;
+    std::vector<BatchCost> table(spec.streams.size() *
+                                 std::size_t(maxBatch));
+    parallel_for_each(
+        std::int64_t(table.size()), 1, [&](std::int64_t i) {
+            const std::size_t stream =
+                std::size_t(i) / std::size_t(maxBatch);
+            const int batch = int(std::size_t(i) %
+                                  std::size_t(maxBatch)) +
+                              1;
+            table[std::size_t(i)] = model.cost(nets[stream], batch);
+        });
+    const auto costOf = [&](int stream, int batch) -> const BatchCost & {
+        return table[std::size_t(stream) * std::size_t(maxBatch) +
+                     std::size_t(batch - 1)];
+    };
+
+    // ---- Serial virtual-time event loop. -------------------------
+    std::priority_queue<Ev, std::vector<Ev>, EvLater> events;
+    std::uint64_t seq = 0;
+    for (std::size_t i = 0; i < arrivals.size(); ++i) {
+        events.push(Ev{arrivals[i], /*arrival*/ 1, seq++, i});
+        // Every request gets a timeout tick: the head-age dispatch
+        // condition below compares against the identical floating-
+        // point sum, so the tick fires the moment the condition
+        // becomes true -- and a drained trace still flushes.
+        events.push(Ev{arrivals[i] + spec.batch.timeoutS,
+                       /*timeout*/ 2, seq++, i});
+    }
+
+    std::vector<std::deque<std::uint64_t>> queues(
+        spec.streams.size());
+    std::vector<Server> servers(std::size_t(spec.replicas));
+
+    std::uint64_t waiting = 0;
+    Seconds lastTimelineT = 0.0;
+    double depthIntegral = 0.0;
+    // Integrate the piecewise-constant depth up to @p t BEFORE a
+    // change, then record the new level after it.
+    const auto advanceDepth = [&](Seconds t) {
+        depthIntegral += double(waiting) * (t - lastTimelineT);
+        lastTimelineT = t;
+    };
+    const auto noteDepth = [&](Seconds t) {
+        rep.queueTimeline.push_back({t, waiting});
+        rep.maxQueueDepth = std::max(rep.maxQueueDepth, waiting);
+    };
+
+    double batchSizeSum = 0.0;
+    const auto dispatchable = [&](std::size_t s, Seconds now) {
+        const auto &q = queues[s];
+        if (q.empty())
+            return false;
+        if (q.size() >= std::size_t(maxBatch))
+            return true;
+        return now >= rep.requests[q.front()].arrivalS +
+                          spec.batch.timeoutS;
+    };
+    const auto tryDispatch = [&](Seconds now) {
+        for (;;) {
+            // Lowest-index idle server.
+            int srv = -1;
+            for (std::size_t i = 0; i < servers.size(); ++i) {
+                if (servers[i].readyAtS <= now) {
+                    srv = int(i);
+                    break;
+                }
+            }
+            if (srv < 0)
+                return;
+            // Dispatchable stream: lowest priority number, then
+            // oldest head request, then stream index.
+            int best = -1;
+            for (std::size_t s = 0; s < queues.size(); ++s) {
+                if (!dispatchable(s, now))
+                    continue;
+                if (best < 0) {
+                    best = int(s);
+                    continue;
+                }
+                const StreamSpec &a = spec.streams[s];
+                const StreamSpec &b =
+                    spec.streams[std::size_t(best)];
+                const Seconds headA =
+                    rep.requests[queues[s].front()].arrivalS;
+                const Seconds headB =
+                    rep.requests[queues[std::size_t(best)].front()]
+                        .arrivalS;
+                if (a.priority < b.priority ||
+                    (a.priority == b.priority && headA < headB))
+                    best = int(s);
+            }
+            if (best < 0)
+                return;
+            auto &q = queues[std::size_t(best)];
+            const int batch =
+                int(std::min<std::size_t>(q.size(),
+                                          std::size_t(maxBatch)));
+            const BatchCost &cost = costOf(best, batch);
+            Server &server = servers[std::size_t(srv)];
+            // FIFO clamp: a pipeline cannot let a later (smaller)
+            // batch finish before an earlier one.
+            const Seconds completion = std::max(
+                now + cost.latencyS, server.lastCompletionS);
+            server.lastCompletionS = completion;
+            server.readyAtS = now + cost.intervalS;
+            server.stats.busyS += cost.intervalS;
+            server.stats.batches += 1;
+            server.stats.requests += std::uint64_t(batch);
+            events.push(Ev{server.readyAtS, /*server-ready*/ 0,
+                           seq++, std::uint64_t(srv)});
+            for (int i = 0; i < batch; ++i) {
+                RequestRecord &r = rep.requests[q.front()];
+                q.pop_front();
+                r.server = srv;
+                r.batchSize = batch;
+                r.dispatchS = now;
+                r.completionS = completion;
+            }
+            advanceDepth(now);
+            waiting -= std::uint64_t(batch);
+            noteDepth(now);
+            rep.dynamicEnergyJ += cost.energyJ;
+            rep.batches += 1;
+            batchSizeSum += double(batch);
+            rep.makespanS = std::max(rep.makespanS, completion);
+        }
+    };
+
+    while (!events.empty()) {
+        const Ev ev = events.top();
+        events.pop();
+        if (ev.kind == 1) { // arrival
+            queues[std::size_t(
+                       rep.requests[ev.payload].stream)]
+                .push_back(ev.payload);
+            advanceDepth(ev.t);
+            ++waiting;
+            noteDepth(ev.t);
+        }
+        tryDispatch(ev.t);
+    }
+    for (const auto &q : queues)
+        inca_assert(q.empty(), "simulation ended with queued work");
+
+    // ---- Roll-ups. -----------------------------------------------
+    rep.completed = rep.offered;
+    std::vector<double> latencies;
+    latencies.reserve(rep.requests.size());
+    double latencySum = 0.0, waitSum = 0.0;
+    for (const RequestRecord &r : rep.requests) {
+        const double l = r.latencyS();
+        latencies.push_back(l);
+        latencySum += l;
+        waitSum += r.waitS();
+        rep.maxLatencyS = std::max(rep.maxLatencyS, l);
+        if (spec.sloS > 0.0 && l <= spec.sloS)
+            ++rep.withinSlo;
+    }
+    if (!latencies.empty()) {
+        rep.meanLatencyS = latencySum / double(latencies.size());
+        rep.meanWaitS = waitSum / double(latencies.size());
+        rep.p50S = exactPercentile(latencies, 50.0);
+        rep.p95S = exactPercentile(latencies, 95.0);
+        rep.p99S = exactPercentile(latencies, 99.0);
+    }
+    if (rep.makespanS > 0.0) {
+        rep.throughputRps =
+            double(rep.completed) / rep.makespanS;
+        rep.goodputRps =
+            spec.sloS > 0.0
+                ? double(rep.withinSlo) / rep.makespanS
+                : rep.throughputRps;
+        rep.meanQueueDepth = depthIntegral / rep.makespanS;
+    }
+    rep.meanBatchSize =
+        rep.batches ? batchSizeSum / double(rep.batches) : 0.0;
+    rep.servers.reserve(servers.size());
+    double busySum = 0.0;
+    for (const Server &s : servers) {
+        ServerStats stats = s.stats;
+        stats.utilization = rep.makespanS > 0.0
+                                ? stats.busyS / rep.makespanS
+                                : 0.0;
+        busySum += stats.utilization;
+        rep.servers.push_back(stats);
+    }
+    rep.utilization =
+        servers.empty() ? 0.0 : busySum / double(servers.size());
+    rep.staticEnergyJ = model.idlePowerPerServer() *
+                        double(spec.replicas) * rep.makespanS;
+    rep.energyJ = rep.dynamicEnergyJ + rep.staticEnergyJ;
+    rep.energyPerRequestJ =
+        rep.completed ? rep.energyJ / double(rep.completed) : 0.0;
+    return rep;
+}
+
+} // namespace serving
+} // namespace inca

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Virtual-time serving simulator: open-loop arrivals -> batching
+ * scheduler -> replicated (possibly sharded) chip servers.
+ *
+ * The simulated clock is driven purely by event timestamps -- arrival
+ * traces materialized up front (serving/arrivals.hh) and batch
+ * service times from the memoized cost model (serving/cost_model.hh).
+ * Wall-clock time never enters, so a simulation is a pure function of
+ * its spec: bit-identical at any thread count and with the EvalCache
+ * on or off. The only parallel phase is the pre-computation of the
+ * (stream, batch size) cost table, which fans out pure cost-model
+ * calls into pre-sized slots before the serial event loop runs.
+ *
+ * Scheduling policy: one FIFO queue per stream. A stream becomes
+ * dispatchable when its queue reaches the batch-size cap or its head
+ * request has waited the batch timeout. When a server is free, the
+ * scheduler picks the dispatchable stream with the lowest priority
+ * number (ties: oldest head request, then stream index) and dispatches
+ * up to maxBatch requests from that stream only -- batches never mix
+ * models. Every request schedules a timeout event, so a drained
+ * arrival trace still flushes: each queued request eventually ages
+ * past the timeout and leaves with a recorded latency.
+ *
+ * Servers admit one batch per initiation interval and complete it
+ * after the batch latency; completions on one server are clamped
+ * monotone (a pipeline is FIFO -- a later small batch cannot overtake
+ * an earlier large one). Energy = sum of per-batch dynamic + link
+ * energy, plus idle power x total chips x makespan (chips leak
+ * whether busy or not).
+ */
+
+#ifndef INCA_SERVING_SIMULATOR_HH
+#define INCA_SERVING_SIMULATOR_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "arch/config.hh"
+#include "common/units.hh"
+#include "serving/arrivals.hh"
+#include "serving/cost_model.hh"
+
+namespace inca {
+namespace serving {
+
+/** One request class of the workload mix. */
+struct StreamSpec
+{
+    std::string network = "vgg16"; ///< model zoo name
+    double weight = 1.0;           ///< share of the arrival mix
+    int priority = 0;              ///< lower dispatches first
+};
+
+/** Batch-forming policy (size cap OR head-of-line timeout). */
+struct BatchPolicy
+{
+    int maxBatch = 8;
+    Seconds timeoutS = 2e-3;
+};
+
+/** Everything that determines one serving simulation. */
+struct ServingSpec
+{
+    bool incaEngine = true; ///< IS chip (false: WS baseline)
+    arch::IncaConfig inca = arch::paperInca();
+    arch::BaselineConfig ws = arch::paperBaseline();
+
+    std::vector<StreamSpec> streams = {StreamSpec{}};
+    ArrivalSpec arrivals;
+    Seconds durationS = 1.0; ///< arrival-generation horizon
+
+    int replicas = 1; ///< independent server groups
+    ShardSpec shard;
+    BatchPolicy batch;
+
+    Seconds sloS = 0.0; ///< latency SLO; 0 disables goodput gating
+};
+
+/** Per-request trace row (the --csv export). */
+struct RequestRecord
+{
+    std::uint64_t id = 0;
+    int stream = 0;
+    int server = -1;
+    int batchSize = 0;
+    Seconds arrivalS = 0.0;
+    Seconds dispatchS = 0.0;
+    Seconds completionS = 0.0;
+
+    Seconds latencyS() const { return completionS - arrivalS; }
+    Seconds waitS() const { return dispatchS - arrivalS; }
+};
+
+/** Per-server roll-up. */
+struct ServerStats
+{
+    std::uint64_t batches = 0;
+    std::uint64_t requests = 0;
+    Seconds busyS = 0.0;      ///< sum of initiation intervals
+    double utilization = 0.0; ///< busyS / makespan
+};
+
+/** Everything one simulation produces. */
+struct ServingReport
+{
+    ServingSpec spec; ///< echoed for the emitters
+
+    std::uint64_t offered = 0;   ///< requests generated
+    std::uint64_t completed = 0; ///< requests served (== offered)
+    std::uint64_t withinSlo = 0; ///< completions meeting the SLO
+    Seconds makespanS = 0.0;     ///< last completion time
+
+    double offeredRatePerS = 0.0; ///< offered / duration
+    double throughputRps = 0.0;   ///< completed / makespan
+    double goodputRps = 0.0;      ///< withinSlo / makespan (SLO set)
+
+    // Exact latency summary over every completed request.
+    Seconds meanLatencyS = 0.0;
+    Seconds p50S = 0.0, p95S = 0.0, p99S = 0.0;
+    Seconds maxLatencyS = 0.0;
+    Seconds meanWaitS = 0.0;
+
+    double meanQueueDepth = 0.0; ///< time-averaged over [0, makespan]
+    std::uint64_t maxQueueDepth = 0;
+    std::uint64_t batches = 0;
+    double meanBatchSize = 0.0;
+    double utilization = 0.0; ///< mean server busy fraction
+
+    Joules dynamicEnergyJ = 0.0; ///< compute + link, all batches
+    Joules staticEnergyJ = 0.0;  ///< idle power x chips x makespan
+    Joules energyJ = 0.0;
+    Joules energyPerRequestJ = 0.0;
+
+    std::vector<ServerStats> servers;
+    std::vector<RequestRecord> requests; ///< in arrival order
+    /** (time, waiting requests) at every depth change. */
+    std::vector<std::pair<Seconds, std::uint64_t>> queueTimeline;
+};
+
+/**
+ * Exact nearest-rank percentile of @p samples for @p q in (0, 100];
+ * 0 when empty. The reference percentile the report and the metrics
+ * histograms agree on.
+ */
+double exactPercentile(std::vector<double> samples, double q);
+
+/** Run one simulation (pure; see file comment). */
+ServingReport simulate(const ServingSpec &spec);
+
+} // namespace serving
+} // namespace inca
+
+#endif // INCA_SERVING_SIMULATOR_HH
