@@ -56,13 +56,14 @@ usage(const char *argv0)
         "idle_power,utilization,accuracy,resilience,"
         "latency_timed,\n"
         "                          p99_latency,goodput,"
-        "energy_per_request\n"
+        "energy_per_request,\n"
+        "                          availability,shed_fraction\n"
         "  --constraint k=v        repeatable; max_area_mm2, "
         "max_idle_w,\n"
         "                          min_utilization, min_accuracy,\n"
         "                          min_accuracy_at_ber, "
         "lossless_adc,\n"
-        "                          max_p99_ms\n"
+        "                          max_p99_ms, min_availability\n"
         "  --soft                  constraints warn but still score\n"
         "  --axis name=v1,v2,...   repeatable; replaces the default "
         "space\n"
@@ -91,6 +92,12 @@ usage(const char *argv0)
         "  --batch-policy n:<d>    batch cap and timeout (e.g. "
         "8:2ms)\n"
         "  --slo-ms <x>            goodput latency SLO\n"
+        "  chaos layer (availability/shed_fraction objectives,\n"
+        "  min_availability; axis failure_mtbf in ms overrides):\n"
+        "  --failures <spec>       none | mtbf:mttr[:frac[:slow]]\n"
+        "  --serve-retry <spec>    none | budget:backoff[:jitter]\n"
+        "  --deadline-ms <x>       per-request deadline (0 = off)\n"
+        "  --queue-cap <n>         per-stream queue bound (0 = off)\n"
         "  --journal <path>        JSONL checkpoint journal\n"
         "  --resume                reuse the journal's evaluations\n"
         "  --csv <path>            write the frontier as CSV\n"
@@ -210,6 +217,18 @@ main(int argc, char **argv)
         } else if (std::strcmp(a, "--slo-ms") == 0) {
             opt.serving.sloS =
                 cli::parseDouble(a, value(i)) * 1e-3;
+        } else if (std::strcmp(a, "--failures") == 0) {
+            opt.serving.failures =
+                serving::parseFailureSpec(a, value(i));
+        } else if (std::strcmp(a, "--serve-retry") == 0) {
+            opt.serving.retry = serving::parseRetrySpec(a, value(i));
+        } else if (std::strcmp(a, "--deadline-ms") == 0) {
+            opt.serving.deadlineS =
+                cli::parseDouble(a, value(i)) * 1e-3;
+            if (opt.serving.deadlineS < 0.0)
+                fatal("%s: deadline must be non-negative", a);
+        } else if (std::strcmp(a, "--queue-cap") == 0) {
+            opt.serving.queueCap = cli::parseU64(a, value(i));
         } else if (std::strcmp(a, "--journal") == 0) {
             opt.journalPath = value(i);
         } else if (std::strcmp(a, "--resume") == 0) {

@@ -55,6 +55,18 @@ usage(const char *argv0)
         "  --batch-policy n:<d>    batch cap and timeout (e.g. "
         "8:2ms)\n"
         "  --slo-ms <x>            latency SLO for goodput\n"
+        "  --failures <spec>       none | mtbf:mttr[:frac[:slow]]\n"
+        "                          e.g. 200ms:50ms or 2s:100ms:0.3:8\n"
+        "  --fail-seed <n>         failure-process RNG seed\n"
+        "  --fail-recovery <d>     post-repair reload window\n"
+        "  --fail-aging <x>        per-repair MTBF scale in (0,1]\n"
+        "  --fail-drop             drop in-flight work on a failure\n"
+        "                          instead of re-enqueuing it\n"
+        "  --retry <spec>          none | budget:backoff[:jitter]\n"
+        "                          e.g. 3:1ms or 5:500us:0.25\n"
+        "  --deadline-ms <x>       per-request deadline (0 = off)\n"
+        "  --hedge <d>             hedge batches waiting this long\n"
+        "  --queue-cap <n>         per-stream queue bound (0 = off)\n"
         "  --json <path>           write the JSON report\n"
         "  --csv <path>            write the per-request CSV\n"
         "  --timeline-csv <path>   write the queue-depth timeline\n",
@@ -186,6 +198,37 @@ main(int argc, char **argv)
             spec.batch = parseBatchPolicy(a, value(i));
         } else if (std::strcmp(a, "--slo-ms") == 0) {
             spec.sloS = cli::parseDouble(a, value(i)) * 1e-3;
+        } else if (std::strcmp(a, "--failures") == 0) {
+            // The --fail-* knobs compose with --failures in any
+            // flag order: parse replaces only what it names.
+            const serving::FailureSpec keep = spec.failures;
+            spec.failures = serving::parseFailureSpec(a, value(i));
+            spec.failures.seed = keep.seed;
+            spec.failures.recoveryS = keep.recoveryS;
+            spec.failures.aging = keep.aging;
+            spec.failures.dropInFlight = keep.dropInFlight;
+        } else if (std::strcmp(a, "--fail-seed") == 0) {
+            spec.failures.seed = cli::parseU64(a, value(i));
+        } else if (std::strcmp(a, "--fail-recovery") == 0) {
+            spec.failures.recoveryS =
+                cli::parseDuration(a, value(i));
+        } else if (std::strcmp(a, "--fail-aging") == 0) {
+            spec.failures.aging = cli::parseDouble(a, value(i));
+            if (spec.failures.aging <= 0.0 ||
+                spec.failures.aging > 1.0)
+                fatal("%s: aging factor must be in (0, 1]", a);
+        } else if (std::strcmp(a, "--fail-drop") == 0) {
+            spec.failures.dropInFlight = true;
+        } else if (std::strcmp(a, "--retry") == 0) {
+            spec.retry = serving::parseRetrySpec(a, value(i));
+        } else if (std::strcmp(a, "--deadline-ms") == 0) {
+            spec.deadlineS = cli::parseDouble(a, value(i)) * 1e-3;
+            if (spec.deadlineS < 0.0)
+                fatal("%s: deadline must be non-negative", a);
+        } else if (std::strcmp(a, "--hedge") == 0) {
+            spec.hedgeDelayS = cli::parseDuration(a, value(i));
+        } else if (std::strcmp(a, "--queue-cap") == 0) {
+            spec.queueCap = cli::parseU64(a, value(i));
         } else if (std::strcmp(a, "--json") == 0) {
             jsonPath = value(i);
         } else if (std::strcmp(a, "--csv") == 0) {

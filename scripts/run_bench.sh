@@ -24,8 +24,8 @@ fi
 
 cmake -B build -S . >/dev/null
 cmake --build build --target bench_kernels bench_campaign \
-    bench_event bench_analysis bench_serving bench_compare \
-    -j >/dev/null
+    bench_event bench_analysis bench_serving bench_chaos \
+    bench_compare -j >/dev/null
 
 # Pinned measurement environment: one worker thread (the kernels are
 # the subject, not the pool) and no ambient ISA override -- a set
@@ -39,8 +39,10 @@ measure() {
     ./build/bench/bench_event --json BENCH_event.json
     ./build/bench/bench_analysis --json BENCH_analysis.json
     ./build/bench/bench_serving --json BENCH_serving.json
+    ./build/bench/bench_chaos --json BENCH_chaos.json
     echo "wrote BENCH_kernels.json BENCH_campaign.json" \
-        "BENCH_event.json BENCH_analysis.json BENCH_serving.json"
+        "BENCH_event.json BENCH_analysis.json BENCH_serving.json" \
+        "BENCH_chaos.json"
 }
 
 # Gate on the per-benchmark SIMD speedup (vector time / scalar time
@@ -58,7 +60,9 @@ compare_once() {
     ./build/bench/bench_compare "$BASELINE_DIR/BENCH_analysis.json" \
         BENCH_analysis.json --threshold 0.15 --relative-to-scalar &&
     ./build/bench/bench_compare "$BASELINE_DIR/BENCH_serving.json" \
-        BENCH_serving.json --threshold 0.15 --relative-to-scalar
+        BENCH_serving.json --threshold 0.15 --relative-to-scalar &&
+    ./build/bench/bench_compare "$BASELINE_DIR/BENCH_chaos.json" \
+        BENCH_chaos.json --threshold 0.15 --relative-to-scalar
 }
 
 measure

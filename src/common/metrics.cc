@@ -58,6 +58,17 @@ Histogram::percentile(double q) const
 {
     inca_assert(q > 0.0 && q <= 100.0,
                 "percentile %f outside (0, 100]", q);
+    // Past the retain cap, "exact" percentiles silently cover only
+    // the first kRetainCap observations; say so once per histogram
+    // instead of degrading quietly.
+    if (retainedSaturated() &&
+        !saturationWarned_.exchange(true, std::memory_order_relaxed))
+        warn("histogram '%s': %llu observations exceed the %zu "
+             "retained samples; percentiles cover the first %zu "
+             "only (exports carry \"saturated\": true)",
+             name_.c_str(),
+             static_cast<unsigned long long>(count()), kRetainCap,
+             kRetainCap);
     std::vector<double> s = retained();
     if (s.empty())
         return 0.0;
@@ -91,6 +102,7 @@ Histogram::reset()
         s.store(0.0, std::memory_order_relaxed);
     sum_.store(0.0, std::memory_order_relaxed);
     count_.store(0, std::memory_order_relaxed);
+    saturationWarned_.store(false, std::memory_order_relaxed);
 }
 
 namespace {
@@ -274,6 +286,8 @@ toJson()
            << ", \"p50\": " << num(h.percentile(50.0))
            << ", \"p95\": " << num(h.percentile(95.0))
            << ", \"p99\": " << num(h.percentile(99.0))
+           << ", \"saturated\": "
+           << (h.retainedSaturated() ? "true" : "false")
            << ", \"buckets\": [";
         const auto counts = h.bucketCounts();
         for (std::size_t b = 0; b < counts.size(); ++b) {

@@ -144,7 +144,8 @@ class Histogram
      * @p q in (0, 100]; 0 when empty. Sorted on demand -- a
      * render-time call, not a hot-path one. Past kRetainCap
      * observations the summary covers the first kRetainCap (see
-     * retainedSaturated()).
+     * retainedSaturated()); the first such query warn()s once and
+     * the JSON export flags the histogram "saturated".
      */
     double percentile(double q) const;
 
@@ -168,6 +169,8 @@ class Histogram
     std::vector<std::atomic<double>> samples_;
     std::atomic<double> sum_{0.0};
     std::atomic<std::uint64_t> count_{0};
+    /** One-time saturation warn() latch (mutable: query-time state). */
+    mutable std::atomic<bool> saturationWarned_{false};
 };
 
 /**

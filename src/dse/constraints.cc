@@ -47,7 +47,12 @@ Constraints::set(const std::string &keyValue)
         losslessAdc = v != 0.0;
     else if (key == "max_p99_ms")
         maxP99Ms = v;
-    else
+    else if (key == "min_availability") {
+        if (v < 0.0 || v > 1.0)
+            fatal("constraint 'min_availability': %s outside [0, 1]",
+                  text.c_str());
+        minAvailability = v;
+    } else
         fatal("unknown constraint '%s'", key.c_str());
 }
 
@@ -74,6 +79,8 @@ Constraints::str() const
         add("lossless_adc=1");
     if (maxP99Ms > 0.0)
         add("max_p99_ms=" + num(maxP99Ms));
+    if (minAvailability > 0.0)
+        add("min_availability=" + num(minAvailability));
     return out;
 }
 

@@ -45,6 +45,13 @@ struct Constraints
      * scoring on), not in the cheap pre-scoring filter.
      */
     double maxP99Ms = 0.0;
+    /**
+     * Serving availability floor in [0, 1]. Like max_p99_ms this
+     * needs a serving simulation (with failure injection active in
+     * the scenario), so the explorer checks it after scoring;
+     * selecting it turns serving scoring on.
+     */
+    double minAvailability = 0.0;
 
     /** True when no bound is active. */
     bool empty() const
@@ -52,14 +59,14 @@ struct Constraints
         return maxAreaMm2 <= 0.0 && maxIdlePowerW <= 0.0 &&
                minUtilization <= 0.0 && minAccuracy <= 0.0 &&
                minAccuracyAtBer <= 0.0 && !losslessAdc &&
-               maxP99Ms <= 0.0;
+               maxP99Ms <= 0.0 && minAvailability <= 0.0;
     }
 
     /**
      * Apply one "key=value" bound (the CLI / journal spelling):
      * max_area_mm2, max_idle_w, min_utilization, min_accuracy,
-     * min_accuracy_at_ber, lossless_adc, max_p99_ms. Fatal on an
-     * unknown key or
+     * min_accuracy_at_ber, lossless_adc, max_p99_ms,
+     * min_availability. Fatal on an unknown key or
      * unparsable value.
      */
     void set(const std::string &keyValue);

@@ -80,11 +80,30 @@ Explorer::Explorer(SearchSpace space, ExploreOptions options)
         wantTimed_ = wantTimed_ || o == Objective::LatencyTimed;
         wantServing_ = wantServing_ || o == Objective::P99Latency ||
                        o == Objective::Goodput ||
-                       o == Objective::EnergyPerRequest;
+                       o == Objective::EnergyPerRequest ||
+                       o == Objective::Availability ||
+                       o == Objective::ShedFraction;
     }
-    // The SLO ceiling also needs the simulation it bounds.
-    wantServing_ =
-        wantServing_ || options_.constraints.maxP99Ms > 0.0;
+    // The SLO ceiling and the availability floor also need the
+    // simulation they bound.
+    wantServing_ = wantServing_ ||
+                   options_.constraints.maxP99Ms > 0.0 ||
+                   options_.constraints.minAvailability > 0.0;
+}
+
+bool
+Explorer::servingChaosActive() const
+{
+    const ExploreOptions::ServingScenario &s = options_.serving;
+    if (s.failures.enabled || s.retry.budget > 0 ||
+        s.deadlineS > 0.0 || s.hedgeDelayS > 0.0 || s.queueCap > 0)
+        return true;
+    if (options_.constraints.minAvailability > 0.0)
+        return true;
+    for (const auto &axis : space_.axes())
+        if (axis.name == "failure_mtbf")
+            return true;
+    return false;
 }
 
 std::string
@@ -150,6 +169,26 @@ Explorer::signature() const
            << ",batch:" << s.batch.maxBatch
            << ",timeout:" << num17(s.batch.timeoutS)
            << ",slo:" << num17(s.sloS);
+        // Chaos fields enter the identity only when active, keeping
+        // chaos-free serving journals replayable across this change.
+        if (servingChaosActive()) {
+            os << " chaos=failures:"
+               << (s.failures.enabled ? 1 : 0)
+               << ",mtbf:" << num17(s.failures.mtbfS)
+               << ",mttr:" << num17(s.failures.mttrS)
+               << ",frac:" << num17(s.failures.degradedFraction)
+               << ",slow:" << num17(s.failures.slowdownFactor)
+               << ",recovery:" << num17(s.failures.recoveryS)
+               << ",aging:" << num17(s.failures.aging)
+               << ",fseed:" << s.failures.seed
+               << ",drop:" << (s.failures.dropInFlight ? 1 : 0)
+               << ",retries:" << s.retry.budget
+               << ",backoff:" << num17(s.retry.backoffBaseS)
+               << ",jitter:" << num17(s.retry.jitter)
+               << ",deadline:" << num17(s.deadlineS)
+               << ",hedge:" << num17(s.hedgeDelayS)
+               << ",qcap:" << s.queueCap;
+        }
     }
     os << " space=";
     for (const auto &axis : space_.axes()) {
@@ -257,6 +296,18 @@ Explorer::evaluate(std::uint64_t flatIndex) const
             e.feasible = false;
             e.rejectedBy = buf;
         }
+        // The availability floor likewise exists only post-sim.
+        if (e.feasible &&
+            options_.constraints.minAvailability > 0.0 &&
+            e.availability < options_.constraints.minAvailability) {
+            char buf[96];
+            std::snprintf(buf, sizeof(buf),
+                          "min_availability (%g < %g)",
+                          e.availability,
+                          options_.constraints.minAvailability);
+            e.feasible = false;
+            e.rejectedBy = buf;
+        }
     }
     orientObjectives(e, options_.objectives);
     return e;
@@ -291,10 +342,35 @@ Explorer::scoreServing(Evaluation &e) const
         e.candidate, "shard", std::int64_t(s.shard.kind)));
     spec.shard.chips = int(
         space_.value(e.candidate, "shard_chips", s.shard.chips));
+    // Chaos layer: scenario defaults, with the failure_mtbf axis
+    // (milliseconds; 0 = injection off) overriding the MTBF.
+    spec.failures = s.failures;
+    spec.retry = s.retry;
+    spec.deadlineS = s.deadlineS;
+    spec.hedgeDelayS = s.hedgeDelayS;
+    spec.queueCap = s.queueCap;
+    bool haveMtbfAxis = false;
+    for (const auto &axis : space_.axes())
+        haveMtbfAxis = haveMtbfAxis || axis.name == "failure_mtbf";
+    if (haveMtbfAxis) {
+        const std::int64_t mtbfMs =
+            space_.value(e.candidate, "failure_mtbf", 0);
+        if (mtbfMs > 0) {
+            spec.failures.enabled = true;
+            spec.failures.mtbfS = double(mtbfMs) * 1e-3;
+            if (spec.failures.mttrS <= 0.0)
+                spec.failures.mttrS = spec.failures.mtbfS * 0.1;
+        } else {
+            spec.failures.enabled = false;
+        }
+    }
     const serving::ServingReport rep = serving::simulate(spec);
     e.p99LatencyS = rep.p99S;
     e.goodputRps = rep.goodputRps;
     e.energyPerRequestJ = rep.energyPerRequestJ;
+    e.availability = rep.availability;
+    e.shedFraction =
+        rep.offered ? double(rep.shed) / double(rep.offered) : 0.0;
 }
 
 ExploreResult
@@ -423,7 +499,8 @@ frontierCsv(const SearchSpace &space,
     os << ",energy_j,latency_s,area_m2,idle_w,utilization,accuracy,"
           "resilience,latency_timed_s,bottleneck_unit,"
           "critical_share,p99_latency_s,goodput_rps,"
-          "energy_per_request_j,config_key_hash\n";
+          "energy_per_request_j,availability,shed_fraction,"
+          "config_key_hash\n";
     for (const Evaluation &e : frontier) {
         os << e.candidate.index;
         for (const std::int64_t v : e.candidate.values)
@@ -436,7 +513,8 @@ frontierCsv(const SearchSpace &space,
            << csvField(e.bottleneckUnit) << ","
            << num17(e.criticalShare) << ","
            << num17(e.p99LatencyS) << "," << num17(e.goodputRps)
-           << "," << num17(e.energyPerRequestJ);
+           << "," << num17(e.energyPerRequestJ) << ","
+           << num17(e.availability) << "," << num17(e.shedFraction);
         char hex[32];
         std::snprintf(hex, sizeof(hex), "0x%llx",
                       static_cast<unsigned long long>(
@@ -517,7 +595,10 @@ frontierJson(const Explorer &explorer, const ExploreResult &result)
            << ", \"p99_latency_s\": " << num17(e.p99LatencyS)
            << ", \"goodput_rps\": " << num17(e.goodputRps)
            << ", \"energy_per_request_j\": "
-           << num17(e.energyPerRequestJ) << "}"
+           << num17(e.energyPerRequestJ)
+           << ", \"availability\": " << num17(e.availability)
+           << ", \"shed_fraction\": " << num17(e.shedFraction)
+           << "}"
            << (i + 1 < points.size() ? "," : "") << "\n";
     }
     os << "  ]\n}\n";

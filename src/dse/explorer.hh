@@ -106,6 +106,20 @@ struct ExploreOptions
         serving::ShardSpec shard;
         serving::BatchPolicy batch;
         Seconds sloS = 0.0; ///< goodput SLO (0: goodput=throughput)
+        /**
+         * Chaos layer under the availability / shed_fraction
+         * objectives and the min_availability constraint: failure
+         * injection, client retry, deadline, hedging, and bounded
+         * queues, all forwarded into the per-candidate ServingSpec.
+         * The failure_mtbf axis (when present in the space)
+         * overrides failures.mtbfS per candidate -- its value is in
+         * milliseconds, 0 meaning injection off.
+         */
+        serving::FailureSpec failures;
+        serving::RetryPolicy retry;
+        Seconds deadlineS = 0.0;
+        Seconds hedgeDelayS = 0.0;
+        std::uint64_t queueCap = 0;
     };
     ServingScenario serving;
 };
@@ -152,6 +166,15 @@ class Explorer
   private:
     /** Serving-simulate one scored candidate (fills p99/goodput/epr). */
     void scoreServing(Evaluation &e) const;
+
+    /**
+     * True when the serving scenario has any chaos feature active
+     * (failures, retry, deadline, hedging, bounded queues), the
+     * min_availability constraint is set, or the space searches the
+     * failure_mtbf axis. Gates the chaos part of the signature so
+     * chaos-free runs keep their pre-chaos journal identity.
+     */
+    bool servingChaosActive() const;
 
     SearchSpace space_;
     ExploreOptions options_;

@@ -238,6 +238,11 @@ parseEvalLine(const std::string &line, Evaluation &e)
     if (!getDouble(line, "energy_per_request_j",
                    e.energyPerRequestJ))
         e.energyPerRequestJ = 0.0;
+    // ... and pre-chaos journals carry no availability/shed scalars.
+    if (!getDouble(line, "availability", e.availability))
+        e.availability = 1.0;
+    if (!getDouble(line, "shed_fraction", e.shedFraction))
+        e.shedFraction = 0.0;
     if (!getDoubleArray(line, "objectives", e.objectives))
         return false;
     return true;
@@ -280,6 +285,8 @@ evalToJsonLine(const Evaluation &e)
     out += ",\"goodput_rps\":" + fmtDouble(e.goodputRps);
     out += ",\"energy_per_request_j\":" +
            fmtDouble(e.energyPerRequestJ);
+    out += ",\"availability\":" + fmtDouble(e.availability);
+    out += ",\"shed_fraction\":" + fmtDouble(e.shedFraction);
     out += ",\"objectives\":[";
     for (std::size_t i = 0; i < e.objectives.size(); ++i) {
         if (i > 0)

@@ -38,6 +38,10 @@ objectiveName(Objective o)
         return "goodput";
       case Objective::EnergyPerRequest:
         return "energy_per_request";
+      case Objective::Availability:
+        return "availability";
+      case Objective::ShedFraction:
+        return "shed_fraction";
     }
     panic("unreachable objective %d", int(o));
 }
@@ -51,7 +55,8 @@ objectiveByName(const std::string &name)
           Objective::Utilization, Objective::Accuracy,
           Objective::Resilience, Objective::LatencyTimed,
           Objective::P99Latency, Objective::Goodput,
-          Objective::EnergyPerRequest}) {
+          Objective::EnergyPerRequest, Objective::Availability,
+          Objective::ShedFraction}) {
         if (name == objectiveName(o))
             return o;
     }
@@ -82,7 +87,8 @@ bool
 objectiveMaximized(Objective o)
 {
     return o == Objective::Utilization || o == Objective::Accuracy ||
-           o == Objective::Resilience || o == Objective::Goodput;
+           o == Objective::Resilience || o == Objective::Goodput ||
+           o == Objective::Availability;
 }
 
 double
@@ -113,6 +119,10 @@ Evaluation::value(Objective o) const
         return goodputRps;
       case Objective::EnergyPerRequest:
         return energyPerRequestJ;
+      case Objective::Availability:
+        return availability;
+      case Objective::ShedFraction:
+        return shedFraction;
     }
     panic("unreachable objective %d", int(o));
 }

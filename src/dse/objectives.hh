@@ -53,6 +53,8 @@ enum class Objective
     P99Latency,   ///< serving p99 request latency [s] (minimize)
     Goodput,      ///< serving within-SLO throughput [rps] (maximize)
     EnergyPerRequest, ///< serving energy per request [J] (minimize)
+    Availability, ///< serving up-fraction under failures (maximize)
+    ShedFraction, ///< serving shed / offered [0,1] (minimize)
 };
 
 /** "energy", "latency", ... (the CLI spelling). */
@@ -115,6 +117,15 @@ struct Evaluation
     double p99LatencyS = 0.0;
     double goodputRps = 0.0;
     double energyPerRequestJ = 0.0;
+    /**
+     * Chaos-serving scalars: fraction of the serving window with >= 1
+     * accepting replica, and the shed fraction of offered requests.
+     * Filled by the serving scenario when failure injection or
+     * admission control is active; availability reads 1.0 and shed
+     * 0.0 otherwise (and for older journals).
+     */
+    double availability = 1.0;
+    double shedFraction = 0.0;
     std::uint64_t configKeyHash = 0;
 
     /**

@@ -170,7 +170,8 @@ bool
 isServingAxis(const std::string &name)
 {
     return name == "replicas" || name == "serve_batch" ||
-           name == "shard" || name == "shard_chips";
+           name == "shard" || name == "shard_chips" ||
+           name == "failure_mtbf";
 }
 
 arch::IncaConfig

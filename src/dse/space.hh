@@ -77,6 +77,8 @@ struct Candidate
  *   serve_batch      batching-scheduler size cap
  *   shard            sharding kind (0 replica, 1 pipeline, 2 tensor)
  *   shard_chips      chips per server under pipeline/tensor sharding
+ *   failure_mtbf     per-server MTBF in milliseconds (0 = failure
+ *                    injection off for that candidate)
  */
 class SearchSpace
 {

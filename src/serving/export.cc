@@ -1,6 +1,7 @@
 #include "serving/export.hh"
 
 #include <cinttypes>
+#include <cmath>
 #include <cstdio>
 #include <sstream>
 
@@ -93,6 +94,37 @@ reportText(const ServingReport &rep)
         os << "  (within " << fmt("%.3f", spec.sloS * 1e3)
            << " ms SLO: " << rep.withinSlo << ")";
     os << "\n";
+    if (chaosEnabled(spec)) {
+        os << "outcomes        ok " << rep.completed << "  shed "
+           << rep.shed << "  timeout " << rep.timedOut
+           << "  failed " << rep.failed << "\n";
+        os << "robustness      retries " << rep.retries
+           << "  hedges " << rep.hedges << "  failovers "
+           << rep.failovers << "\n";
+        if (spec.failures.enabled) {
+            os << "availability    "
+               << fmt("%.6f", rep.availability) << " (";
+            if (rep.availability >= 1.0)
+                os << "inf";
+            else
+                os << fmt("%.2f",
+                          -std::log10(1.0 - rep.availability));
+            os << " nines)  unavailable "
+               << fmt("%.3f", rep.unavailableS * 1e3) << " ms\n";
+            os << "failures        " << rep.failureEvents
+               << " events  killed batches " << rep.killedBatches
+               << "\n";
+        }
+        for (std::size_t i = 0; i < rep.streamStats.size(); ++i) {
+            const StreamStats &ss = rep.streamStats[i];
+            os << "  stream " << spec.streams[i].network
+               << "  offered " << ss.offered << "  ok "
+               << ss.completed << "  shed " << ss.shed
+               << "  timeout " << ss.timedOut << "  failed "
+               << ss.failed << "  retries " << ss.retries
+               << "  failovers " << ss.failovers << "\n";
+        }
+    }
     os << "makespan        " << fmt("%.6f", rep.makespanS) << " s\n";
     os << "latency         mean "
        << fmt("%.3f", rep.meanLatencyS * 1e3) << " ms  p50 "
@@ -189,6 +221,60 @@ reportJson(const ServingReport &rep)
        << "},\n";
     os << "  \"batches\": {\"count\": " << rep.batches
        << ", \"mean_size\": " << num17(rep.meanBatchSize) << "},\n";
+    if (chaosEnabled(spec)) {
+        os << "  \"chaos\": {\n";
+        os << "    \"failures\": {\"enabled\": "
+           << (spec.failures.enabled ? "true" : "false")
+           << ", \"mtbf_s\": " << num17(spec.failures.mtbfS)
+           << ", \"mttr_s\": " << num17(spec.failures.mttrS)
+           << ", \"degraded_fraction\": "
+           << num17(spec.failures.degradedFraction)
+           << ", \"slowdown_factor\": "
+           << num17(spec.failures.slowdownFactor)
+           << ", \"recovery_s\": " << num17(spec.failures.recoveryS)
+           << ", \"aging\": " << num17(spec.failures.aging)
+           << ", \"seed\": " << spec.failures.seed
+           << ", \"drop_in_flight\": "
+           << (spec.failures.dropInFlight ? "true" : "false")
+           << "},\n";
+        os << "    \"retry\": {\"budget\": " << spec.retry.budget
+           << ", \"backoff_base_s\": "
+           << num17(spec.retry.backoffBaseS)
+           << ", \"jitter\": " << num17(spec.retry.jitter)
+           << "},\n";
+        os << "    \"deadline_s\": " << num17(spec.deadlineS)
+           << ",\n";
+        os << "    \"hedge_delay_s\": " << num17(spec.hedgeDelayS)
+           << ",\n";
+        os << "    \"queue_cap\": " << spec.queueCap << ",\n";
+        os << "    \"shed\": " << rep.shed << ",\n";
+        os << "    \"timed_out\": " << rep.timedOut << ",\n";
+        os << "    \"failed\": " << rep.failed << ",\n";
+        os << "    \"retries\": " << rep.retries << ",\n";
+        os << "    \"hedges\": " << rep.hedges << ",\n";
+        os << "    \"failovers\": " << rep.failovers << ",\n";
+        os << "    \"killed_batches\": " << rep.killedBatches
+           << ",\n";
+        os << "    \"failure_events\": " << rep.failureEvents
+           << ",\n";
+        os << "    \"availability\": " << num17(rep.availability)
+           << ",\n";
+        os << "    \"unavailable_s\": " << num17(rep.unavailableS)
+           << ",\n";
+        os << "    \"streams\": [";
+        for (std::size_t i = 0; i < rep.streamStats.size(); ++i) {
+            const StreamStats &ss = rep.streamStats[i];
+            os << (i ? ", " : "") << "{\"offered\": " << ss.offered
+               << ", \"completed\": " << ss.completed
+               << ", \"shed\": " << ss.shed
+               << ", \"timed_out\": " << ss.timedOut
+               << ", \"failed\": " << ss.failed
+               << ", \"retries\": " << ss.retries
+               << ", \"failovers\": " << ss.failovers << "}";
+        }
+        os << "]\n";
+        os << "  },\n";
+    }
     os << "  \"utilization\": " << num17(rep.utilization) << ",\n";
     os << "  \"servers\": [";
     for (std::size_t i = 0; i < rep.servers.size(); ++i) {
@@ -196,7 +282,12 @@ reportJson(const ServingReport &rep)
         os << (i ? ", " : "") << "{\"batches\": " << s.batches
            << ", \"requests\": " << s.requests
            << ", \"busy_s\": " << num17(s.busyS)
-           << ", \"utilization\": " << num17(s.utilization) << "}";
+           << ", \"utilization\": " << num17(s.utilization);
+        if (chaosEnabled(spec))
+            os << ", \"failures\": " << s.failures
+               << ", \"killed_batches\": " << s.killedBatches
+               << ", \"down_s\": " << num17(s.downS);
+        os << "}";
     }
     os << "],\n";
     os << "  \"energy_j\": {\"dynamic\": "
@@ -220,9 +311,13 @@ reportJson(const ServingReport &rep)
 std::string
 requestsCsv(const ServingReport &rep)
 {
+    const bool chaos = chaosEnabled(rep.spec);
     std::ostringstream os;
     os << "id,stream,network,arrival_s,dispatch_s,completion_s,"
-          "latency_s,wait_s,server,batch_size\n";
+          "latency_s,wait_s,server,batch_size";
+    if (chaos)
+        os << ",outcome,retries,hedged,queued_s";
+    os << "\n";
     for (const RequestRecord &r : rep.requests) {
         os << r.id << "," << r.stream << ","
            << csvField(
@@ -230,7 +325,12 @@ requestsCsv(const ServingReport &rep)
            << "," << num17(r.arrivalS) << "," << num17(r.dispatchS)
            << "," << num17(r.completionS) << ","
            << num17(r.latencyS()) << "," << num17(r.waitS()) << ","
-           << r.server << "," << r.batchSize << "\n";
+           << r.server << "," << r.batchSize;
+        if (chaos)
+            os << "," << requestOutcomeName(r.outcome) << ","
+               << r.retries << "," << (r.hedged ? 1 : 0) << ","
+               << num17(r.queuedS);
+        os << "\n";
     }
     return os.str();
 }
@@ -263,9 +363,25 @@ publishMetrics(const ServingReport &rep)
     metrics::gauge("serving.utilization").set(rep.utilization);
     metrics::gauge("serving.energy_per_request_j")
         .set(rep.energyPerRequestJ);
+    const bool chaos = chaosEnabled(rep.spec);
+    if (chaos) {
+        metrics::counter("serving.shed").inc(rep.shed);
+        metrics::counter("serving.timeouts").inc(rep.timedOut);
+        metrics::counter("serving.failed").inc(rep.failed);
+        metrics::counter("serving.retries").inc(rep.retries);
+        metrics::counter("serving.hedges").inc(rep.hedges);
+        metrics::counter("serving.failovers").inc(rep.failovers);
+        metrics::gauge("serving.availability")
+            .set(rep.availability);
+    }
     auto &latency = metrics::histogram("serving.latency_us");
-    for (const RequestRecord &r : rep.requests)
+    for (const RequestRecord &r : rep.requests) {
+        // Only genuinely served requests carry a latency; shed or
+        // failed ones have no completion time.
+        if (chaos && r.outcome != RequestOutcome::Ok)
+            continue;
         latency.observe(r.latencyS() * 1e6);
+    }
 }
 
 void

@@ -28,6 +28,28 @@
  * an earlier large one). Energy = sum of per-batch dynamic + link
  * energy, plus idle power x total chips x makespan (chips leak
  * whether busy or not).
+ *
+ * Chaos layer (serving/failures.hh): when a FailureSpec is enabled,
+ * servers walk the up/degraded/down/recovering health machine on
+ * seeded per-server failure traces; a fail-stop kills the server's
+ * in-flight batches, whose requests are re-enqueued at the front of
+ * their stream queue (or dropped, per spec.failures.dropInFlight).
+ * Client policies: a per-request deadline, bounded retry with
+ * exponential backoff + deterministic jitter, and hedged dispatch
+ * onto a second idle server once a batch head has waited past
+ * spec.hedgeDelayS. Admission control: per-stream queues are bounded
+ * by spec.queueCap (0 = unbounded), the arriving request is the one
+ * shed, and under global overload (total backlog >= cap x streams)
+ * only the highest-priority class is admitted. All chaos features
+ * default off, in which case the event loop takes exactly the
+ * original code paths -- the report and every export are
+ * byte-identical to the pre-chaos simulator.
+ *
+ * Availability is measured over the offered-traffic window
+ * [0, durationS]: the fraction of that window with at least one
+ * server accepting work (Up or Degraded). Per-server failure streams
+ * are independent, so availability is monotone non-decreasing in the
+ * replica count by construction.
  */
 
 #ifndef INCA_SERVING_SIMULATOR_HH
@@ -41,6 +63,7 @@
 #include "common/units.hh"
 #include "serving/arrivals.hh"
 #include "serving/cost_model.hh"
+#include "serving/failures.hh"
 
 namespace inca {
 namespace serving {
@@ -76,7 +99,23 @@ struct ServingSpec
     BatchPolicy batch;
 
     Seconds sloS = 0.0; ///< latency SLO; 0 disables goodput gating
+
+    // -- Chaos layer; every default below means "off" and preserves
+    //    the pre-chaos behavior byte-identically. -------------------
+    FailureSpec failures;    ///< seeded per-server failure process
+    RetryPolicy retry;       ///< client retry budget + backoff
+    Seconds deadlineS = 0.0; ///< per-request deadline; 0 disables
+    /** Hedge a batch onto a second idle server once its head has
+     *  waited this long; 0 disables hedging. */
+    Seconds hedgeDelayS = 0.0;
+    /** Per-stream queue bound; arrivals to a full queue are shed.
+     *  0 = unbounded (the original behavior). */
+    std::uint64_t queueCap = 0;
 };
+
+/** True when any chaos feature (failures, retry, deadline, hedging,
+ *  bounded queues) is active in @p spec. */
+bool chaosEnabled(const ServingSpec &spec);
 
 /** Per-request trace row (the --csv export). */
 struct RequestRecord
@@ -89,6 +128,12 @@ struct RequestRecord
     Seconds dispatchS = 0.0;
     Seconds completionS = 0.0;
 
+    // Chaos accounting (all zero / Ok on the chaos-off path).
+    RequestOutcome outcome = RequestOutcome::Ok;
+    int retries = 0;       ///< client retries performed
+    bool hedged = false;   ///< dispatched on two servers at once
+    Seconds queuedS = 0.0; ///< total time in queues, all attempts
+
     Seconds latencyS() const { return completionS - arrivalS; }
     Seconds waitS() const { return dispatchS - arrivalS; }
 };
@@ -100,6 +145,21 @@ struct ServerStats
     std::uint64_t requests = 0;
     Seconds busyS = 0.0;      ///< sum of initiation intervals
     double utilization = 0.0; ///< busyS / makespan
+    std::uint64_t failures = 0;      ///< failure events (both modes)
+    std::uint64_t killedBatches = 0; ///< in-flight batches lost
+    Seconds downS = 0.0; ///< time not accepting work (down+recovering)
+};
+
+/** Per-stream chaos counters. */
+struct StreamStats
+{
+    std::uint64_t offered = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t shed = 0;
+    std::uint64_t timedOut = 0;
+    std::uint64_t failed = 0;
+    std::uint64_t retries = 0;
+    std::uint64_t failovers = 0; ///< requests re-enqueued off a corpse
 };
 
 /** Everything one simulation produces. */
@@ -108,9 +168,23 @@ struct ServingReport
     ServingSpec spec; ///< echoed for the emitters
 
     std::uint64_t offered = 0;   ///< requests generated
-    std::uint64_t completed = 0; ///< requests served (== offered)
+    std::uint64_t completed = 0; ///< outcome Ok (== offered, chaos off)
     std::uint64_t withinSlo = 0; ///< completions meeting the SLO
     Seconds makespanS = 0.0;     ///< last completion time
+
+    // Chaos roll-up (all zero / 1.0 on the chaos-off path).
+    std::uint64_t shed = 0;     ///< admission rejections (terminal)
+    std::uint64_t timedOut = 0; ///< deadline misses (terminal)
+    std::uint64_t failed = 0;   ///< died with a server (terminal)
+    std::uint64_t retries = 0;  ///< client retry attempts
+    std::uint64_t hedges = 0;   ///< hedge legs dispatched
+    std::uint64_t failovers = 0;     ///< requests re-enqueued
+    std::uint64_t killedBatches = 0; ///< in-flight batches lost
+    std::uint64_t failureEvents = 0; ///< failures injected (all modes)
+    /** Fraction of [0, durationS] with >= 1 server accepting work. */
+    double availability = 1.0;
+    Seconds unavailableS = 0.0; ///< (1 - availability) * durationS
+    std::vector<StreamStats> streamStats; ///< one per spec stream
 
     double offeredRatePerS = 0.0; ///< offered / duration
     double throughputRps = 0.0;   ///< completed / makespan
